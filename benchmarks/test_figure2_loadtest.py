@@ -1,0 +1,49 @@
+"""Figure 2 — Load test on the LLM service.
+
+Reproduces the open-system load test of Section 9: 60 minutes of traffic
+against the rate-limited LLM endpoint, arrival rate ramping linearly from
+1 to 3 users per second, 7 200 tokens per request.  The paper reports
+7 200 total requests with 267 failures; the same arrival process against
+the calibrated token-bucket quota must land in that neighbourhood, with
+failures concentrated in the late portion of the ramp.  The report is
+printed as a per-minute series (the Figure 2 chart, in text form).
+"""
+
+from __future__ import annotations
+
+from repro.service.loadtest import LoadTestConfig, recommended_token_rate_limit, run_load_test
+
+PAPER_TOTAL = 7200
+PAPER_FAILED = 267
+
+
+def test_figure2_llm_load_test(benchmark):
+    config = LoadTestConfig()
+
+    report = benchmark.pedantic(lambda: run_load_test(config), rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("FIGURE 2 — Load test on the LLM service (60 min, ramp 1→3 users/s)")
+    print("=" * 72)
+    print(f"total requests : {report.total_requests}   (paper: {PAPER_TOTAL})")
+    print(f"failed requests: {report.failed_requests}   (paper: {PAPER_FAILED})")
+    print(f"failure rate   : {report.failure_rate:.2%}")
+    print(f"first failure  : minute {report.first_failure_minute}")
+    print()
+    print("per-minute profile (requests | failures):")
+    for minute in range(0, 60, 5):
+        requests = sum(report.requests_per_minute[minute : minute + 5])
+        failures = sum(report.failures_per_minute[minute : minute + 5])
+        bar = "#" * (failures // 2)
+        print(f"  min {minute:2d}-{minute + 4:2d}: {requests:4d} req, {failures:3d} fail {bar}")
+    recommended = recommended_token_rate_limit(report, config)
+    print(f"\nrecommended production token rate limit: {recommended:,.0f} tokens/min")
+
+    assert report.total_requests == PAPER_TOTAL
+    assert abs(report.failed_requests - PAPER_FAILED) < 60
+    # Failures must appear only once the ramp approaches the quota.
+    assert report.first_failure_minute is not None and report.first_failure_minute > 30
+    first_half = sum(report.failures_per_minute[:30])
+    second_half = sum(report.failures_per_minute[30:])
+    assert second_half > first_half

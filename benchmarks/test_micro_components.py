@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the hot components (timed over many rounds).
+
+Unlike the table/figure benches (single-shot macro experiments), these use
+pytest-benchmark's statistical timing to track the per-query cost of each
+retrieval stage: BM25 scoring, HNSW search, embedding, ROUGE-L guardrail,
+and the end-to-end engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def sample_questions(human_split):
+    return [query.text for query in human_split.test[:20]]
+
+
+def test_bm25_fulltext_search_speed(benchmark, bench_system, sample_questions):
+    from repro.search.fulltext import FullTextSearch
+
+    fulltext = FullTextSearch(bench_system.index)
+    questions = iter(sample_questions * 1000)
+
+    benchmark(lambda: fulltext.search(next(questions), n=50))
+
+
+def test_hnsw_vector_search_speed(benchmark, bench_system, sample_questions):
+    vectors = [bench_system.embedder.embed(question) for question in sample_questions]
+    cycle = iter(vectors * 1000)
+
+    benchmark(lambda: bench_system.index.vector_search("content", next(cycle), 15))
+
+
+def test_embedding_speed(benchmark, bench_system, sample_questions):
+    from repro.embeddings.model import SyntheticAdaEmbedder
+
+    # A fresh embedder so the term cache reflects steady-state, not the
+    # pre-warmed index cache.
+    embedder = SyntheticAdaEmbedder(bench_system.lexicon, dim=256, seed=1)
+    cycle = iter(sample_questions * 1000)
+
+    benchmark(lambda: embedder.embed(next(cycle)))
+
+
+def test_rouge_guardrail_speed(benchmark, bench_system, sample_questions):
+    from repro.guardrails.rouge import RougeGuardrail
+
+    guardrail = RougeGuardrail()
+    context = bench_system.searcher.search(sample_questions[0])[:4]
+    answer = (
+        "In base alla documentazione interna, per completare l'operazione occorre "
+        "accedere all'applicativo indicato e confermare con le proprie credenziali [doc1]."
+    )
+
+    benchmark(lambda: guardrail.check(sample_questions[0], answer, context))
+
+
+def test_hybrid_search_speed(benchmark, bench_system, sample_questions):
+    cycle = iter(sample_questions * 1000)
+
+    benchmark(lambda: bench_system.searcher.search(next(cycle)))
+
+
+def test_end_to_end_ask_speed(benchmark, bench_system, sample_questions):
+    cycle = iter(sample_questions * 1000)
+
+    benchmark(lambda: bench_system.engine.ask(next(cycle)))

@@ -1,0 +1,71 @@
+"""Post-launch analysis — ticket reduction (Sections 1–2).
+
+The paper's headline operational result: "UniAsk allows to reduce the
+number of tickets opened to report unsuccessful searches by around 20%".
+
+The simulation replays the same enquiry stream — answerable
+natural-language enquiries plus out-of-KB enquiries no search system can
+satisfy — through the pre-launch engine (legacy keyword search, every
+enquiry compressed to keywords by necessity) and through the freshly
+launched UniAsk (most employees still keep the keyword habit: the
+education problem Section 8 closes on).  The tickets come from a
+per-outcome escalation model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.queries import generate_unanswerable_queries
+from repro.eval.harness import prev_retriever
+from repro.service.tickets import (
+    assistant_outcome_observer,
+    search_outcome_observer,
+    simulate_tickets,
+    ticket_reduction,
+)
+
+PAPER_REDUCTION = 0.20
+#: Right after launch most employees still query by keyword (Section 8).
+POST_LAUNCH_KEYWORD_HABIT = 0.9
+
+
+def test_postlaunch_ticket_reduction(benchmark, bench_kb, bench_system, bench_prev, human_split):
+    answerable = human_split.validation[:280]
+    unanswerable = generate_unanswerable_queries(bench_kb, count=120, seed=55)
+    stream = answerable + unanswerable
+    random.Random(55).shuffle(stream)
+
+    def run():
+        before = simulate_tickets(
+            search_outcome_observer(prev_retriever(bench_prev)), stream, keyword_habit=1.0
+        )
+        after = simulate_tickets(
+            assistant_outcome_observer(bench_system.engine),
+            stream,
+            keyword_habit=POST_LAUNCH_KEYWORD_HABIT,
+        )
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    reduction = ticket_reduction(before, after)
+
+    print()
+    print("=" * 72)
+    print("POST-LAUNCH — ticket volume before vs after UniAsk")
+    print("=" * 72)
+    print(f"enquiry stream: {len(stream)} enquiries ({len(unanswerable)} out-of-KB)")
+    print(f"pre-launch : {before.tickets} tickets ({before.ticket_rate:.1%} of searches)")
+    print(f"             by cause: {before.by_cause}")
+    print(f"post-launch: {after.tickets} tickets ({after.ticket_rate:.1%} of searches)")
+    print(f"             by cause: {after.by_cause}")
+    print(f"reduction  : {reduction:.1%}  (paper: around {PAPER_REDUCTION:.0%})")
+
+    # The paper's "around 20%": a clear reduction, in the tens of percent,
+    # bounded by out-of-KB enquiries and lingering keyword habits.
+    assert 0.10 <= reduction <= 0.45
+    # UniAsk retrieves something for essentially every enquiry (the only
+    # empty results are content-filter blocks), while empty results were
+    # the dominant pre-launch ticket cause.
+    assert after.by_cause["no_results"] <= len(stream) * 0.02
+    assert before.by_cause["no_results"] > after.by_cause["no_results"] * 10

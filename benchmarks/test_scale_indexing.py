@@ -1,0 +1,55 @@
+"""Scale smoke test — indexing and serving a larger corpus.
+
+The production KB holds 59 308 documents; this repository's simulator is
+laptop-scale, but the data structures must not degrade non-linearly.  This
+bench builds a corpus ~2× the evaluation one (every vocabulary pair, ~2 000
+documents), drives it through the full ingestion pipeline, and measures
+indexing throughput and end-to-end query latency at that size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.factory import build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset
+from repro.corpus.vocabulary import build_banking_lexicon
+
+
+def test_scale_indexing_and_query(benchmark):
+    def run():
+        config = KbGeneratorConfig(
+            num_topics=700, max_variants_per_topic=4, error_families=16, codes_per_family=12, seed=3000
+        )
+        kb = KbGenerator(config).generate()
+        lexicon = build_banking_lexicon()
+
+        started = time.perf_counter()
+        system = build_uniask_system(kb.store(), lexicon, seed=3000)
+        build_seconds = time.perf_counter() - started
+
+        questions = generate_human_dataset(kb, HumanDatasetConfig(num_questions=60, seed=3000))
+        started = time.perf_counter()
+        answered = sum(1 for query in questions if system.engine.ask(query.text).documents)
+        query_seconds = (time.perf_counter() - started) / len(questions)
+        return len(kb.documents), len(system.index), build_seconds, query_seconds, answered, len(questions)
+
+    documents, chunks, build_seconds, query_seconds, answered, total = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print()
+    print("=" * 72)
+    print("SCALE — full-vocabulary corpus through the pipeline")
+    print("=" * 72)
+    print(f"documents        : {documents}")
+    print(f"chunks indexed   : {chunks}")
+    print(f"index build      : {build_seconds:.1f}s ({chunks / build_seconds:.0f} chunks/s)")
+    print(f"query latency    : {query_seconds * 1000:.0f} ms end-to-end")
+    print(f"queries answered : {answered}/{total}")
+
+    assert documents > 1700
+    assert chunks == documents  # short docs chunk 1:1 at 512 tokens
+    assert answered == total
+    assert query_seconds < 2.0  # end-to-end must stay interactive

@@ -1,0 +1,120 @@
+"""Section 8 — Pilot phases with real users and the UAT.
+
+Re-creates the three pre-deployment test campaigns:
+
+* Phase 1 (SMEs): two releases — release 1 ships the guardrail bug (ROUGE
+  computed on the first context chunk only) and untrained users with their
+  keyword habit; release 2 fixes the bug and trains the users.  The paper
+  reports 75% → 90% proper answers across the releases and ~77-78% positive
+  feedback.
+* Phase 2 (branch users): trained in advance, high feedback rate; the paper
+  reports 91% proper answers and a peak of 84% positive feedback.
+* UAT: the composed 210-question dataset reviewed against ground truth —
+  87% correct, 89% of guardrails triggered successfully, 3% improper.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import UniAskEngine
+from repro.corpus.queries import build_uat_dataset
+from repro.service.backend import BackendService
+from repro.service.pilots import buggy_guardrail_pipeline, run_release, run_uat
+from repro.service.users import BRANCH_TRAINED, SME_TRAINED, SME_UNTRAINED, make_users
+
+
+def test_section8_phase1_sme_pilot(benchmark, bench_system, human_split):
+    """Phase 1: release 1 (buggy guardrail, untrained SMEs) vs release 2."""
+    questions_r1 = human_split.validation[:150]
+    questions_r2 = human_split.validation[150:300]
+
+    def run():
+        buggy_engine = UniAskEngine(
+            searcher=bench_system.searcher,
+            llm=bench_system.llm,
+            guardrails=buggy_guardrail_pipeline(),
+        )
+        backend_r1 = BackendService(buggy_engine, bench_system.clock, seed=81)
+        untrained = make_users(20, "sme", SME_UNTRAINED, seed=81)
+        release1 = run_release(backend_r1, untrained, questions_r1, seed=81)
+
+        backend_r2 = BackendService(bench_system.engine, bench_system.clock, seed=82)
+        trained = make_users(20, "sme", SME_TRAINED, seed=82)
+        release2 = run_release(backend_r2, trained, questions_r2, seed=82)
+        return release1, release2
+
+    release1, release2 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("SECTION 8 — Phase 1 pilot with Subject Matter Experts")
+    print("=" * 72)
+    for name, release, paper in (("release 1", release1, "75%"), ("release 2", release2, "90%")):
+        print(
+            f"{name}: {release.questions} questions, proper answers "
+            f"{release.proper_answer_rate:.0%} (paper {paper}), guardrails "
+            f"{release.guardrails_triggered}, feedbacks {release.feedbacks} "
+            f"({release.positive_rate:.0%} positive)"
+        )
+
+    # Release 2 must deliver more proper answers than the buggy release 1.
+    assert release2.proper_answer_rate > release1.proper_answer_rate
+    assert release2.proper_answer_rate > 0.8
+    assert release1.guardrails_triggered > release2.guardrails_triggered
+    # SMEs leave feedback on roughly half of their questions.
+    assert 0.3 <= release1.feedbacks / release1.questions <= 0.7
+
+
+def test_section8_phase2_branch_pilot(benchmark, bench_system, human_split):
+    questions = human_split.validation[:250]
+
+    def run():
+        backend = BackendService(bench_system.engine, bench_system.clock, seed=91)
+        users = make_users(50, "branch", BRANCH_TRAINED, seed=91)
+        return run_release(backend, users, questions, seed=91)
+
+    release = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("SECTION 8 — Phase 2 pilot with branch users")
+    print("=" * 72)
+    print(
+        f"{release.questions} questions, proper answers {release.proper_answer_rate:.0%} "
+        f"(paper 91%), feedbacks {release.feedbacks}, positive {release.positive_rate:.0%} "
+        f"(paper peak 84%)"
+    )
+
+    assert release.proper_answer_rate > 0.8
+    assert release.positive_rate > 0.6
+    # Trained branch users leave feedback at a high rate.
+    assert release.feedbacks / release.questions > 0.6
+
+
+def test_section8_uat(benchmark, bench_kb, bench_system, human_split, keyword_split):
+    keyword_validation = keyword_split[0].validation
+    log = keyword_split[1]
+
+    def run():
+        dataset = build_uat_dataset(
+            bench_kb,
+            human_split.validation,
+            keyword_validation,
+            log,
+            seed=2025,
+        )
+        return run_uat(bench_system.engine, dataset)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("SECTION 8 — User Acceptance Test (210 questions)")
+    print("=" * 72)
+    print(f"correct answers        : {report.correct_rate:.0%}  (paper 87%)")
+    print(f"guardrails successful  : {report.guardrail_success_rate:.0%}  (paper 89%)")
+    print(f"guardrails improper    : {report.improper_guardrail_rate:.0%}  (paper 3%)")
+
+    assert report.total == 210
+    assert report.correct_rate > 0.6
+    assert report.guardrail_success_rate > 0.7
+    assert report.improper_guardrail_rate < 0.15

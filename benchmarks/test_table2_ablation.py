@@ -1,0 +1,68 @@
+"""Table 2 — Ablation study on the components of Hybrid Search.
+
+Runs Text Search alone and Vector Search alone against full HSS on both
+test datasets and prints the percentage variation per metric, exactly as
+the paper's Table 2.  Expected shape: both components lose to HSS; text
+search loses more on the human (paraphrase-heavy) dataset, vector search
+loses more on the keyword dataset where syntactic matching carries more of
+the ranking.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import RetrievalEvaluator, hss_retriever
+from repro.eval.reporting import format_variation_table, variation_grid
+from repro.search.hybrid import HybridSearchConfig, HybridSemanticSearch
+from repro.search.reranker import SemanticReranker
+
+
+def test_table2_component_ablation(benchmark, bench_system, bench_lexicon, human_split, keyword_split):
+    evaluator = RetrievalEvaluator()
+    keyword_test = keyword_split[0].test
+    reranker = SemanticReranker(bench_lexicon)
+
+    searchers = {
+        "HSS": bench_system.searcher,
+        "Text": HybridSemanticSearch(
+            bench_system.index, reranker=reranker, config=HybridSearchConfig(mode="text")
+        ),
+        "Vector": HybridSemanticSearch(
+            bench_system.index, reranker=reranker, config=HybridSearchConfig(mode="vector")
+        ),
+    }
+
+    def run():
+        results = {}
+        for dataset_name, dataset in (("Human", human_split.test), ("Keyword", keyword_test)):
+            results[dataset_name] = {
+                name: evaluator.evaluate(hss_retriever(searcher), dataset)
+                for name, searcher in searchers.items()
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("TABLE 2 — Ablation on Hybrid Search components (% var wrt HSS)")
+    print("=" * 72)
+    for dataset_name, by_system in results.items():
+        print()
+        print(
+            format_variation_table(
+                by_system["HSS"],
+                {"Text": by_system["Text"], "Vector": by_system["Vector"]},
+                title=f"{dataset_name} Test Dataset",
+            )
+        )
+
+    human = variation_grid(results["Human"]["HSS"], results["Human"])
+    keyword = variation_grid(results["Keyword"]["HSS"], results["Keyword"])
+    # Both single components lose to hybrid on the human dataset...
+    assert human["Text"]["mrr"] < 0
+    assert human["Vector"]["mrr"] < 0
+    # ...with text search losing more than vector search on paraphrases,
+    assert human["Text"]["mrr"] < human["Vector"]["mrr"]
+    assert human["Text"]["hit_at_4"] < human["Vector"]["hit_at_4"]
+    # ...and text search losing *less* than vector search on keyword queries.
+    assert keyword["Text"]["mrr"] > keyword["Vector"]["mrr"]

@@ -1,0 +1,61 @@
+"""Table 3 — Query expansion variants and title-boost scoring profiles.
+
+(A) three LLM-based query expansions (QGA, MQ1, MQ2) and (B) multiplicative
+title-boost factors T ∈ {5, 50, 500}, all compared against plain HSS on the
+human test dataset.  The paper's finding — none of these variants improves
+retrieval meaningfully, with QGA clearly hurting — must reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import RetrievalEvaluator, hss_retriever, searcher_retriever
+from repro.eval.reporting import format_variation_table, variation_grid
+from repro.search.expansion import Mq1Expansion, Mq2Expansion, QgaExpansion
+from repro.search.fulltext import ScoringProfile
+from repro.search.hybrid import HybridSemanticSearch
+from repro.search.reranker import SemanticReranker
+
+
+def test_table3_expansion_and_title_boost(benchmark, bench_system, bench_lexicon, human_split):
+    evaluator = RetrievalEvaluator()
+    dataset = human_split.test
+    llm = bench_system.llm
+    searcher = bench_system.searcher
+    reranker = SemanticReranker(bench_lexicon)
+
+    retrievers = {
+        "QGA": searcher_retriever(QgaExpansion(searcher, llm).search),
+        "MQ1": searcher_retriever(Mq1Expansion(searcher, llm).search),
+        "MQ2": searcher_retriever(Mq2Expansion(searcher, llm).search),
+    }
+    for factor in (5.0, 50.0, 500.0):
+        boosted = HybridSemanticSearch(
+            bench_system.index,
+            reranker=reranker,
+            profile=ScoringProfile.title_boost(factor),
+        )
+        retrievers[f"T{int(factor)}"] = hss_retriever(boosted)
+
+    def run():
+        baseline = evaluator.evaluate(hss_retriever(searcher), dataset)
+        variants = {name: evaluator.evaluate(fn, dataset) for name, fn in retrievers.items()}
+        return baseline, variants
+
+    baseline, variants = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("TABLE 3 — (A) query expansion, (B) title boost (% var wrt HSS, Human Test)")
+    print("=" * 72)
+    print(format_variation_table(baseline, variants))
+
+    grid = variation_grid(baseline, variants)
+    # QGA hurts clearly (the blind answer dilutes the query).
+    assert grid["QGA"]["mrr"] < -3.0
+    # No variant yields a *significant* improvement over plain HSS — the
+    # paper's conclusion; single-digit wiggles are within seed noise.
+    for name in grid:
+        assert grid[name]["mrr"] < 8.0, f"{name} unexpectedly improved MRR"
+    # Title boosting is near-neutral at every strength.
+    for name in ("T5", "T50", "T500"):
+        assert abs(grid[name]["mrr"]) < 10.0

@@ -1,0 +1,95 @@
+"""Table 5 — Answer generation rate and guardrail triggers.
+
+Runs every human test question through the full engine (retrieve →
+generate → guardrails → content filter) and prints the outcome
+distribution in the paper's categories: generated answers (no guardrails),
+citation guardrail, ROUGE guardrail, clarification guardrail, content
+filter.  A threshold sweep on the ROUGE guardrail (the design choice the
+paper set heuristically to 0.15) is reported as an ablation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.engine import UniAskEngine
+from repro.guardrails.citation import CitationGuardrail
+from repro.guardrails.clarification import ClarificationGuardrail
+from repro.guardrails.pipeline import GuardrailPipeline
+from repro.guardrails.rouge import RougeGuardrail
+
+PAPER_RATES = {
+    "answered": 94.8,
+    "guardrail_citation": 3.5,
+    "guardrail_rouge": 1.1,
+    "guardrail_clarification": 0.2,
+    "content_filter": 0.5,
+}
+
+
+def test_table5_guardrail_rates(benchmark, bench_system, human_split):
+    dataset = human_split.test
+
+    def run():
+        outcomes = Counter()
+        for query in dataset:
+            outcomes[bench_system.engine.ask(query.text).outcome] += 1
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = sum(outcomes.values())
+
+    print()
+    print("=" * 72)
+    print("TABLE 5 — Answer generation rate on the Human Test Dataset")
+    print("=" * 72)
+    print(f"{'Guardrail Type':<38}{'measured':>10}{'paper':>10}")
+    rows = (
+        ("Generated answers (no guardrails)", "answered"),
+        ("Citation guardrail", "guardrail_citation"),
+        ("Rouge guardrail", "guardrail_rouge"),
+        ("Require clarification guardrail", "guardrail_clarification"),
+        ("Content Filter", "content_filter"),
+    )
+    for label, key in rows:
+        measured = 100.0 * outcomes.get(key, 0) / total
+        print(f"{label:<38}{measured:>9.1f}%{PAPER_RATES[key]:>9.1f}%")
+
+    answered_rate = outcomes.get("answered", 0) / total
+    assert answered_rate > 0.85, "most questions must receive a proper answer"
+    blocked_rate = 1.0 - answered_rate
+    assert blocked_rate < 0.15, "guardrails must block only a small share"
+    assert outcomes.get("guardrail_citation", 0) >= outcomes.get("guardrail_clarification", 0)
+
+
+def test_table5_rouge_threshold_sweep(benchmark, bench_system, human_split):
+    """Ablation: sensitivity of the block rate to the ROUGE threshold."""
+    dataset = human_split.test[:120]
+    searcher = bench_system.searcher
+    llm = bench_system.llm
+
+    def engine_with_threshold(threshold: float) -> UniAskEngine:
+        pipeline = GuardrailPipeline(
+            [CitationGuardrail(), RougeGuardrail(threshold), ClarificationGuardrail()]
+        )
+        return UniAskEngine(searcher=searcher, llm=llm, guardrails=pipeline)
+
+    def run():
+        rates = {}
+        for threshold in (0.05, 0.15, 0.30, 0.50):
+            engine = engine_with_threshold(threshold)
+            blocked = sum(1 for query in dataset if not engine.ask(query.text).answered)
+            rates[threshold] = blocked / len(dataset)
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("ABLATION — ROUGE-L guardrail threshold sweep (block rate, Human Test)")
+    for threshold, rate in rates.items():
+        marker = "  <- production (0.15)" if threshold == 0.15 else ""
+        print(f"  θ={threshold:.2f}: blocked {rate:6.1%}{marker}")
+
+    values = [rates[t] for t in sorted(rates)]
+    assert values == sorted(values), "block rate must be monotone in the threshold"
+    assert rates[0.15] < 0.15, "the production threshold must block only a small share"

@@ -1,0 +1,81 @@
+"""Scenario: adapting UniAsk to another language (Section 11 future work).
+
+"We plan to capitalize on the success of UniAsk, and the lessons learned,
+to adapt our system to other languages and other use cases."  This example
+performs that adaptation live: an **English IT-helpdesk** deployment built
+from the same components as the Italian production system, swapping only
+the language pack (analyzer + stemmer + stop words), the concept
+vocabulary, and the LLM's answer templates.
+
+Run:  python examples/multilingual_helpdesk.py
+"""
+
+from __future__ import annotations
+
+from repro.core.factory import build_uniask_system
+from repro.corpus.vocabulary_en import build_english_lexicon
+from repro.pipeline.store import KbDocument, KnowledgeBaseStore
+from repro.service.frontend import render_answer_page
+from repro.text.english import english_analyzer
+
+PAGES = {
+    "kb/en/block-card": (
+        "Block a credit card with CardSuite",
+        "To block a credit card open CardSuite, select the card and confirm the "
+        "block with your login credentials. The customer receives a confirmation "
+        "message within minutes.",
+    ),
+    "kb/en/request-token": (
+        "Request a security token with HelpPoint",
+        "To request a security token submit a HelpPoint ticket stating the employee "
+        "number. The token is delivered to the branch within three working days.",
+    ),
+    "kb/en/renew-overdraft": (
+        "Renew an overdraft facility with LoanTrack",
+        "To renew an overdraft facility open LoanTrack, check the customer rating "
+        "and confirm the new expiry date before the current one lapses.",
+    ),
+    "kb/en/payslip": (
+        "Download a payslip from PayRollNet",
+        "To download the monthly payslip sign in to PayRollNet with your login "
+        "credentials and pick the month from the archive section.",
+    ),
+}
+
+QUESTIONS = (
+    "How do I block a credit card?",
+    "How can I freeze a revolving card?",  # synonyms only — no shared words
+    "How do I request security tokens?",  # plural inflection
+    "Where can I find my salary slip?",
+    "What is the best pizza topping?",  # out of scope → guardrail
+)
+
+
+def main() -> None:
+    store = KnowledgeBaseStore()
+    for doc_id, (title, body) in PAGES.items():
+        store.put(
+            KbDocument(
+                doc_id=doc_id,
+                html=f"<html><head><title>{title}</title></head><body><p>{body}</p></body></html>",
+                domain="banking_applications",
+            )
+        )
+
+    print("Building the English deployment (same components, new language pack)...")
+    system = build_uniask_system(
+        store,
+        build_english_lexicon(),
+        seed=8,
+        language="en",
+        analyzer=english_analyzer(),
+    )
+    print(f"Indexed {len(system.index)} chunks.\n")
+
+    for question in QUESTIONS:
+        print(render_answer_page(system.engine.ask(question)))
+        print("-" * 60)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro — a from-scratch reproduction of UniAsk (EDBT 2025).
+
+UniAsk is a Retrieval-Augmented Generation search system deployed for the
+employees of a European bank.  This library re-implements the complete
+system and every substrate it depends on — Italian text analysis, BM25
+full-text search, HNSW vector search, Reciprocal Rank Fusion, semantic
+reranking, an offline simulated chat LLM, guardrails, the ingestion
+pipeline, the serving/monitoring layer — plus a synthetic Italian banking
+knowledge base standing in for the proprietary corpus, and the evaluation
+harness regenerating every table and figure of the paper.
+
+Quick start::
+
+    from repro import KbGenerator, build_banking_lexicon, build_uniask_system
+
+    kb = KbGenerator().generate()
+    system = build_uniask_system(kb.store(), build_banking_lexicon())
+    answer = system.engine.ask("Come posso bloccare la carta di credito?")
+    print(answer.answer_text)
+"""
+
+from repro.core import (
+    OUTCOME_ANSWERED,
+    Citation,
+    GenerationConfig,
+    UniAskAnswer,
+    UniAskConfig,
+    UniAskEngine,
+    UniAskSystem,
+    build_uniask_system,
+)
+from repro.corpus import (
+    HumanDatasetConfig,
+    KbGenerator,
+    KbGeneratorConfig,
+    KeywordDatasetConfig,
+    LabeledQuery,
+    SyntheticKb,
+    build_banking_lexicon,
+    build_banking_vocabulary,
+    build_uat_dataset,
+    generate_human_dataset,
+    generate_keyword_dataset,
+)
+from repro.eval import (
+    EvaluationResult,
+    RetrievalEvaluator,
+    RetrievalMetrics,
+    hss_retriever,
+    prev_retriever,
+    split_dataset,
+)
+from repro.search import (
+    HybridSearchConfig,
+    HybridSemanticSearch,
+    SearchIndex,
+    SemanticReranker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OUTCOME_ANSWERED",
+    "Citation",
+    "GenerationConfig",
+    "UniAskAnswer",
+    "UniAskConfig",
+    "UniAskEngine",
+    "UniAskSystem",
+    "build_uniask_system",
+    "HumanDatasetConfig",
+    "KbGenerator",
+    "KbGeneratorConfig",
+    "KeywordDatasetConfig",
+    "LabeledQuery",
+    "SyntheticKb",
+    "build_banking_lexicon",
+    "build_banking_vocabulary",
+    "build_uat_dataset",
+    "generate_human_dataset",
+    "generate_keyword_dataset",
+    "EvaluationResult",
+    "RetrievalEvaluator",
+    "RetrievalMetrics",
+    "hss_retriever",
+    "prev_retriever",
+    "split_dataset",
+    "HybridSearchConfig",
+    "HybridSemanticSearch",
+    "SearchIndex",
+    "SemanticReranker",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``ask "<question>"`` — build a demo deployment and answer one question;
+* ``demo`` — an interactive search box over a demo deployment;
+* ``eval`` — a compact UniAsk-vs-legacy evaluation (Table 1 style);
+* ``loadtest`` — the Figure 2 open-system load test.
+
+The demo deployment uses the synthetic banking KB; sizes and seeds are
+configurable via flags so the CLI stays deterministic by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.factory import UniAskSystem, build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig, SyntheticKb
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.service.frontend import render_answer_page
+
+
+def _build_system(topics: int, seed: int) -> tuple[SyntheticKb, UniAskSystem]:
+    print(f"building demo deployment ({topics} topics, seed {seed})...", file=sys.stderr)
+    kb = KbGenerator(KbGeneratorConfig(num_topics=topics, error_families=6, seed=seed)).generate()
+    system = build_uniask_system(kb.store(), build_banking_lexicon(), seed=seed)
+    print(f"indexed {len(system.index)} chunks.", file=sys.stderr)
+    return kb, system
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    _, system = _build_system(args.topics, args.seed)
+    answer = system.engine.ask(args.question)
+    print(render_answer_page(answer))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    _, system = _build_system(args.topics, args.seed)
+    print("UniAsk demo — domande in italiano; riga vuota per uscire.")
+    while True:
+        try:
+            question = input("\n❓ > ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not question:
+            break
+        print(render_answer_page(system.engine.ask(question)))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.baselines.keyword_engine import PrevKeywordEngine
+    from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset
+    from repro.eval.harness import RetrievalEvaluator, hss_retriever, prev_retriever
+    from repro.eval.reporting import format_comparison_table
+
+    kb, system = _build_system(args.topics, args.seed)
+    prev = PrevKeywordEngine()
+    prev.index_all(kb.store().all_documents())
+    questions = generate_human_dataset(
+        kb, HumanDatasetConfig(num_questions=args.questions, seed=args.seed)
+    )
+    evaluator = RetrievalEvaluator()
+    prev_result = evaluator.evaluate(prev_retriever(prev), questions)
+    uniask_result = evaluator.evaluate(hss_retriever(system.searcher), questions)
+    print(
+        format_comparison_table(
+            "Prev", prev_result, "UniAsk", uniask_result,
+            title=f"Human questions (n={args.questions})",
+        )
+    )
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.service.loadtest import LoadTestConfig, run_load_test
+
+    config = LoadTestConfig(
+        duration_seconds=args.minutes * 60.0, tokens_per_minute=args.quota
+    )
+    report = run_load_test(config)
+    print(f"total requests : {report.total_requests}")
+    print(f"failed requests: {report.failed_requests} ({report.failure_rate:.2%})")
+    print(f"first failure  : minute {report.first_failure_minute}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--topics", type=int, default=120, help="demo corpus size (topics)")
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ask = commands.add_parser("ask", help="answer one question")
+    ask.add_argument("question")
+    ask.set_defaults(func=_cmd_ask)
+
+    demo = commands.add_parser("demo", help="interactive search box")
+    demo.set_defaults(func=_cmd_demo)
+
+    evaluate = commands.add_parser("eval", help="UniAsk vs legacy engine")
+    evaluate.add_argument("--questions", type=int, default=150)
+    evaluate.set_defaults(func=_cmd_eval)
+
+    loadtest = commands.add_parser("loadtest", help="Figure 2 load test")
+    loadtest.add_argument("--minutes", type=int, default=60)
+    loadtest.add_argument("--quota", type=float, default=1_045_000.0)
+    loadtest.set_defaults(func=_cmd_loadtest)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Distance functions for vector search.
+
+All indexed vectors in this library are unit-normalized, so cosine distance
+``1 - cos(a, b)`` is the canonical metric (it is also what Azure AI Search
+uses by default for ada-002 embeddings).  Euclidean distance is provided for
+completeness and for property tests of the HNSW structure under a true
+metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """1 - cosine similarity; 1.0 when either vector is (near) zero."""
+    norm = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if norm < 1e-12:
+        return 1.0
+    return 1.0 - float(np.dot(a, b)) / norm
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Standard L2 distance."""
+    return float(np.linalg.norm(a - b))
+
+
+def batch_cosine_distance(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Cosine distance from *query* to every row of *matrix* (vectorized)."""
+    if matrix.size == 0:
+        return np.zeros(0)
+    query_norm = float(np.linalg.norm(query))
+    row_norms = np.linalg.norm(matrix, axis=1)
+    denom = query_norm * row_norms
+    sims = np.zeros(matrix.shape[0])
+    valid = denom > 1e-12
+    sims[valid] = (matrix[valid] @ query) / denom[valid]
+    return 1.0 - sims
+
+
+DISTANCES: dict[str, DistanceFn] = {
+    "cosine": cosine_distance,
+    "euclidean": euclidean_distance,
+}

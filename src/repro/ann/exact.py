@@ -1,0 +1,58 @@
+"""Exhaustive (exact) k-nearest-neighbour search.
+
+The ground-truth baseline the paper compares HNSW against ("HNSW and
+exhaustive k-NN yield similar retrieval performance", Section 4).  Vectors
+are kept in one contiguous matrix and scanned with vectorized numpy, which
+is exact by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.distance import batch_cosine_distance
+
+
+class ExactKnnIndex:
+    """Flat brute-force cosine k-NN index.
+
+    Items are identified by arbitrary integer ids supplied at :meth:`add`
+    time; queries return ``(id, distance)`` pairs sorted by ascending
+    distance.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self._dim = dim
+        self._ids: list[int] = []
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None  # rebuilt lazily
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality accepted by the index."""
+        return self._dim
+
+    def add(self, item_id: int, vector: np.ndarray) -> None:
+        """Insert *vector* under *item_id*."""
+        if vector.shape != (self._dim,):
+            raise ValueError(f"expected shape ({self._dim},), got {vector.shape}")
+        self._ids.append(item_id)
+        self._rows.append(np.asarray(vector, dtype=np.float64))
+        self._matrix = None
+
+    def search(self, query: np.ndarray, k: int) -> list[tuple[int, float]]:
+        """Return the *k* nearest stored items to *query* by cosine distance."""
+        if k <= 0 or not self._ids:
+            return []
+        if self._matrix is None:
+            self._matrix = np.stack(self._rows)
+        distances = batch_cosine_distance(np.asarray(query, dtype=np.float64), self._matrix)
+        k = min(k, len(self._ids))
+        nearest = np.argpartition(distances, k - 1)[:k]
+        nearest = nearest[np.argsort(distances[nearest], kind="stable")]
+        return [(self._ids[i], float(distances[i])) for i in nearest]

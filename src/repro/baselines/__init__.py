@@ -1,0 +1,5 @@
+"""Baselines: the pre-existing keyword search engine."""
+
+from repro.baselines.keyword_engine import KeywordSearchResult, PrevKeywordEngine
+
+__all__ = ["KeywordSearchResult", "PrevKeywordEngine"]

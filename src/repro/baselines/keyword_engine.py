@@ -1,0 +1,93 @@
+"""The pre-existing search engine ("Prev.") — the paper's internal baseline.
+
+Section 2 describes it: "The existing search engine only performs an exact
+keyword matching on the documents in the knowledge base.  It cannot handle
+complex questions in natural language. […] It outputs a ranked list of
+documents, which the user has to check."
+
+The reproduction models a 20-year-old enterprise keyword engine:
+
+* query terms are lower-cased and common Italian function words are
+  dropped (the one bit of analysis such engines did have);
+* **no stemming, no synonyms, no semantics** — a term matches only its
+  exact surface form;
+* **conjunctive (AND) semantics** — a document qualifies only when every
+  remaining query term occurs in it, which is why elaborate
+  natural-language questions usually return *nothing*;
+* qualifying documents are ranked by summed term frequency with a title
+  bonus, the classic heuristic of that generation of engines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.htmlproc.parser import parse_html
+from repro.pipeline.store import KbDocument
+from repro.text.stopwords import ITALIAN_STOPWORDS
+from repro.text.tokenizer import word_tokenize
+
+
+@dataclass(frozen=True)
+class KeywordSearchResult:
+    """One ranked document from the legacy engine."""
+
+    doc_id: str
+    title: str
+    score: float
+
+
+class PrevKeywordEngine:
+    """Exact keyword-matching search over raw document text."""
+
+    def __init__(self, title_bonus: float = 2.0) -> None:
+        self._title_bonus = title_bonus
+        self._term_frequencies: dict[str, Counter[str]] = {}
+        self._title_terms: dict[str, set[str]] = {}
+        self._titles: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._term_frequencies)
+
+    def index_document(self, document: KbDocument) -> None:
+        """Add one KB page to the legacy index (exact lower-cased terms)."""
+        parsed = parse_html(document.html)
+        body_terms = [token.lower() for token in word_tokenize(parsed.text)]
+        self._term_frequencies[document.doc_id] = Counter(body_terms)
+        self._title_terms[document.doc_id] = {
+            token.lower() for token in word_tokenize(parsed.title)
+        }
+        self._titles[document.doc_id] = parsed.title
+
+    def index_all(self, documents: list[KbDocument]) -> None:
+        """Index a batch of pages."""
+        for document in documents:
+            self.index_document(document)
+
+    def analyze_query(self, query: str) -> list[str]:
+        """Lower-case and drop function words; no stemming, no expansion."""
+        return [
+            token.lower()
+            for token in word_tokenize(query)
+            if token.lower() not in ITALIAN_STOPWORDS
+        ]
+
+    def search(self, query: str, n: int = 50) -> list[KeywordSearchResult]:
+        """Conjunctive exact-match retrieval; empty when any term is unmatched."""
+        terms = self.analyze_query(query)
+        if not terms:
+            return []
+
+        results: list[KeywordSearchResult] = []
+        for doc_id, frequencies in self._term_frequencies.items():
+            title_terms = self._title_terms[doc_id]
+            if any(frequencies[term] == 0 and term not in title_terms for term in terms):
+                continue
+            score = float(sum(frequencies[term] for term in terms))
+            score += self._title_bonus * sum(1 for term in terms if term in title_terms)
+            results.append(
+                KeywordSearchResult(doc_id=doc_id, title=self._titles[doc_id], score=score)
+            )
+        results.sort(key=lambda result: (-result.score, result.doc_id))
+        return results[:n]

@@ -1,0 +1,85 @@
+"""Answer datatypes returned by the UniAsk engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guardrails.pipeline import GuardrailReport
+from repro.search.results import RetrievedChunk
+
+#: Final outcome of one query, as tracked by monitoring and Table 5.
+OUTCOME_ANSWERED = "answered"
+OUTCOME_GUARDRAIL_CITATION = "guardrail_citation"
+OUTCOME_GUARDRAIL_ROUGE = "guardrail_rouge"
+OUTCOME_GUARDRAIL_CLARIFICATION = "guardrail_clarification"
+OUTCOME_CONTENT_FILTER = "content_filter"
+OUTCOME_NO_RESULTS = "no_results"
+OUTCOME_GENERATION_ERROR = "generation_error"
+
+ALL_OUTCOMES = (
+    OUTCOME_ANSWERED,
+    OUTCOME_GUARDRAIL_CITATION,
+    OUTCOME_GUARDRAIL_ROUGE,
+    OUTCOME_GUARDRAIL_CLARIFICATION,
+    OUTCOME_CONTENT_FILTER,
+    OUTCOME_NO_RESULTS,
+    OUTCOME_GENERATION_ERROR,
+)
+
+
+@dataclass(frozen=True)
+class Citation:
+    """One resolved citation of the generated answer."""
+
+    key: str
+    chunk_id: str
+    doc_id: str
+    title: str
+
+
+@dataclass(frozen=True)
+class UniAskAnswer:
+    """Everything UniAsk returns for one question.
+
+    Even when the answer is invalidated by a guardrail, ``documents`` still
+    carries the full retrieved list — the paper's frontend always shows it,
+    because a fired guardrail is a generation failure, not a retrieval one.
+
+    Attributes:
+        question: the user's question as received.
+        answer_text: the text shown to the user (generated answer, apology,
+            or clarification invitation).
+        raw_answer: the unfiltered LLM output (empty when generation was
+            skipped).
+        outcome: one of the ``OUTCOME_*`` constants.
+        citations: resolved citations of the accepted answer.
+        documents: the retrieved chunk ranking (up to ``final_n``).
+        context: the top *m* chunks that were fed to the LLM.
+        guardrail_report: the full guardrail trace (None when generation
+            was skipped).
+        response_time: simulated seconds spent serving the query.
+    """
+
+    question: str
+    answer_text: str
+    raw_answer: str
+    outcome: str
+    citations: tuple[Citation, ...] = ()
+    documents: tuple[RetrievedChunk, ...] = ()
+    context: tuple[RetrievedChunk, ...] = ()
+    guardrail_report: GuardrailReport | None = None
+    response_time: float = 0.0
+
+    @property
+    def answered(self) -> bool:
+        """True when a generated answer was accepted and shown."""
+        return self.outcome == OUTCOME_ANSWERED
+
+    @property
+    def guardrail_fired(self) -> bool:
+        """True when an answer was generated but invalidated."""
+        return self.outcome in (
+            OUTCOME_GUARDRAIL_CITATION,
+            OUTCOME_GUARDRAIL_ROUGE,
+            OUTCOME_GUARDRAIL_CLARIFICATION,
+        )

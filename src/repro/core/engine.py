@@ -1,0 +1,153 @@
+"""The UniAsk engine: the user-query flow of Figure 1.
+
+One :meth:`UniAskEngine.ask` call performs the complete journey of a user
+question through the deployed system:
+
+1. the **content filter** screens the question (harmful or off-purpose
+   input is blocked before any retrieval);
+2. the **retrieval module** (HSS) fetches the ranked chunk list;
+3. the top *m* = 4 chunks become the JSON context of the **generation
+   prompt**, and the LLM produces a cited Italian answer;
+4. the **guardrail pipeline** validates the answer (citation → ROUGE-L →
+   clarification); an invalidated answer is replaced by the apology /
+   reformulation message while the document list stays visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.answer import (
+    OUTCOME_ANSWERED,
+    OUTCOME_CONTENT_FILTER,
+    OUTCOME_GENERATION_ERROR,
+    OUTCOME_NO_RESULTS,
+    Citation,
+    UniAskAnswer,
+)
+from repro.core.config import UniAskConfig
+from repro.guardrails.citation import extract_citations
+from repro.guardrails.pipeline import APOLOGY_TEXT, GuardrailPipeline
+from repro.llm.base import ChatCompletionClient
+from repro.llm.content_filter import ContentFilter
+from repro.llm.prompts import build_answer_prompt, context_from_results
+from repro.search.hybrid import HybridSemanticSearch
+
+#: Message shown when the content filter blocks the question outright.
+CONTENT_BLOCKED_TEXT = (
+    "La domanda non può essere elaborata perché contiene contenuti non "
+    "conformi all'uso previsto del servizio."
+)
+
+#: Message shown when retrieval finds nothing at all.
+NO_RESULTS_TEXT = (
+    "Nessun documento pertinente è stato trovato nella base di conoscenza "
+    "per questa domanda."
+)
+
+
+class UniAskEngine:
+    """End-to-end question answering over the indexed knowledge base."""
+
+    def __init__(
+        self,
+        searcher: HybridSemanticSearch,
+        llm: ChatCompletionClient,
+        guardrails: GuardrailPipeline | None = None,
+        content_filter: ContentFilter | None = None,
+        config: UniAskConfig | None = None,
+    ) -> None:
+        self.config = config or UniAskConfig()
+        self._searcher = searcher
+        self._llm = llm
+        self._guardrails = guardrails or GuardrailPipeline()
+        self._content_filter = content_filter or ContentFilter()
+
+    @property
+    def searcher(self) -> HybridSemanticSearch:
+        """The retrieval module."""
+        return self._searcher
+
+    def ask(self, question: str, filters: dict[str, str] | None = None) -> UniAskAnswer:
+        """Answer *question*; never raises on ordinary pipeline outcomes."""
+        screening = self._content_filter.check(question)
+        if screening.blocked:
+            return UniAskAnswer(
+                question=question,
+                answer_text=CONTENT_BLOCKED_TEXT,
+                raw_answer="",
+                outcome=OUTCOME_CONTENT_FILTER,
+            )
+
+        documents = self._searcher.search(question, filters=filters)
+        if not documents:
+            return UniAskAnswer(
+                question=question,
+                answer_text=NO_RESULTS_TEXT,
+                raw_answer="",
+                outcome=OUTCOME_NO_RESULTS,
+            )
+
+        context = documents[: self.config.generation.context_size]
+        prompt = build_answer_prompt(question, context_from_results(context))
+        try:
+            response = self._llm.complete(
+                prompt,
+                temperature=self.config.generation.temperature,
+                max_tokens=self.config.generation.max_tokens,
+            )
+        except Exception:
+            # The LLM service is the least reliable dependency (rate limits,
+            # timeouts).  Degrade to search-only: apology plus the retrieved
+            # list, never a user-facing exception.
+            return UniAskAnswer(
+                question=question,
+                answer_text=APOLOGY_TEXT,
+                raw_answer="",
+                outcome=OUTCOME_GENERATION_ERROR,
+                documents=tuple(documents),
+                context=tuple(context),
+            )
+        raw_answer = response.content
+
+        report = self._guardrails.run(question, raw_answer, context)
+        if not report.passed:
+            return UniAskAnswer(
+                question=question,
+                answer_text=report.user_message or APOLOGY_TEXT,
+                raw_answer=raw_answer,
+                outcome=f"guardrail_{report.fired}",
+                documents=tuple(documents),
+                context=tuple(context),
+                guardrail_report=report,
+            )
+
+        citations = self._resolve_citations(raw_answer, context)
+        return UniAskAnswer(
+            question=question,
+            answer_text=raw_answer,
+            raw_answer=raw_answer,
+            outcome=OUTCOME_ANSWERED,
+            citations=citations,
+            documents=tuple(documents),
+            context=tuple(context),
+            guardrail_report=report,
+        )
+
+    def _resolve_citations(self, answer: str, context) -> tuple[Citation, ...]:
+        citations = []
+        seen: set[str] = set()
+        for key in extract_citations(answer):
+            if key in seen:
+                continue
+            seen.add(key)
+            position = int(key.removeprefix("doc")) - 1
+            if 0 <= position < len(context):
+                record = context[position].record
+                citations.append(
+                    Citation(
+                        key=key,
+                        chunk_id=record.chunk_id,
+                        doc_id=record.doc_id,
+                        title=record.title,
+                    )
+                )
+        return tuple(citations)

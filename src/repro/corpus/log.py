@@ -1,0 +1,78 @@
+"""Query-log simulation.
+
+The paper's keyword dataset is sampled "among the frequent queries in the
+log of the previous system", spanning one year of traffic.  This module
+simulates such a log: keyword queries with a Zipf-like popularity profile
+and timestamps spread over the log period, supporting the two operations
+the paper performs on it — sampling frequent queries (keyword dataset,
+Section 7) and listing the most frequent ones (UAT composition, Section 8).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged search."""
+
+    query: str
+    timestamp: float
+
+
+@dataclass
+class QueryLog:
+    """An append-only search log with frequency queries."""
+
+    entries: list[LogEntry] = field(default_factory=list)
+
+    def add(self, query: str, timestamp: float) -> None:
+        """Record one search."""
+        self.entries.append(LogEntry(query=query, timestamp=timestamp))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def counts(self) -> Counter[str]:
+        """Query → occurrence count."""
+        return Counter(entry.query for entry in self.entries)
+
+    def most_frequent(self, n: int) -> list[str]:
+        """The *n* most frequent distinct queries, ties broken alphabetically."""
+        ranked = sorted(self.counts().items(), key=lambda pair: (-pair[1], pair[0]))
+        return [query for query, _ in ranked[:n]]
+
+    def sample_frequent(self, n: int, rng: random.Random, min_count: int = 2) -> list[str]:
+        """Randomly sample *n* distinct queries among the frequent ones."""
+        frequent = [query for query, count in self.counts().items() if count >= min_count]
+        frequent.sort()
+        rng.shuffle(frequent)
+        return frequent[:n]
+
+
+def simulate_query_log(
+    query_pool: list[str],
+    total_searches: int,
+    seed: int = 99,
+    period_seconds: float = 365 * 24 * 3600.0,
+    zipf_exponent: float = 1.1,
+) -> QueryLog:
+    """Generate a year-long log over *query_pool* with Zipf popularity.
+
+    The i-th query of the pool (0-based) receives weight ``1/(i+1)^s``;
+    timestamps are uniform over the period.
+    """
+    if not query_pool:
+        raise ValueError("query_pool must not be empty")
+    if total_searches < 0:
+        raise ValueError("total_searches must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** zipf_exponent for rank in range(len(query_pool))]
+    log = QueryLog()
+    for _ in range(total_searches):
+        query = rng.choices(query_pool, weights=weights, k=1)[0]
+        log.add(query, timestamp=rng.uniform(0.0, period_seconds))
+    return log

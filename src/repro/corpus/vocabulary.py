@@ -1,0 +1,210 @@
+"""Italian banking vocabulary.
+
+The synthetic stand-in for the proprietary UniCredit knowledge base is
+built on this vocabulary.  Its essential property mirrors what the paper
+reports about the real KB: documents use **canonical terms and in-house
+jargon** ("domain-specific jargon, for which comprehensive vocabularies are
+not available"), while employees asking natural-language questions use
+**synonyms and paraphrases**.  That gap is exactly why the pre-existing
+exact-keyword engine fails on natural-language questions and why hybrid
+semantic retrieval wins.
+
+Three word classes are defined, each as a list of
+:class:`~repro.embeddings.concepts.Concept`:
+
+* **entities** — banking objects and products (bonifico, conto corrente,
+  carta di credito, …), each with the canonical form used in documents and
+  the synonym forms used in questions;
+* **actions** — operations on entities (attivare, bloccare, richiedere, …);
+* **systems** — internal application names; pure jargon with no synonyms
+  (an employee either knows the name or doesn't), which is what makes
+  keyword queries precise.
+
+A *topic* is an (action, entity) pair; the generator assigns each topic a
+system and writes one or more documents about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings.concepts import Concept, ConceptLexicon
+
+#: The four topical domains of the paper's KB (Section 1).
+DOMAINS = (
+    "banking_applications",
+    "governance",
+    "general_processes",
+    "technical_topics",
+)
+
+# (concept_id, canonical form, synonyms, domain)
+_ENTITY_ROWS: list[tuple[str, str, tuple[str, ...], str]] = [
+    ("bonifico", "bonifico", ("trasferimento fondi", "pagamento SEPA", "disposizione di pagamento"), "banking_applications"),
+    ("conto_corrente", "conto corrente", ("rapporto di conto", "c/c", "deposito in conto"), "banking_applications"),
+    ("carta_credito", "carta di credito", ("carta revolving", "carta a saldo"), "banking_applications"),
+    ("carta_debito", "carta di debito", ("bancomat", "carta di prelievo"), "banking_applications"),
+    ("mutuo", "mutuo ipotecario", ("finanziamento casa", "prestito immobiliare"), "banking_applications"),
+    ("prestito", "prestito personale", ("finanziamento al consumo", "credito personale"), "banking_applications"),
+    ("fido", "fido di conto", ("affidamento", "linea di credito"), "banking_applications"),
+    ("estratto_conto", "estratto conto", ("rendiconto periodico", "lista movimenti"), "banking_applications"),
+    ("assegno", "assegno bancario", ("titolo di pagamento", "assegno di conto"), "banking_applications"),
+    ("deposito_titoli", "deposito titoli", ("dossier titoli", "custodia strumenti finanziari"), "banking_applications"),
+    ("polizza", "polizza assicurativa", ("copertura assicurativa", "contratto di assicurazione"), "banking_applications"),
+    ("domiciliazione", "domiciliazione bancaria", ("addebito diretto", "mandato SDD"), "banking_applications"),
+    ("valuta_estera", "operazione in valuta estera", ("cambio divisa", "pagamento internazionale"), "banking_applications"),
+    ("pos", "terminale POS", ("dispositivo di incasso", "lettore pagamenti"), "banking_applications"),
+    ("anticipo_fatture", "anticipo fatture", ("smobilizzo crediti", "anticipo su crediti commerciali"), "banking_applications"),
+    ("firma_digitale", "firma digitale", ("firma elettronica qualificata", "sottoscrizione remota"), "technical_topics"),
+    ("credenziali", "credenziali di accesso", ("utenza e password", "dati di autenticazione"), "technical_topics"),
+    ("token", "token di sicurezza", ("chiavetta OTP", "generatore di codici"), "technical_topics"),
+    ("vpn", "connessione VPN", ("accesso remoto sicuro", "rete privata aziendale"), "technical_topics"),
+    ("posta_aziendale", "posta elettronica aziendale", ("casella email interna", "account di posta"), "technical_topics"),
+    ("telefono_aziendale", "telefono aziendale", ("dispositivo mobile di servizio", "smartphone aziendale"), "technical_topics"),
+    ("stampante", "stampante di rete", ("periferica di stampa", "multifunzione di piano"), "technical_topics"),
+    ("postazione", "postazione di lavoro", ("workstation", "pc di filiale"), "technical_topics"),
+    ("certificato", "certificato digitale", ("chiave crittografica personale", "attestato elettronico"), "technical_topics"),
+    ("backup", "salvataggio dati", ("copia di sicurezza", "backup dei documenti"), "technical_topics"),
+    ("antivirus", "protezione antivirus", ("software di sicurezza", "difesa endpoint"), "technical_topics"),
+    ("badge", "badge di accesso", ("tessera identificativa", "pass aziendale"), "technical_topics"),
+    ("ticket_it", "ticket informatico", ("segnalazione al supporto", "richiesta di assistenza tecnica"), "technical_topics"),
+    ("antiriciclaggio", "adeguata verifica antiriciclaggio", ("controlli AML", "verifica della clientela"), "governance"),
+    ("privacy", "informativa privacy", ("trattamento dati personali", "consenso GDPR"), "governance"),
+    ("trasparenza", "documentazione di trasparenza", ("fogli informativi", "condizioni contrattuali"), "governance"),
+    ("reclamo", "reclamo della clientela", ("contestazione del cliente", "esposto"), "governance"),
+    ("delibera", "delibera creditizia", ("approvazione della pratica", "decisione di affidamento"), "governance"),
+    ("procura", "procura speciale", ("delega notarile", "potere di firma"), "governance"),
+    ("successione", "pratica di successione", ("eredità del rapporto", "trasferimento mortis causa"), "governance"),
+    ("pignoramento", "atto di pignoramento", ("vincolo giudiziario", "sequestro delle somme"), "governance"),
+    ("garanzia", "garanzia fideiussoria", ("fideiussione", "garanzia personale"), "governance"),
+    ("segnalazione_cr", "segnalazione in centrale rischi", ("reporting CR", "comunicazione a Banca d'Italia"), "governance"),
+    ("nota_spese", "nota spese", ("rimborso spese di servizio", "rendicontazione trasferta"), "general_processes"),
+    ("ferie", "piano ferie", ("congedo ordinario", "assenza programmata"), "general_processes"),
+    ("trasferta", "trasferta di lavoro", ("missione fuori sede", "viaggio di servizio"), "general_processes"),
+    ("formazione", "corso di formazione", ("percorso formativo", "aggiornamento professionale"), "general_processes"),
+    ("cedolino", "cedolino stipendio", ("busta paga", "prospetto retributivo"), "general_processes"),
+    ("orario", "orario di lavoro", ("turni di servizio", "fascia oraria lavorativa"), "general_processes"),
+    ("smart_working", "lavoro agile", ("smart working", "telelavoro"), "general_processes"),
+    ("cassa", "quadratura di cassa", ("bilanciamento contanti", "verifica di cassa"), "general_processes"),
+    ("valori_bollati", "valori bollati", ("marche da bollo", "carte valori"), "general_processes"),
+    ("cassette_sicurezza", "cassette di sicurezza", ("caveau clienti", "custodia valori"), "general_processes"),
+    ("sportello", "operatività di sportello", ("servizio di cassa", "attività di front office"), "general_processes"),
+    ("archivio", "archiviazione documentale", ("conservazione atti", "fascicolo elettronico"), "general_processes"),
+    ("carta_prepagata", "carta prepagata", ("carta ricaricabile", "borsellino elettronico"), "banking_applications"),
+    ("libretto", "libretto di risparmio", ("deposito a risparmio", "libretto nominativo"), "banking_applications"),
+    ("pac", "piano di accumulo", ("investimento programmato", "versamenti periodici in fondi"), "banking_applications"),
+    ("fondo_comune", "fondo comune di investimento", ("OICR", "gestione collettiva del risparmio"), "banking_applications"),
+    ("obbligazione", "prestito obbligazionario", ("emissione di bond", "titolo obbligazionario"), "banking_applications"),
+    ("cambiale", "cambiale agraria", ("effetto cambiario", "pagherò"), "banking_applications"),
+    ("leasing", "contratto di leasing", ("locazione finanziaria", "noleggio con riscatto"), "banking_applications"),
+    ("factoring", "operazione di factoring", ("cessione del credito commerciale", "smobilizzo del portafoglio"), "banking_applications"),
+    ("home_banking", "servizio di home banking", ("internet banking", "operatività online del cliente"), "banking_applications"),
+    ("app_mobile", "app mobile della banca", ("applicazione per smartphone", "mobile banking"), "banking_applications"),
+    ("canone", "canone del conto", ("spese di tenuta", "costo periodico del rapporto"), "banking_applications"),
+    ("giacenza", "giacenza media", ("saldo medio annuo", "consistenza del deposito"), "banking_applications"),
+    ("monitor_rete", "monitoraggio della rete", ("supervisione degli apparati", "controllo infrastruttura"), "technical_topics"),
+    ("licenza_sw", "licenza software", ("attivazione del programma", "chiave del prodotto"), "technical_topics"),
+    ("tablet", "tablet di filiale", ("dispositivo per la firma in mobilità", "tavoletta grafometrica"), "technical_topics"),
+    ("intranet", "intranet aziendale", ("rete interna del gruppo", "sito riservato ai dipendenti"), "technical_topics"),
+    ("telefonia_voip", "telefonia VoIP", ("centralino digitale", "chiamate su rete dati"), "technical_topics"),
+    ("usura", "verifica dei tassi soglia", ("controllo antiusura", "limiti sui tassi"), "governance"),
+    ("mifid", "questionario di profilatura", ("valutazione di adeguatezza", "profilo dell'investitore"), "governance"),
+    ("fatca", "adempimenti FATCA", ("normativa fiscale estera", "segnalazione dei contribuenti americani"), "governance"),
+    ("audit", "verifica ispettiva interna", ("controllo di revisione", "accertamento dell'audit"), "governance"),
+    ("sanzioni", "controllo liste sanzionatorie", ("verifica embarghi", "screening delle controparti"), "governance"),
+    ("welfare", "piano welfare aziendale", ("benefit ai dipendenti", "flexible benefit"), "general_processes"),
+    ("turnazione", "turnazione degli sportelli", ("rotazione del personale", "calendario dei presidi"), "general_processes"),
+    ("inventario", "inventario di filiale", ("ricognizione delle dotazioni", "censimento dei beni"), "general_processes"),
+    ("convenzione", "convenzione aziendale", ("accordo quadro", "intesa commerciale"), "general_processes"),
+    ("rassegna", "rassegna stampa interna", ("notiziario del gruppo", "bollettino quotidiano"), "general_processes"),
+]
+
+_ACTION_ROWS: list[tuple[str, str, tuple[str, ...]]] = [
+    ("attivare", "attivare", ("abilitare", "rendere operativo")),
+    ("bloccare", "bloccare", ("sospendere", "disattivare")),
+    ("richiedere", "richiedere", ("inoltrare la richiesta di", "domandare")),
+    ("rinnovare", "rinnovare", ("prorogare", "estendere la validità di")),
+    ("modificare", "modificare", ("aggiornare", "variare")),
+    ("consultare", "consultare", ("visualizzare", "verificare lo stato di")),
+    ("revocare", "revocare", ("annullare", "cancellare")),
+    ("configurare", "configurare", ("impostare", "predisporre")),
+    ("sbloccare", "sbloccare", ("riattivare", "ripristinare")),
+    ("registrare", "registrare", ("censire", "inserire a sistema")),
+    ("autorizzare", "autorizzare", ("approvare", "dare il benestare a")),
+    ("stampare", "stampare", ("produrre la copia cartacea di", "generare il documento di")),
+    ("trasmettere", "trasmettere", ("inviare", "spedire")),
+    ("chiudere", "chiudere", ("estinguere", "cessare")),
+    ("duplicare", "duplicare", ("emettere la copia di", "rilasciare il duplicato di")),
+    ("sospendere_temp", "sospendere temporaneamente", ("congelare", "mettere in pausa")),
+    ("esportare", "esportare", ("estrarre i dati di", "scaricare l'elenco di")),
+    ("delegare", "delegare", ("assegnare ad altro operatore", "trasferire la competenza di")),
+]
+
+# Internal application names: unique jargon, no synonyms.
+_SYSTEM_NAMES = (
+    "Sportello Plus",
+    "CreditFlow",
+    "GestCarte",
+    "AnagrafeOne",
+    "FirmaWeb",
+    "TesoNet",
+    "PratiCredito",
+    "DocuBank",
+    "SegnalaCR",
+    "HR Portal",
+    "ServiceDesk 360",
+    "MutuiExpress",
+    "EsteroPay",
+    "TitoliDesk",
+    "CassaForte",
+    "BadgePoint",
+    "WelfareHub",
+    "LeasingPro",
+    "FidoManager",
+    "AuditTrack",
+    "ConvenzioniWeb",
+    "InventarioNet",
+)
+
+
+@dataclass(frozen=True)
+class BankingVocabulary:
+    """The assembled vocabulary: concepts by class plus the shared lexicon."""
+
+    entities: tuple[Concept, ...]
+    actions: tuple[Concept, ...]
+    systems: tuple[Concept, ...]
+    lexicon: ConceptLexicon
+
+    @property
+    def all_concepts(self) -> tuple[Concept, ...]:
+        """Every concept in the vocabulary."""
+        return self.entities + self.actions + self.systems
+
+
+def build_banking_vocabulary() -> BankingVocabulary:
+    """Construct the Italian banking vocabulary and its concept lexicon."""
+    entities = tuple(
+        Concept(concept_id=cid, canonical=canonical, synonyms=synonyms, domain=domain)
+        for cid, canonical, synonyms, domain in _ENTITY_ROWS
+    )
+    actions = tuple(
+        Concept(concept_id=f"act_{cid}", canonical=canonical, synonyms=synonyms, domain="action")
+        for cid, canonical, synonyms in _ACTION_ROWS
+    )
+    systems = tuple(
+        Concept(
+            concept_id=f"sys_{name.lower().replace(' ', '_')}",
+            canonical=name,
+            synonyms=(),
+            domain="system",
+        )
+        for name in _SYSTEM_NAMES
+    )
+    lexicon = ConceptLexicon(list(entities) + list(actions) + list(systems))
+    return BankingVocabulary(entities=entities, actions=actions, systems=systems, lexicon=lexicon)
+
+
+def build_banking_lexicon() -> ConceptLexicon:
+    """Just the concept lexicon (for embedder / reranker / LLM wiring)."""
+    return build_banking_vocabulary().lexicon

@@ -1,0 +1,79 @@
+"""English banking vocabulary — the multilingual future-work demo.
+
+Section 11: "We plan to capitalize on the success of UniAsk […] to adapt
+our system to other languages and other use cases."  This module is the
+adaptation recipe in miniature: a compact English concept vocabulary with
+the same three-class structure (entities / actions / jargon systems) used
+by the Italian deployment, assembled on the English language pack
+(:mod:`repro.text.english`).  Every language-specific piece of the stack —
+analyzer, lexicon, embedder, LLM answer templates — accepts these as
+drop-in replacements; nothing else changes.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.vocabulary import BankingVocabulary
+from repro.embeddings.concepts import Concept, ConceptLexicon
+from repro.text.english import english_analyzer
+
+# (concept_id, canonical form, synonyms, domain)
+_ENTITY_ROWS: list[tuple[str, str, tuple[str, ...], str]] = [
+    ("wire_transfer", "wire transfer", ("funds remittance", "SEPA payment order"), "banking_applications"),
+    ("checking_account", "checking account", ("current deposit relationship", "demand deposit"), "banking_applications"),
+    ("credit_card", "credit card", ("revolving card", "charge plate"), "banking_applications"),
+    ("debit_card", "debit card", ("cash withdrawal plastic", "ATM badge"), "banking_applications"),
+    ("mortgage", "mortgage loan", ("home financing", "property lending"), "banking_applications"),
+    ("overdraft", "overdraft facility", ("credit line on the relationship", "negative balance allowance"), "banking_applications"),
+    ("statement", "account statement", ("periodic balance report", "movement listing"), "banking_applications"),
+    ("security_token", "security token", ("OTP keyfob", "one-time code generator"), "technical_topics"),
+    ("credentials", "login credentials", ("username and password", "authentication details"), "technical_topics"),
+    ("workstation", "branch workstation", ("teller computer", "desk terminal"), "technical_topics"),
+    ("printer", "network printer", ("shared printing device", "floor multifunction unit"), "technical_topics"),
+    ("aml_check", "anti money laundering check", ("customer due diligence", "AML screening"), "governance"),
+    ("complaint", "customer complaint", ("client grievance", "formal dissatisfaction notice"), "governance"),
+    ("expense_report", "expense report", ("travel reimbursement claim", "business trip costs form"), "general_processes"),
+    ("payslip", "payslip", ("salary slip", "monthly remuneration summary"), "general_processes"),
+    ("vacation_plan", "vacation plan", ("annual leave schedule", "holiday calendar"), "general_processes"),
+]
+
+_ACTION_ROWS: list[tuple[str, str, tuple[str, ...]]] = [
+    ("act_activate", "activate", ("enable", "switch on")),
+    ("act_block", "block", ("suspend", "freeze")),
+    ("act_request", "request", ("apply for", "submit a demand for")),
+    ("act_renew", "renew", ("extend", "prolong")),
+    ("act_update", "update", ("amend", "modify")),
+    ("act_close", "close", ("terminate", "wind down")),
+]
+
+_SYSTEM_NAMES = ("TellerDesk", "CardSuite", "LoanTrack", "HelpPoint", "PayRollNet")
+
+
+def build_english_vocabulary() -> BankingVocabulary:
+    """Assemble the English vocabulary on the English analysis chain."""
+    entities = tuple(
+        Concept(concept_id=cid, canonical=canonical, synonyms=synonyms, domain=domain)
+        for cid, canonical, synonyms, domain in _ENTITY_ROWS
+    )
+    actions = tuple(
+        Concept(concept_id=cid, canonical=canonical, synonyms=synonyms, domain="action")
+        for cid, canonical, synonyms in _ACTION_ROWS
+    )
+    systems = tuple(
+        Concept(
+            concept_id=f"sys_{name.lower()}",
+            canonical=name,
+            synonyms=(),
+            domain="system",
+        )
+        for name in _SYSTEM_NAMES
+    )
+    lexicon = ConceptLexicon(
+        list(entities) + list(actions) + list(systems),
+        analyzer=english_analyzer(remove_stopwords=True, apply_stemming=False),
+    )
+    return BankingVocabulary(entities=entities, actions=actions, systems=systems, lexicon=lexicon)
+
+
+def build_english_lexicon() -> ConceptLexicon:
+    """Just the English concept lexicon."""
+    return build_english_vocabulary().lexicon

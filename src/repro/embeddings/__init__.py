@@ -1,0 +1,28 @@
+"""Embedding substrate: concept lexicon, deterministic embedders, adapters."""
+
+from repro.embeddings.adapter import (
+    AdaptedEmbedder,
+    LinearQueryAdapter,
+    TrainingPair,
+    pairs_from_labeled_queries,
+    train_query_adapter,
+)
+from repro.embeddings.cache import CachingEmbedder
+from repro.embeddings.concepts import Concept, ConceptLexicon, ConceptOverlap, concept_overlap
+from repro.embeddings.model import EmbeddingModel, SyntheticAdaEmbedder, cosine_similarity
+
+__all__ = [
+    "AdaptedEmbedder",
+    "LinearQueryAdapter",
+    "TrainingPair",
+    "pairs_from_labeled_queries",
+    "train_query_adapter",
+    "CachingEmbedder",
+    "Concept",
+    "ConceptLexicon",
+    "ConceptOverlap",
+    "concept_overlap",
+    "EmbeddingModel",
+    "SyntheticAdaEmbedder",
+    "cosine_similarity",
+]

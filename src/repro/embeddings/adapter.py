@@ -1,0 +1,142 @@
+"""Embedding adapters — the paper's future-work retrieval upgrade.
+
+Section 11: "We will test further improvements for the retrieval module,
+e.g., fine tuning the embedding model with internal data, or by using
+embedding adapters."  An *adapter* is a small transformation applied to the
+frozen base embeddings; the standard enterprise recipe (the base model is a
+hosted API and cannot be fine-tuned) trains a **linear query adapter** on
+(question, relevant-document) pairs harvested from evaluation datasets and
+user feedback, and applies it at query time only — documents keep their
+already-indexed vectors.
+
+Training is closed-form ridge regression toward the identity:
+
+    W* = argmin_W  Σ ||W q_i − d_i||²  +  λ ||W − I||²_F
+
+so with no data (or huge λ) the adapter degrades gracefully to identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.model import EmbeddingModel
+
+
+@dataclass(frozen=True)
+class TrainingPair:
+    """One supervision pair: a query and the text it should retrieve."""
+
+    query: str
+    relevant_text: str
+
+
+class LinearQueryAdapter:
+    """A dim×dim linear map applied to query embeddings."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("adapter matrix must be square")
+        self._matrix = matrix
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality the adapter operates on."""
+        return self._matrix.shape[0]
+
+    @classmethod
+    def identity(cls, dim: int) -> "LinearQueryAdapter":
+        """The do-nothing adapter."""
+        return cls(np.eye(dim))
+
+    def adapt(self, vector: np.ndarray) -> np.ndarray:
+        """Apply the adapter and re-normalize."""
+        adapted = self._matrix @ np.asarray(vector, dtype=np.float64)
+        norm = float(np.linalg.norm(adapted))
+        if norm < 1e-12:
+            return np.asarray(vector, dtype=np.float64)
+        return adapted / norm
+
+    def deviation_from_identity(self) -> float:
+        """Frobenius distance from the identity (0 = untrained)."""
+        return float(np.linalg.norm(self._matrix - np.eye(self.dim)))
+
+
+def train_query_adapter(
+    embedder: EmbeddingModel,
+    pairs: list[TrainingPair],
+    regularization: float = 1.0,
+) -> LinearQueryAdapter:
+    """Fit a :class:`LinearQueryAdapter` on supervision *pairs*.
+
+    Args:
+        embedder: the frozen base model (embeds both sides of each pair).
+        pairs: (query, relevant text) supervision; in the deployment these
+            come from the validation datasets and from the ground-truth
+            links users contribute through the feedback form.
+        regularization: λ ≥ 0; larger values stay closer to identity.
+
+    Returns the identity adapter when *pairs* is empty.
+    """
+    if regularization < 0:
+        raise ValueError("regularization must be non-negative")
+    dim = embedder.dim
+    if not pairs:
+        return LinearQueryAdapter.identity(dim)
+
+    queries = np.stack([embedder.embed(pair.query) for pair in pairs])
+    targets = np.stack([embedder.embed(pair.relevant_text) for pair in pairs])
+
+    # Solve (QᵀQ + λI) Wᵀ = QᵀD + λI  (ridge toward the identity).
+    gram = queries.T @ queries + regularization * np.eye(dim)
+    rhs = queries.T @ targets + regularization * np.eye(dim)
+    matrix_t = np.linalg.solve(gram, rhs)
+    return LinearQueryAdapter(matrix_t.T)
+
+
+class AdaptedEmbedder:
+    """An :class:`EmbeddingModel` view that adapts every embedding.
+
+    Wraps a base model with a query adapter so that existing retrieval code
+    (which calls ``embed`` on the query) picks the adapter up transparently.
+    Use for *queries only* — documents must be indexed with the base model.
+    """
+
+    def __init__(self, base: EmbeddingModel, adapter: LinearQueryAdapter) -> None:
+        if base.dim != adapter.dim:
+            raise ValueError("adapter/base dimensionality mismatch")
+        self._base = base
+        self._adapter = adapter
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._base.dim
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed *text* with the base model, then adapt."""
+        return self._adapter.adapt(self._base.embed(text))
+
+    def embed_batch(self, texts) -> np.ndarray:
+        """Adapted batch embedding."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed(text) for text in texts])
+
+
+def pairs_from_labeled_queries(queries, kb) -> list[TrainingPair]:
+    """Build supervision pairs from a labeled dataset over a synthetic KB.
+
+    Each query pairs with the key sentence of its first ground-truth
+    document — the text a retriever should consider closest.
+    """
+    pairs = []
+    for query in queries:
+        if not query.relevant_docs:
+            continue
+        doc_id = sorted(query.relevant_docs)[0]
+        generated = kb.document(doc_id)
+        pairs.append(TrainingPair(query=query.text, relevant_text=generated.key_sentence))
+    return pairs

@@ -1,0 +1,142 @@
+"""Concept lexicon: the semantic backbone of the synthetic embedder.
+
+A real embedding model (text-embedding-ada-002 in the paper) maps different
+surface forms of the same meaning — a formal term, its banking jargon
+equivalent, an abbreviation — to nearby vectors.  Since the proprietary model
+is not available offline, we reproduce that *property* explicitly: a
+:class:`ConceptLexicon` groups surface forms into concepts, and the embedder
+(:mod:`repro.embeddings.model`) assigns every form of a concept the same base
+direction plus a small form-specific perturbation.
+
+The lexicon is a plain data structure; the Italian banking instance used by
+the benchmarks is built in :mod:`repro.corpus.vocabulary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.analyzer import ItalianAnalyzer
+from repro.text.stemmer import stem
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One unit of meaning with its alternative surface forms.
+
+    Attributes:
+        concept_id: stable unique identifier (e.g. ``"bonifico"``).
+        canonical: the preferred surface form, used in document prose.
+        synonyms: alternative forms (jargon, abbreviations, paraphrases)
+            that user questions may use instead of the canonical form.
+        domain: topical domain the concept belongs to.
+    """
+
+    concept_id: str
+    canonical: str
+    synonyms: tuple[str, ...] = ()
+    domain: str = ""
+
+    @property
+    def forms(self) -> tuple[str, ...]:
+        """All surface forms, canonical first."""
+        return (self.canonical, *self.synonyms)
+
+
+class ConceptLexicon:
+    """Mapping from surface-form stems to concepts.
+
+    Lookup happens at the *stem* level so that inflected variants
+    (``bonifico`` / ``bonifici``) hit the same concept, exactly as an
+    embedding model generalizes across inflection.
+
+    Multi-word forms are registered under the stem of each content word with
+    fractional weight, which approximates the distributed representation a
+    neural encoder gives to compounds.
+    """
+
+    def __init__(
+        self,
+        concepts: list[Concept] | None = None,
+        analyzer: ItalianAnalyzer | None = None,
+    ) -> None:
+        self._concepts: dict[str, Concept] = {}
+        self._stem_to_concepts: dict[str, list[tuple[str, float]]] = {}
+        # Surface forms are analyzed without stemming (the stem is applied
+        # separately so inflected lookups hit the same key); pass a
+        # language pack's analyzer to localize the lexicon.
+        if analyzer is None:
+            analyzer = ItalianAnalyzer(remove_stopwords=True, apply_stemming=False)
+        self._analyzer = analyzer
+        self._stem = analyzer.stem_fn if analyzer.stem_fn is not None else stem
+        for concept in concepts or []:
+            self.add(concept)
+
+    def add(self, concept: Concept) -> None:
+        """Register *concept* and index all its surface forms."""
+        if concept.concept_id in self._concepts:
+            raise ValueError(f"duplicate concept id: {concept.concept_id}")
+        self._concepts[concept.concept_id] = concept
+        for form in concept.forms:
+            words = self._analyzer.analyze(form.lower())
+            if not words:
+                continue
+            weight = 1.0 / len(words)
+            for word in words:
+                key = self._stem(word)
+                entries = self._stem_to_concepts.setdefault(key, [])
+                if all(existing_id != concept.concept_id for existing_id, _ in entries):
+                    entries.append((concept.concept_id, weight))
+
+    def get(self, concept_id: str) -> Concept:
+        """Return the concept registered under *concept_id*."""
+        return self._concepts[concept_id]
+
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    @property
+    def concepts(self) -> list[Concept]:
+        """All registered concepts, in insertion order."""
+        return list(self._concepts.values())
+
+    def concepts_for_stem(self, stemmed_token: str) -> list[tuple[str, float]]:
+        """Concepts (with weights) whose surface forms contain this stem."""
+        return self._stem_to_concepts.get(stemmed_token, [])
+
+    def concepts_in_text(self, text: str) -> dict[str, float]:
+        """Aggregate concept weights present in *text*.
+
+        Returns a concept_id → accumulated weight map; this is the "meaning
+        fingerprint" used by the semantic reranker and the simulated LLM.
+        """
+        weights: dict[str, float] = {}
+        for word in self._analyzer.analyze(text.lower()):
+            for concept_id, weight in self.concepts_for_stem(self._stem(word)):
+                weights[concept_id] = weights.get(concept_id, 0.0) + weight
+        return weights
+
+
+@dataclass(frozen=True)
+class ConceptOverlap:
+    """Shared-meaning summary between two texts."""
+
+    shared: dict[str, float] = field(default_factory=dict)
+    score: float = 0.0
+
+
+def concept_overlap(lexicon: ConceptLexicon, a: str, b: str) -> ConceptOverlap:
+    """Cosine-style overlap of the concept fingerprints of *a* and *b*."""
+    weights_a = lexicon.concepts_in_text(a)
+    weights_b = lexicon.concepts_in_text(b)
+    if not weights_a or not weights_b:
+        return ConceptOverlap()
+    shared = {cid: min(weights_a[cid], weights_b[cid]) for cid in weights_a.keys() & weights_b.keys()}
+    norm_a = sum(w * w for w in weights_a.values()) ** 0.5
+    norm_b = sum(w * w for w in weights_b.values()) ** 0.5
+    dot = sum(weights_a[cid] * weights_b[cid] for cid in shared)
+    score = dot / (norm_a * norm_b) if norm_a and norm_b else 0.0
+    return ConceptOverlap(shared=shared, score=score)

@@ -1,0 +1,51 @@
+"""Evaluation: metrics, splits, harness, groundedness, reporting."""
+
+from repro.eval.groundedness import GroundednessJudge, GroundednessVerdict
+from repro.eval.harness import (
+    EvaluationResult,
+    QueryOutcome,
+    RetrievalEvaluator,
+    Retriever,
+    hss_retriever,
+    prev_retriever,
+    searcher_retriever,
+)
+from repro.eval.metrics import (
+    REPORTED_CUTOFFS,
+    RetrievalMetrics,
+    average_metrics,
+    compute_query_metrics,
+    hit_rate_at,
+    percent_variation,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+from repro.eval.reporting import format_comparison_table, format_variation_table, variation_grid
+from repro.eval.splits import DatasetSplit, split_dataset
+
+__all__ = [
+    "GroundednessJudge",
+    "GroundednessVerdict",
+    "EvaluationResult",
+    "QueryOutcome",
+    "RetrievalEvaluator",
+    "Retriever",
+    "hss_retriever",
+    "prev_retriever",
+    "searcher_retriever",
+    "REPORTED_CUTOFFS",
+    "RetrievalMetrics",
+    "average_metrics",
+    "compute_query_metrics",
+    "hit_rate_at",
+    "percent_variation",
+    "precision_at",
+    "recall_at",
+    "reciprocal_rank",
+    "format_comparison_table",
+    "format_variation_table",
+    "variation_grid",
+    "DatasetSplit",
+    "split_dataset",
+]

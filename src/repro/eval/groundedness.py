@@ -1,0 +1,80 @@
+"""Groundedness metric.
+
+Section 7: groundedness "evaluates whether an answer is stating facts that
+are present in a given context", judged by an LLM.  The paper found that in
+automatic evaluation it "failed to return meaningful results in the large
+majority of cases", and deferred generation assessment to real users.
+
+The offline judge reproduces both the metric and its unreliability: the
+score is the fraction of answer sentences whose concept fingerprint is
+covered by the context, but — like the LLM judge — it only *commits* to a
+verdict when the evidence is clear-cut; mid-range scores are flagged as not
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings.concepts import ConceptLexicon
+from repro.search.results import RetrievedChunk
+from repro.text.tokenizer import sentence_split
+
+
+@dataclass(frozen=True)
+class GroundednessVerdict:
+    """One groundedness judgement."""
+
+    score: float
+    meaningful: bool
+    supported_sentences: int
+    total_sentences: int
+
+
+class GroundednessJudge:
+    """Concept-coverage groundedness with an honesty band.
+
+    Args:
+        lexicon: concept lexicon used to fingerprint sentences.
+        confident_low / confident_high: scores inside the open interval
+            (low, high) are reported as not meaningful, mirroring the
+            LLM judge's refusal to commit on ambiguous cases.
+    """
+
+    def __init__(
+        self,
+        lexicon: ConceptLexicon,
+        confident_low: float = 0.2,
+        confident_high: float = 0.8,
+    ) -> None:
+        if not 0.0 <= confident_low <= confident_high <= 1.0:
+            raise ValueError("confidence band must satisfy 0 <= low <= high <= 1")
+        self._lexicon = lexicon
+        self._low = confident_low
+        self._high = confident_high
+
+    def judge(self, answer: str, context: list[RetrievedChunk]) -> GroundednessVerdict:
+        """Judge how grounded *answer* is in *context*."""
+        sentences = sentence_split(answer)
+        if not sentences or not context:
+            return GroundednessVerdict(0.0, meaningful=False, supported_sentences=0, total_sentences=len(sentences))
+
+        context_concepts: set[str] = set()
+        for chunk in context:
+            context_concepts |= set(self._lexicon.concepts_in_text(chunk.record.content))
+
+        supported = 0
+        for sentence in sentences:
+            sentence_concepts = set(self._lexicon.concepts_in_text(sentence))
+            if not sentence_concepts:
+                continue  # no factual content to verify
+            if sentence_concepts <= context_concepts:
+                supported += 1
+        score = supported / len(sentences)
+        meaningful = score <= self._low or score >= self._high
+        return GroundednessVerdict(
+            score=score,
+            meaningful=meaningful,
+            supported_sentences=supported,
+            total_sentences=len(sentences),
+        )

@@ -1,0 +1,122 @@
+"""Retrieval metrics (Section 7).
+
+The paper evaluates retrieval with precision@n, recall@n, binary hit
+rate@n and MRR, at document granularity.  All functions take a ranked list
+of document ids and the set of relevant document ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def precision_at(ranked: list[str], relevant: frozenset[str] | set[str], n: int) -> float:
+    """Fraction of the top *n* results that are relevant.
+
+    The denominator is *n* even when fewer results were returned, matching
+    the standard definition (an engine that returns little is penalized).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    hits = sum(1 for doc_id in ranked[:n] if doc_id in relevant)
+    return hits / n
+
+
+def recall_at(ranked: list[str], relevant: frozenset[str] | set[str], n: int) -> float:
+    """Fraction of the relevant documents found in the top *n* results."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not relevant:
+        return 0.0
+    hits = sum(1 for doc_id in ranked[:n] if doc_id in relevant)
+    return hits / len(relevant)
+
+
+def hit_rate_at(ranked: list[str], relevant: frozenset[str] | set[str], n: int) -> float:
+    """Binary hit rate@n: 1.0 when the top *n* contain ≥ 1 relevant result."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 1.0 if any(doc_id in relevant for doc_id in ranked[:n]) else 0.0
+
+
+def reciprocal_rank(ranked: list[str], relevant: frozenset[str] | set[str]) -> float:
+    """1/rank of the first relevant result (0.0 when none is retrieved)."""
+    for position, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+#: The cut-offs reported in Tables 1–4.
+REPORTED_CUTOFFS = (1, 4, 50)
+
+
+@dataclass(frozen=True)
+class RetrievalMetrics:
+    """The paper's metric set for one query or one dataset average."""
+
+    p_at_1: float = 0.0
+    p_at_4: float = 0.0
+    p_at_50: float = 0.0
+    r_at_1: float = 0.0
+    r_at_4: float = 0.0
+    r_at_50: float = 0.0
+    hit_at_1: float = 0.0
+    hit_at_4: float = 0.0
+    hit_at_50: float = 0.0
+    mrr: float = 0.0
+
+    #: Row order used by every results table.
+    FIELDS = (
+        "p_at_1", "p_at_4", "p_at_50",
+        "r_at_1", "r_at_4", "r_at_50",
+        "hit_at_1", "hit_at_4", "hit_at_50",
+        "mrr",
+    )
+
+    #: Paper-style row labels, aligned with :attr:`FIELDS`.
+    LABELS = ("p@1", "p@4", "p@50", "r@1", "r@4", "r@50", "hit@1", "hit@4", "hit@50", "MRR")
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name → value, in table order."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+def compute_query_metrics(ranked: list[str], relevant: frozenset[str] | set[str]) -> RetrievalMetrics:
+    """All reported metrics for one query."""
+    return RetrievalMetrics(
+        p_at_1=precision_at(ranked, relevant, 1),
+        p_at_4=precision_at(ranked, relevant, 4),
+        p_at_50=precision_at(ranked, relevant, 50),
+        r_at_1=recall_at(ranked, relevant, 1),
+        r_at_4=recall_at(ranked, relevant, 4),
+        r_at_50=recall_at(ranked, relevant, 50),
+        hit_at_1=hit_rate_at(ranked, relevant, 1),
+        hit_at_4=hit_rate_at(ranked, relevant, 4),
+        hit_at_50=hit_rate_at(ranked, relevant, 50),
+        mrr=reciprocal_rank(ranked, relevant),
+    )
+
+
+def average_metrics(per_query: list[RetrievalMetrics]) -> RetrievalMetrics:
+    """Mean of per-query metrics (empty input averages to zeros)."""
+    if not per_query:
+        return RetrievalMetrics()
+    count = len(per_query)
+    sums = {name: 0.0 for name in RetrievalMetrics.FIELDS}
+    for metrics in per_query:
+        for name in RetrievalMetrics.FIELDS:
+            sums[name] += getattr(metrics, name)
+    return RetrievalMetrics(**{name: total / count for name, total in sums.items()})
+
+
+def percent_variation(value: float, reference: float) -> float:
+    """Percentage change of *value* with respect to *reference*.
+
+    This is how Tables 1–4 compare systems; a zero reference with a nonzero
+    value reports +100% per unit convention (the paper never hits this
+    case on averages).
+    """
+    if reference == 0.0:
+        return 0.0 if value == 0.0 else float("inf")
+    return 100.0 * (value - reference) / reference

@@ -1,0 +1,81 @@
+"""Table formatting for evaluation results.
+
+Renders the same row/column structure as the paper's tables: absolute
+metrics side by side with percentage variations (Table 1), or pure
+percent-variation grids against a reference system (Tables 2–4).
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import EvaluationResult
+from repro.eval.metrics import RetrievalMetrics, percent_variation
+
+
+def format_comparison_table(
+    reference_name: str,
+    reference: EvaluationResult,
+    system_name: str,
+    system: EvaluationResult,
+    title: str = "",
+) -> str:
+    """Table-1-style rendering: reference, system, % variation per metric."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'Metric':<8} {reference_name:>10} {system_name:>10} {'% Var':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, name in zip(RetrievalMetrics.LABELS, RetrievalMetrics.FIELDS):
+        ref_value = getattr(reference.metrics, name)
+        sys_value = getattr(system.metrics, name)
+        variation = percent_variation(sys_value, ref_value)
+        arrow = "↑" if variation > 0 else ("↓" if variation < 0 else "=")
+        lines.append(f"{label:<8} {ref_value:>10.4f} {sys_value:>10.4f} {variation:>8.1f} {arrow}")
+    lines.append(
+        f"answered: {reference_name} {reference.answered}/{reference.total}"
+        f" | {system_name} {system.answered}/{system.total}"
+    )
+    return "\n".join(lines)
+
+
+def format_variation_table(
+    reference: EvaluationResult,
+    variants: dict[str, EvaluationResult],
+    title: str = "",
+    metric_names: tuple[str, ...] | None = None,
+) -> str:
+    """Tables 2–4 rendering: % variation of each variant w.r.t. the reference."""
+    names = metric_names or RetrievalMetrics.FIELDS
+    labels = {
+        field_name: label
+        for field_name, label in zip(RetrievalMetrics.FIELDS, RetrievalMetrics.LABELS)
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'% var':<8}" + "".join(f"{name:>10}" for name in variants)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        row = f"{labels[name]:<8}"
+        ref_value = getattr(reference.metrics, name)
+        for variant_result in variants.values():
+            variation = percent_variation(getattr(variant_result.metrics, name), ref_value)
+            row += f"{variation:>10.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def variation_grid(
+    reference: EvaluationResult, variants: dict[str, EvaluationResult]
+) -> dict[str, dict[str, float]]:
+    """Machine-readable form of :func:`format_variation_table`."""
+    grid: dict[str, dict[str, float]] = {}
+    for variant_name, result in variants.items():
+        grid[variant_name] = {
+            metric: percent_variation(
+                getattr(result.metrics, metric), getattr(reference.metrics, metric)
+            )
+            for metric in RetrievalMetrics.FIELDS
+        }
+    return grid

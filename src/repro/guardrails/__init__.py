@@ -1,0 +1,26 @@
+"""Guardrails: citation, ROUGE-L, clarification checks and their pipeline."""
+
+from repro.guardrails.base import Guardrail, GuardrailVerdict
+from repro.guardrails.citation import CitationGuardrail, extract_citations
+from repro.guardrails.clarification import ClarificationGuardrail
+from repro.guardrails.pipeline import (
+    APOLOGY_TEXT,
+    CLARIFICATION_TEXT,
+    GuardrailPipeline,
+    GuardrailReport,
+)
+from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD, RougeGuardrail
+
+__all__ = [
+    "Guardrail",
+    "GuardrailVerdict",
+    "CitationGuardrail",
+    "extract_citations",
+    "ClarificationGuardrail",
+    "APOLOGY_TEXT",
+    "CLARIFICATION_TEXT",
+    "GuardrailPipeline",
+    "GuardrailReport",
+    "DEFAULT_ROUGE_THRESHOLD",
+    "RougeGuardrail",
+]

@@ -1,0 +1,49 @@
+"""Guardrail interface and outcome types.
+
+A guardrail (Section 6) inspects a generated answer against its question
+and retrieval context and may *invalidate* it.  Guardrails run in a fixed
+order inside :class:`~repro.guardrails.pipeline.GuardrailPipeline`; the
+first one that fires decides the outcome.  A fired guardrail is counted as
+a failure of the *generation* module, not of the whole system — the
+document list is still shown to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.search.results import RetrievedChunk
+
+
+@dataclass(frozen=True)
+class GuardrailVerdict:
+    """Outcome of one guardrail check.
+
+    Attributes:
+        passed: True when the answer survives this guardrail.
+        guardrail: the guardrail's stable name (set when fired).
+        detail: human-readable explanation of why it fired.
+        score: the measured quantity, when the guardrail is score-based.
+    """
+
+    passed: bool
+    guardrail: str = ""
+    detail: str = ""
+    score: float | None = None
+
+
+@runtime_checkable
+class Guardrail(Protocol):
+    """One validity check on a generated answer."""
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used in monitoring and Table 5 reporting."""
+        ...
+
+    def check(
+        self, question: str, answer: str, context: list[RetrievedChunk]
+    ) -> GuardrailVerdict:
+        """Return whether *answer* is valid for *question* given *context*."""
+        ...

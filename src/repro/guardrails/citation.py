@@ -1,0 +1,44 @@
+"""Citation guardrail.
+
+Section 6's secondary guardrail: preliminary experiments showed that an
+answer with **no valid citation to the context** was invariably
+hallucinated, so any such answer is invalidated.  A valid citation is a
+``[docK]`` marker whose key actually appears in the provided context (a
+citation to a non-existent document is itself a hallucination).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.guardrails.base import GuardrailVerdict
+from repro.llm.prompts import CITATION_PREFIX
+from repro.search.results import RetrievedChunk
+
+_CITATION_RE = re.compile(rf"\[({CITATION_PREFIX}\d+)\]")
+
+
+def extract_citations(answer: str) -> list[str]:
+    """All ``[docK]`` citation keys appearing in *answer*, in order."""
+    return _CITATION_RE.findall(answer)
+
+
+class CitationGuardrail:
+    """Requires at least one citation resolving to a context document."""
+
+    @property
+    def name(self) -> str:
+        """Guardrail identifier."""
+        return "citation"
+
+    def check(
+        self, question: str, answer: str, context: list[RetrievedChunk]
+    ) -> GuardrailVerdict:
+        """Fire when no citation resolves against the context."""
+        cited = extract_citations(answer)
+        valid_keys = {f"{CITATION_PREFIX}{i}" for i in range(1, len(context) + 1)}
+        resolved = [key for key in cited if key in valid_keys]
+        if not resolved:
+            detail = "no citations present" if not cited else "citations do not resolve to context"
+            return GuardrailVerdict(passed=False, guardrail=self.name, detail=detail)
+        return GuardrailVerdict(passed=True)

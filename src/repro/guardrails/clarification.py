@@ -1,0 +1,47 @@
+"""Clarification-requirement guardrail.
+
+Section 6: UniAsk must return *self-contained* answers, so an answer that
+ends with a request for further details is invalidated and the user is
+invited to reformulate the question with more details.  Detection is on
+the final sentence: a question mark combined with a request-for-details
+phrasing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.guardrails.base import GuardrailVerdict
+from repro.search.results import RetrievedChunk
+from repro.text.tokenizer import sentence_split
+
+_DETAIL_REQUEST_RE = re.compile(
+    r"(maggiori dettagli|più dettagli|puoi (specificare|indicare|precisare)|"
+    r"potresti (specificare|indicare|precisare|fornire)|quale .* intendi)",
+    re.IGNORECASE,
+)
+
+
+class ClarificationGuardrail:
+    """Fires when the answer ends by asking the user for more details."""
+
+    @property
+    def name(self) -> str:
+        """Guardrail identifier."""
+        return "clarification"
+
+    def check(
+        self, question: str, answer: str, context: list[RetrievedChunk]
+    ) -> GuardrailVerdict:
+        """Fire on a trailing request-for-details question."""
+        sentences = sentence_split(answer)
+        if not sentences:
+            return GuardrailVerdict(passed=True)
+        last = sentences[-1]
+        if last.rstrip().endswith("?") and _DETAIL_REQUEST_RE.search(last):
+            return GuardrailVerdict(
+                passed=False,
+                guardrail=self.name,
+                detail="answer ends with a request for further details",
+            )
+        return GuardrailVerdict(passed=True)

@@ -1,0 +1,12 @@
+"""HTML parsing and document chunking substrate."""
+
+from repro.htmlproc.chunking import Chunk, HtmlParagraphChunker, RecursiveCharacterTextSplitter
+from repro.htmlproc.parser import ParsedDocument, parse_html
+
+__all__ = [
+    "Chunk",
+    "HtmlParagraphChunker",
+    "RecursiveCharacterTextSplitter",
+    "ParsedDocument",
+    "parse_html",
+]

@@ -1,0 +1,208 @@
+"""Document chunking strategies.
+
+The paper (Section 4) evaluated two splitters for producing 512-token index
+chunks:
+
+* LangChain's ``RecursiveCharacterTextSplitter`` — a generic character-based
+  splitter the authors found to produce *noisy* chunks.  Re-implemented here
+  as :class:`RecursiveCharacterTextSplitter` so the comparison can be run.
+* An ad-hoc **HTML-paragraph** strategy — non-overlapping chunks cut at the
+  start offsets of HTML paragraphs, recursively merging consecutive small
+  chunks until the target length is reached.  This respects the coherent
+  fragments designed by the human page editors.  Implemented as
+  :class:`HtmlParagraphChunker` and used by the production indexing flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.htmlproc.parser import ParsedDocument, parse_html
+from repro.text.tokenizer import DEFAULT_TOKEN_COUNTER, TokenCounter
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One index-able fragment of a document.
+
+    Attributes:
+        text: the chunk content.
+        index: ordinal position of the chunk within its document.
+        start_paragraph / end_paragraph: paragraph span (HTML chunker only;
+            character splitter reports -1).
+    """
+
+    text: str
+    index: int
+    start_paragraph: int = -1
+    end_paragraph: int = -1
+
+
+@dataclass(frozen=True)
+class HtmlParagraphChunker:
+    """Paragraph-aligned chunker (the strategy UniAsk deploys).
+
+    Paragraph start offsets are the only admissible split points, so a chunk
+    is always a run of whole paragraphs.  Consecutive paragraphs are merged
+    greedily while the merged chunk stays within ``max_tokens``; a paragraph
+    that alone exceeds the budget becomes its own (oversized) chunk rather
+    than being cut mid-sentence, mirroring the paper's preference for
+    editor-coherent fragments.
+
+    Args:
+        max_tokens: target chunk size (512 in the deployment, chosen for
+            text-embedding-ada-002).
+        min_tokens: chunks smaller than this are merged forward when possible.
+    """
+
+    max_tokens: int = 512
+    min_tokens: int = 32
+    counter: TokenCounter = field(default_factory=lambda: DEFAULT_TOKEN_COUNTER)
+
+    def chunk_document(self, document: ParsedDocument) -> list[Chunk]:
+        """Chunk a parsed document along its paragraph boundaries."""
+        paragraphs = document.paragraphs
+        if not paragraphs:
+            return []
+
+        chunks: list[Chunk] = []
+        buffer: list[str] = []
+        buffer_tokens = 0
+        buffer_start = 0
+
+        def flush(end_paragraph: int) -> None:
+            nonlocal buffer, buffer_tokens, buffer_start
+            if not buffer:
+                return
+            chunks.append(
+                Chunk(
+                    text="\n\n".join(buffer),
+                    index=len(chunks),
+                    start_paragraph=buffer_start,
+                    end_paragraph=end_paragraph,
+                )
+            )
+            buffer = []
+            buffer_tokens = 0
+
+        for position, paragraph in enumerate(paragraphs):
+            cost = self.counter.count(paragraph)
+            if buffer and buffer_tokens + cost > self.max_tokens:
+                flush(position - 1)
+            if not buffer:
+                buffer_start = position
+            buffer.append(paragraph)
+            buffer_tokens += cost
+        flush(len(paragraphs) - 1)
+        return self._merge_small(chunks)
+
+    def chunk_html(self, markup: str) -> list[Chunk]:
+        """Parse *markup* and chunk it in one call."""
+        return self.chunk_document(parse_html(markup))
+
+    def _merge_small(self, chunks: list[Chunk]) -> list[Chunk]:
+        """Recursively merge consecutive undersized chunks."""
+        merged = True
+        while merged and len(chunks) > 1:
+            merged = False
+            result: list[Chunk] = []
+            i = 0
+            while i < len(chunks):
+                current = chunks[i]
+                if (
+                    i + 1 < len(chunks)
+                    and self.counter.count(current.text) < self.min_tokens
+                    and self.counter.count(current.text) + self.counter.count(chunks[i + 1].text)
+                    <= self.max_tokens
+                ):
+                    nxt = chunks[i + 1]
+                    result.append(
+                        Chunk(
+                            text=current.text + "\n\n" + nxt.text,
+                            index=len(result),
+                            start_paragraph=current.start_paragraph,
+                            end_paragraph=nxt.end_paragraph,
+                        )
+                    )
+                    i += 2
+                    merged = True
+                else:
+                    result.append(
+                        Chunk(
+                            text=current.text,
+                            index=len(result),
+                            start_paragraph=current.start_paragraph,
+                            end_paragraph=current.end_paragraph,
+                        )
+                    )
+                    i += 1
+            chunks = result
+        return chunks
+
+
+@dataclass(frozen=True)
+class RecursiveCharacterTextSplitter:
+    """LangChain-compatible recursive character splitter (the noisy baseline).
+
+    Splits on the first separator in ``separators`` that produces pieces, and
+    recursively re-splits pieces still larger than ``chunk_size``; adjacent
+    small pieces are then merged back with up to ``chunk_overlap`` characters
+    of overlap, matching LangChain's documented behaviour.
+
+    Sizes here are in **characters**, as in LangChain's default length
+    function.
+    """
+
+    chunk_size: int = 2000
+    chunk_overlap: int = 200
+    separators: tuple[str, ...] = ("\n\n", "\n", ". ", " ", "")
+
+    def __post_init__(self) -> None:
+        if self.chunk_overlap >= self.chunk_size:
+            raise ValueError("chunk_overlap must be smaller than chunk_size")
+
+    def split_text(self, text: str) -> list[str]:
+        """Split *text* into overlapping character chunks."""
+        pieces = self._split(text, list(self.separators))
+        return [piece for piece in pieces if piece.strip()]
+
+    def chunk_document(self, document: ParsedDocument) -> list[Chunk]:
+        """Chunk a parsed document, ignoring its paragraph structure."""
+        return [Chunk(text=piece, index=i) for i, piece in enumerate(self.split_text(document.text))]
+
+    def _split(self, text: str, separators: list[str]) -> list[str]:
+        if len(text) <= self.chunk_size:
+            return [text]
+        separator = separators[0] if separators else ""
+        remaining = separators[1:]
+
+        if separator:
+            parts = [part for part in text.split(separator) if part]
+        else:
+            parts = [text[i : i + self.chunk_size] for i in range(0, len(text), self.chunk_size)]
+
+        expanded: list[str] = []
+        for part in parts:
+            if len(part) > self.chunk_size and (remaining or not separator):
+                expanded.extend(self._split(part, remaining))
+            else:
+                expanded.append(part)
+        return self._merge(expanded, separator)
+
+    def _merge(self, parts: list[str], separator: str) -> list[str]:
+        chunks: list[str] = []
+        window: list[str] = []
+        window_len = 0
+        for part in parts:
+            part_len = len(part) + (len(separator) if window else 0)
+            if window and window_len + part_len > self.chunk_size:
+                chunks.append(separator.join(window))
+                # Retain a suffix of the window as overlap.
+                while window and window_len > self.chunk_overlap:
+                    dropped = window.pop(0)
+                    window_len -= len(dropped) + (len(separator) if window else 0)
+            window.append(part)
+            window_len += part_len
+        if window:
+            chunks.append(separator.join(window))
+        return chunks

@@ -1,0 +1,132 @@
+"""HTML document parsing.
+
+The knowledge base is made of short HTML pages authored by employees.  The
+ingestion flow (Section 3) extracts from each page its title and the text of
+each paragraph, preserving the paragraph boundaries chosen by the human
+editor — those boundaries are what the paper's ad-hoc chunking strategy
+splits on.  Built on the standard library ``html.parser``; no external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+# Elements whose content forms one paragraph-level text block.
+_BLOCK_TAGS = frozenset(["p", "li", "h1", "h2", "h3", "h4", "h5", "h6", "td", "pre", "blockquote"])
+# Elements whose content is never user-visible text.  <head> is not skipped
+# wholesale because <title> lives inside it; scripts and styles are.
+_SKIP_TAGS = frozenset(["script", "style"])
+
+
+@dataclass(frozen=True)
+class ParsedDocument:
+    """The text view of one HTML page.
+
+    Attributes:
+        title: content of ``<title>`` (or the first heading as fallback).
+        paragraphs: visible text of each block element, in document order.
+        paragraph_offsets: character start offset of each paragraph within
+            :attr:`text` — the split points used by the HTML chunker.
+    """
+
+    title: str
+    paragraphs: tuple[str, ...]
+    paragraph_offsets: tuple[int, ...]
+
+    @property
+    def text(self) -> str:
+        """The full visible text, paragraphs joined by blank lines."""
+        return "\n\n".join(self.paragraphs)
+
+
+@dataclass
+class _ExtractionState:
+    title_parts: list[str] = field(default_factory=list)
+    paragraphs: list[str] = field(default_factory=list)
+    current: list[str] = field(default_factory=list)
+    in_title: bool = False
+    skip_depth: int = 0
+    first_heading: str | None = None
+    current_is_heading: bool = False
+
+
+class _TextExtractor(HTMLParser):
+    """Streaming extraction of title + block texts from HTML markup."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.state = _ExtractionState()
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        state = self.state
+        if tag in _SKIP_TAGS:
+            state.skip_depth += 1
+            return
+        if tag == "title":
+            state.in_title = True
+            return
+        if tag in _BLOCK_TAGS:
+            self._flush_block()
+            state.current_is_heading = tag in ("h1", "h2", "h3", "h4", "h5", "h6")
+        elif tag == "br":
+            state.current.append(" ")
+
+    def handle_endtag(self, tag: str) -> None:
+        state = self.state
+        if tag in _SKIP_TAGS and state.skip_depth > 0:
+            state.skip_depth -= 1
+            return
+        if tag == "title":
+            state.in_title = False
+            return
+        if tag in _BLOCK_TAGS:
+            self._flush_block()
+
+    def handle_data(self, data: str) -> None:
+        state = self.state
+        if state.skip_depth > 0:
+            return
+        if state.in_title:
+            state.title_parts.append(data)
+        else:
+            state.current.append(data)
+
+    def _flush_block(self) -> None:
+        state = self.state
+        text = " ".join("".join(state.current).split())
+        state.current.clear()
+        if not text:
+            state.current_is_heading = False
+            return
+        state.paragraphs.append(text)
+        if state.current_is_heading and state.first_heading is None:
+            state.first_heading = text
+        state.current_is_heading = False
+
+
+def parse_html(markup: str) -> ParsedDocument:
+    """Parse HTML *markup* into a :class:`ParsedDocument`."""
+    extractor = _TextExtractor()
+    extractor.feed(markup)
+    extractor.close()
+    extractor._flush_block()
+    state = extractor.state
+
+    title = " ".join("".join(state.title_parts).split())
+    if not title:
+        title = state.first_heading or ""
+
+    offsets: list[int] = []
+    cursor = 0
+    for index, paragraph in enumerate(state.paragraphs):
+        offsets.append(cursor)
+        cursor += len(paragraph)
+        if index != len(state.paragraphs) - 1:
+            cursor += 2  # the "\n\n" separator
+    return ParsedDocument(
+        title=title,
+        paragraphs=tuple(state.paragraphs),
+        paragraph_offsets=tuple(offsets),
+    )

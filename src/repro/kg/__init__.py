@@ -1,0 +1,15 @@
+"""Knowledge graph: construction, graph reranking, ontological reasoning."""
+
+from repro.kg.graph import GraphStats, KnowledgeGraph, build_graph_from_index
+from repro.kg.reasoning import KgGuardrail, RelatedPage, suggest_related_pages
+from repro.kg.reranker import GraphReranker
+
+__all__ = [
+    "GraphStats",
+    "KnowledgeGraph",
+    "build_graph_from_index",
+    "KgGuardrail",
+    "RelatedPage",
+    "suggest_related_pages",
+    "GraphReranker",
+]

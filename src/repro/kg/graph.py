@@ -1,0 +1,194 @@
+"""Knowledge graph over the banking knowledge base.
+
+Section 11: "We will consider building a knowledge graph to support guiding
+the generation via ontological reasoning."  This module builds that graph
+from the indexed corpus itself — no external ontology needed:
+
+* **concept nodes** — entities, actions and systems from the lexicon;
+* **document nodes** — one per knowledge-base document;
+* ``mentions`` edges (document → concept, weighted by the concept's weight
+  in the document text);
+* ``related`` edges (concept ↔ concept, weighted by how often the two
+  concepts co-occur in a document) — the emergent ontology;
+* ``duplicate_of`` edges (document ↔ document) between documents sharing a
+  title concept fingerprint, capturing the KB's heavy near-duplication.
+
+Built on :mod:`networkx`; all downstream consumers (the graph reranker, the
+ontological answer guidance, the KG guardrail) read this one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.embeddings.concepts import ConceptLexicon
+from repro.search.index import SearchIndex
+
+#: Node kinds.
+KIND_CONCEPT = "concept"
+KIND_DOCUMENT = "document"
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Shape summary of a built knowledge graph."""
+
+    concepts: int
+    documents: int
+    mention_edges: int
+    related_edges: int
+    duplicate_edges: int
+
+
+class KnowledgeGraph:
+    """A typed graph of concepts and documents with weighted relations."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # -- construction -------------------------------------------------------
+
+    def add_concept(self, concept_id: str, canonical: str, domain: str = "") -> None:
+        """Register a concept node."""
+        self.graph.add_node(
+            f"c:{concept_id}", kind=KIND_CONCEPT, concept_id=concept_id,
+            canonical=canonical, domain=domain,
+        )
+
+    def add_document(self, doc_id: str, title: str) -> None:
+        """Register a document node."""
+        self.graph.add_node(f"d:{doc_id}", kind=KIND_DOCUMENT, doc_id=doc_id, title=title)
+
+    def add_mention(self, doc_id: str, concept_id: str, weight: float) -> None:
+        """Document *doc_id* mentions *concept_id* with the given weight."""
+        self.graph.add_edge(f"d:{doc_id}", f"c:{concept_id}", relation="mentions", weight=weight)
+
+    def add_related(self, concept_a: str, concept_b: str, weight: float) -> None:
+        """Two concepts co-occur; accumulate the relation weight."""
+        key = (f"c:{concept_a}", f"c:{concept_b}")
+        if self.graph.has_edge(*key):
+            self.graph[key[0]][key[1]]["weight"] += weight
+        else:
+            self.graph.add_edge(*key, relation="related", weight=weight)
+
+    def add_duplicate(self, doc_a: str, doc_b: str) -> None:
+        """Mark two documents as near-duplicates."""
+        self.graph.add_edge(f"d:{doc_a}", f"d:{doc_b}", relation="duplicate_of", weight=1.0)
+
+    # -- queries ---------------------------------------------------------------
+
+    def concepts_of_document(self, doc_id: str) -> dict[str, float]:
+        """concept_id → mention weight for one document."""
+        node = f"d:{doc_id}"
+        if node not in self.graph:
+            return {}
+        result = {}
+        for neighbor in self.graph[node]:
+            edge = self.graph[node][neighbor]
+            if edge.get("relation") == "mentions":
+                result[self.graph.nodes[neighbor]["concept_id"]] = edge["weight"]
+        return result
+
+    def documents_of_concept(self, concept_id: str) -> dict[str, float]:
+        """doc_id → mention weight for one concept."""
+        node = f"c:{concept_id}"
+        if node not in self.graph:
+            return {}
+        result = {}
+        for neighbor in self.graph[node]:
+            edge = self.graph[node][neighbor]
+            if edge.get("relation") == "mentions":
+                result[self.graph.nodes[neighbor]["doc_id"]] = edge["weight"]
+        return result
+
+    def related_concepts(self, concept_id: str) -> dict[str, float]:
+        """concept_id → relation weight of the co-occurrence neighbours."""
+        node = f"c:{concept_id}"
+        if node not in self.graph:
+            return {}
+        result = {}
+        for neighbor in self.graph[node]:
+            edge = self.graph[node][neighbor]
+            if edge.get("relation") == "related":
+                result[self.graph.nodes[neighbor]["concept_id"]] = edge["weight"]
+        return result
+
+    def duplicates_of(self, doc_id: str) -> list[str]:
+        """Near-duplicate documents of *doc_id*."""
+        node = f"d:{doc_id}"
+        if node not in self.graph:
+            return []
+        return [
+            self.graph.nodes[neighbor]["doc_id"]
+            for neighbor in self.graph[node]
+            if self.graph[node][neighbor].get("relation") == "duplicate_of"
+        ]
+
+    def stats(self) -> GraphStats:
+        """Counts of nodes and typed edges."""
+        concepts = sum(1 for _, d in self.graph.nodes(data=True) if d["kind"] == KIND_CONCEPT)
+        documents = sum(1 for _, d in self.graph.nodes(data=True) if d["kind"] == KIND_DOCUMENT)
+        relations = {"mentions": 0, "related": 0, "duplicate_of": 0}
+        for _, _, data in self.graph.edges(data=True):
+            relations[data["relation"]] += 1
+        return GraphStats(
+            concepts=concepts,
+            documents=documents,
+            mention_edges=relations["mentions"],
+            related_edges=relations["related"],
+            duplicate_edges=relations["duplicate_of"],
+        )
+
+
+def build_graph_from_index(
+    index: SearchIndex,
+    lexicon: ConceptLexicon,
+    min_mention_weight: float = 0.34,
+    duplicate_title_overlap: float = 0.99,
+) -> KnowledgeGraph:
+    """Construct the knowledge graph from an indexed corpus.
+
+    Concepts come from the lexicon; mentions are extracted from chunk
+    contents; concept co-occurrence within a document creates the
+    ``related`` layer; documents whose *titles* share an identical concept
+    fingerprint are linked as near-duplicates.
+    """
+    kg = KnowledgeGraph()
+    for concept in lexicon.concepts:
+        kg.add_concept(concept.concept_id, concept.canonical, concept.domain)
+
+    # Aggregate per-document concept weights across chunks.
+    doc_concepts: dict[str, dict[str, float]] = {}
+    doc_titles: dict[str, str] = {}
+    for internal in index.live_internals():
+        record = index.record(internal)
+        doc_titles.setdefault(record.doc_id, record.title)
+        weights = lexicon.concepts_in_text(f"{record.title} {record.content}")
+        bucket = doc_concepts.setdefault(record.doc_id, {})
+        for concept_id, weight in weights.items():
+            bucket[concept_id] = bucket.get(concept_id, 0.0) + weight
+
+    title_fingerprints: dict[tuple[str, ...], list[str]] = {}
+    for doc_id, weights in doc_concepts.items():
+        kg.add_document(doc_id, doc_titles[doc_id])
+        strong = {cid: w for cid, w in weights.items() if w >= min_mention_weight}
+        for concept_id, weight in strong.items():
+            kg.add_mention(doc_id, concept_id, weight)
+        # Co-occurrence layer (cap at the strongest few to bound degree).
+        top = sorted(strong, key=strong.get, reverse=True)[:5]
+        for i, concept_a in enumerate(top):
+            for concept_b in top[i + 1 :]:
+                kg.add_related(concept_a, concept_b, 1.0)
+        # Near-duplicate layer via title concept fingerprint.
+        title_weights = lexicon.concepts_in_text(doc_titles[doc_id])
+        fingerprint = tuple(sorted(cid for cid, w in title_weights.items() if w >= duplicate_title_overlap))
+        if fingerprint:
+            title_fingerprints.setdefault(fingerprint, []).append(doc_id)
+
+    for doc_ids in title_fingerprints.values():
+        for i, doc_a in enumerate(doc_ids):
+            for doc_b in doc_ids[i + 1 :]:
+                kg.add_duplicate(doc_a, doc_b)
+    return kg

@@ -1,0 +1,158 @@
+"""Ontological guidance for generation.
+
+The two generation-side uses of the knowledge graph the paper anticipates:
+
+* :class:`KgGuardrail` — a *semantic* hallucination check ("we will
+  strengthen our guardrails with more sophisticated approaches"): the
+  answer's concept fingerprint must stay inside the graph neighbourhood of
+  the retrieval context.  Unlike ROUGE-L this is robust to heavy
+  paraphrasing (a reworded grounded answer passes; a fluent off-topic
+  answer fails even when it shares surface words).
+* :func:`suggest_related_pages` — "guiding the generation via ontological
+  reasoning": related procedures for the query's concepts, surfaced as
+  see-also links next to the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings.concepts import ConceptLexicon
+from repro.guardrails.base import GuardrailVerdict
+from repro.kg.graph import KnowledgeGraph
+from repro.search.results import RetrievedChunk
+
+
+class KgGuardrail:
+    """Concept-neighbourhood grounding check.
+
+    The allowed concept set for an answer is every concept mentioned by a
+    context document; with ``expand_related=True`` it additionally expands
+    one hop through the ``related`` layer (more forgiving, but action
+    concepts are co-occurrence hubs, so expansion weakens the check — it is
+    off by default).  The guardrail fires when less than ``min_supported``
+    of the answer's concept mass falls inside the allowed set.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        lexicon: ConceptLexicon,
+        min_supported: float = 0.5,
+        expand_related: bool = False,
+        min_concept_weight: float = 0.75,
+    ) -> None:
+        if not 0.0 <= min_supported <= 1.0:
+            raise ValueError("min_supported must lie in [0, 1]")
+        self._kg = kg
+        self._lexicon = lexicon
+        self._min_supported = min_supported
+        self._expand_related = expand_related
+        # Multi-word forms match fractionally word by word; a stray shared
+        # word ("pratica" of "pratica di successione") must not count as a
+        # concept mention on either side of the check.
+        self._min_concept_weight = min_concept_weight
+
+    def _fingerprint(self, text: str) -> dict[str, float]:
+        weights = self._lexicon.concepts_in_text(text)
+        return {cid: w for cid, w in weights.items() if w >= self._min_concept_weight}
+
+    @property
+    def name(self) -> str:
+        """Guardrail identifier."""
+        return "kg"
+
+    def allowed_concepts(self, context: list[RetrievedChunk]) -> set[str]:
+        """The context's concept neighbourhood."""
+        allowed: set[str] = set()
+        for chunk in context:
+            allowed |= set(self._fingerprint(f"{chunk.record.title} {chunk.record.content}"))
+        if self._expand_related:
+            for concept_id in list(allowed):
+                allowed |= set(self._kg.related_concepts(concept_id))
+        return allowed
+
+    def supported_fraction(self, answer: str, context: list[RetrievedChunk]) -> float:
+        """Share of the answer's concept mass inside the allowed set."""
+        weights = self._fingerprint(answer)
+        total = sum(weights.values())
+        if total == 0.0:
+            return 1.0  # no factual concepts to verify
+        allowed = self.allowed_concepts(context)
+        supported = sum(weight for cid, weight in weights.items() if cid in allowed)
+        return supported / total
+
+    def check(
+        self, question: str, answer: str, context: list[RetrievedChunk]
+    ) -> GuardrailVerdict:
+        """Fire when the answer drifts outside the context's neighbourhood."""
+        if not context:
+            return GuardrailVerdict(
+                passed=False, guardrail=self.name, detail="no context to ground against"
+            )
+        fraction = self.supported_fraction(answer, context)
+        if fraction < self._min_supported:
+            return GuardrailVerdict(
+                passed=False,
+                guardrail=self.name,
+                detail=f"only {fraction:.0%} of answer concepts supported by the context neighbourhood",
+                score=fraction,
+            )
+        return GuardrailVerdict(passed=True, score=fraction)
+
+
+@dataclass(frozen=True)
+class RelatedPage:
+    """One see-also suggestion."""
+
+    doc_id: str
+    title: str
+    via_concept: str
+    score: float
+
+
+def suggest_related_pages(
+    kg: KnowledgeGraph,
+    lexicon: ConceptLexicon,
+    query: str,
+    exclude_docs: set[str] | None = None,
+    limit: int = 3,
+) -> list[RelatedPage]:
+    """Related procedures for the query's concepts (ontological see-also).
+
+    Walks query concepts → related concepts → documents, scoring each
+    candidate page by seed weight × relation weight × mention weight, and
+    skipping the documents already shown (*exclude_docs*).
+    """
+    exclude = exclude_docs or set()
+    seeds = lexicon.concepts_in_text(query)
+    candidates: dict[str, RelatedPage] = {}
+    for seed_id, seed_weight in seeds.items():
+        neighbourhood = {seed_id: 1.0}
+        neighbourhood.update(
+            {cid: min(w, 4.0) / 8.0 for cid, w in kg.related_concepts(seed_id).items()}
+        )
+        for concept_id, hop_weight in neighbourhood.items():
+            for doc_id, mention_weight in kg.documents_of_concept(concept_id).items():
+                if doc_id in exclude:
+                    continue
+                score = seed_weight * hop_weight * min(mention_weight, 3.0)
+                current = candidates.get(doc_id)
+                if current is None or score > current.score:
+                    title = kg.graph.nodes[f"d:{doc_id}"]["title"]
+                    candidates[doc_id] = RelatedPage(
+                        doc_id=doc_id, title=title, via_concept=concept_id, score=score
+                    )
+    ranked = sorted(candidates.values(), key=lambda page: (-page.score, page.doc_id))
+    # One suggestion per near-duplicate family: a see-also list of three
+    # segment variants of the same page helps nobody.
+    picked: list[RelatedPage] = []
+    suppressed: set[str] = set()
+    for page in ranked:
+        if page.doc_id in suppressed:
+            continue
+        picked.append(page)
+        suppressed.update(kg.duplicates_of(page.doc_id))
+        if len(picked) >= limit:
+            break
+    return picked

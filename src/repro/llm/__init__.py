@@ -1,0 +1,48 @@
+"""LLM substrate: chat interface, simulated model, prompts, rate limiting."""
+
+from repro.llm.base import (
+    ChatCompletionClient,
+    ChatMessage,
+    ChatResponse,
+    ChatUsage,
+    assistant,
+    system,
+    user,
+)
+from repro.llm.content_filter import ContentFilter, ContentFilterResult
+from repro.llm.prompts import (
+    ContextDocument,
+    build_answer_prompt,
+    build_blind_answer_prompt,
+    build_keywords_prompt,
+    build_related_queries_prompt,
+    build_summary_prompt,
+    context_from_results,
+    render_context_json,
+)
+from repro.llm.rate_limiter import RateLimitDecision, TokenBucketRateLimiter
+from repro.llm.simulated import REFUSAL_TEXT, SimulatedChatLLM
+
+__all__ = [
+    "ChatCompletionClient",
+    "ChatMessage",
+    "ChatResponse",
+    "ChatUsage",
+    "assistant",
+    "system",
+    "user",
+    "ContentFilter",
+    "ContentFilterResult",
+    "ContextDocument",
+    "build_answer_prompt",
+    "build_blind_answer_prompt",
+    "build_keywords_prompt",
+    "build_related_queries_prompt",
+    "build_summary_prompt",
+    "context_from_results",
+    "render_context_json",
+    "RateLimitDecision",
+    "TokenBucketRateLimiter",
+    "REFUSAL_TEXT",
+    "SimulatedChatLLM",
+]

@@ -1,0 +1,80 @@
+"""Chat-completion interface.
+
+The generation module of UniAsk talks to gpt-3.5-turbo through its chat
+completion API (Section 5).  This module defines the provider-neutral
+surface — messages in, one assistant message out — implemented offline by
+:class:`repro.llm.simulated.SimulatedChatLLM`.  Any client exposing
+:meth:`ChatCompletionClient.complete` can be plugged into the engine, the
+query-expansion variants and the metadata enrichment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+#: The chat roles accepted by the API.
+ROLES = ("system", "user", "assistant")
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message of a chat conversation."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"role must be one of {ROLES}")
+
+
+@dataclass(frozen=True)
+class ChatUsage:
+    """Token accounting of one completion call."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus completion tokens."""
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """The assistant's reply plus usage metadata."""
+
+    content: str
+    usage: ChatUsage = field(default_factory=ChatUsage)
+    finish_reason: str = "stop"
+
+
+@runtime_checkable
+class ChatCompletionClient(Protocol):
+    """Anything that answers a chat conversation with one message."""
+
+    def complete(
+        self,
+        messages: list[ChatMessage],
+        temperature: float = 0.0,
+        max_tokens: int = 512,
+    ) -> ChatResponse:
+        """Generate the assistant reply for *messages*."""
+        ...
+
+
+def system(content: str) -> ChatMessage:
+    """Shorthand for a system message."""
+    return ChatMessage("system", content)
+
+
+def user(content: str) -> ChatMessage:
+    """Shorthand for a user message."""
+    return ChatMessage("user", content)
+
+
+def assistant(content: str) -> ChatMessage:
+    """Shorthand for an assistant message."""
+    return ChatMessage("assistant", content)

@@ -1,0 +1,70 @@
+"""Content filter.
+
+Stand-in for the Azure OpenAI Content Filter the paper runs on incoming
+questions (Section 6) to detect and block harmful content — inappropriate
+language, or attempts to use the assistant beyond its intended purpose.
+
+The offline implementation is lexicon + pattern based: a category-tagged
+list of Italian/English harmful terms plus prompt-injection patterns.  It
+reports the *category* of the match so the monitoring dashboard can break
+blocks down, as the real service does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.text.tokenizer import word_tokenize
+
+#: category -> lower-case trigger terms.
+_DEFAULT_LEXICON: dict[str, frozenset[str]] = {
+    "hate": frozenset(["odio", "razzista", "discriminare", "insulto", "idiota", "stupido"]),
+    "violence": frozenset(["uccidere", "bomba", "arma", "sparare", "aggredire", "minacciare"]),
+    "self_harm": frozenset(["suicidio", "autolesionismo", "farmi del male"]),
+    "sexual": frozenset(["pornografia", "sessuale", "osceno"]),
+    "fraud": frozenset(["riciclare", "frode", "evadere", "falsificare", "rubare", "truffa"]),
+}
+
+#: Prompt-injection / jailbreak phrasings (off-purpose use).
+_INJECTION_PATTERNS = (
+    re.compile(r"ignora\s+(le\s+)?istruzioni", re.IGNORECASE),
+    re.compile(r"ignore\s+(all\s+)?previous\s+instructions", re.IGNORECASE),
+    re.compile(r"fingi\s+di\s+essere", re.IGNORECASE),
+    re.compile(r"system\s+prompt", re.IGNORECASE),
+)
+
+
+@dataclass(frozen=True)
+class ContentFilterResult:
+    """Outcome of screening one text."""
+
+    blocked: bool
+    category: str = ""
+    matched_term: str = ""
+
+
+class ContentFilter:
+    """Lexicon/pattern content screening applied to user questions."""
+
+    def __init__(self, lexicon: dict[str, frozenset[str]] | None = None) -> None:
+        self._lexicon = lexicon if lexicon is not None else _DEFAULT_LEXICON
+
+    def check(self, text: str) -> ContentFilterResult:
+        """Screen *text*; returns the first matching category, if any."""
+        lowered = text.lower()
+        for pattern in _INJECTION_PATTERNS:
+            match = pattern.search(lowered)
+            if match:
+                return ContentFilterResult(blocked=True, category="injection", matched_term=match.group(0))
+
+        tokens = {token.lower() for token in word_tokenize(lowered)}
+        for category, terms in self._lexicon.items():
+            hit = tokens & terms
+            if hit:
+                return ContentFilterResult(blocked=True, category=category, matched_term=sorted(hit)[0])
+            # Multi-word phrases are matched on the raw text.
+            for term in terms:
+                if " " in term and term in lowered:
+                    return ContentFilterResult(blocked=True, category=category, matched_term=term)
+        return ContentFilterResult(blocked=False)

@@ -1,0 +1,155 @@
+"""Prompt engineering for UniAsk.
+
+Builds the exact prompt structure described in Section 5:
+
+1. **general background context** — the assistant serves UniCredit
+   employees and must answer from a list of retrieved documents;
+2. **specific context** — the top *m* retrieved chunks, formatted as a JSON
+   list of ``{"key": ..., "title": ..., "content": ...}`` dictionaries,
+   preceded by input-format instructions;
+3. **recommendations** for a valid answer: always cite sources using the
+   ``[docK]`` format, answer in Italian, say "non lo so" when the context
+   does not support an answer;
+4. **repeated** citation instructions — the paper found that repeating the
+   important requirements keeps the LLM from forgetting them.
+
+The auxiliary task prompts (document summary, keyword extraction, blind
+answer and related-query generation for the Table 3/4 experiments) live
+here too, each stamped with a ``TASK:`` tag that the offline simulated LLM
+dispatches on — a real deployment would simply send the same prompts to
+gpt-3.5-turbo.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.llm.base import ChatMessage, system, user
+from repro.search.results import RetrievedChunk
+
+#: Task tags used by the simulated LLM to dispatch behaviour.
+TASK_ANSWER = "TASK: rag_answer"
+TASK_SUMMARY = "TASK: summarize_document"
+TASK_KEYWORDS = "TASK: extract_keywords"
+TASK_BLIND_ANSWER = "TASK: blind_answer"
+TASK_RELATED_QUERIES = "TASK: related_queries"
+
+#: Citation format required of the model: [doc1], [doc2], ...
+CITATION_PREFIX = "doc"
+
+_BACKGROUND = (
+    "Sei l'assistente virtuale dei dipendenti di UniCredit. "
+    "Il tuo compito è rispondere alla domanda di un dipendente basandoti "
+    "esclusivamente sul contesto fornito: una lista di documenti rilevanti "
+    "recuperati dalla base di conoscenza interna della banca."
+)
+
+_INPUT_FORMAT = (
+    "Il contesto è una lista JSON; ogni documento è un dizionario con le "
+    'chiavi "key" (identificatore), "title" (titolo) e "content" (contenuto).'
+)
+
+_RECOMMENDATIONS = (
+    "Raccomandazioni per una risposta valida:\n"
+    "1. Ogni frase della risposta deve citare i documenti del contesto "
+    "usati come fonte, nel formato [doc1], [doc2].\n"
+    "2. Rispondi sempre in italiano.\n"
+    "3. Se il contesto non contiene chiaramente le informazioni necessarie, "
+    "rispondi che non conosci la risposta.\n"
+    "4. La risposta deve essere autonoma e completa."
+)
+
+_REPEATED_INSTRUCTIONS = (
+    "Ricorda: includi SEMPRE almeno una citazione nel formato [docK]. "
+    "Le citazioni devono usare esattamente il formato [doc1], [doc2], ... "
+    "riferendosi alle chiavi dei documenti del contesto."
+)
+
+
+@dataclass(frozen=True)
+class ContextDocument:
+    """One chunk as presented to the LLM in the JSON context."""
+
+    key: str
+    title: str
+    content: str
+
+
+def context_from_results(results: list[RetrievedChunk], m: int = 4) -> list[ContextDocument]:
+    """Convert the top *m* retrieved chunks into prompt context documents.
+
+    Keys are positional (``doc1`` … ``docm``) so citations are compact and
+    unambiguous, per the paper's format instructions.
+    """
+    documents = []
+    for position, result in enumerate(results[:m], start=1):
+        documents.append(
+            ContextDocument(
+                key=f"{CITATION_PREFIX}{position}",
+                title=result.record.title,
+                content=result.record.content,
+            )
+        )
+    return documents
+
+
+def render_context_json(documents: list[ContextDocument]) -> str:
+    """Serialize context documents to the JSON list fed to the LLM."""
+    payload = [
+        {"key": document.key, "title": document.title, "content": document.content}
+        for document in documents
+    ]
+    return json.dumps(payload, ensure_ascii=False)
+
+
+def build_answer_prompt(question: str, documents: list[ContextDocument]) -> list[ChatMessage]:
+    """The full UniAsk generation prompt for *question* over *documents*."""
+    system_content = "\n\n".join(
+        [TASK_ANSWER, _BACKGROUND, _INPUT_FORMAT, _RECOMMENDATIONS, _REPEATED_INSTRUCTIONS]
+    )
+    user_content = (
+        f"Contesto:\n{render_context_json(documents)}\n\n"
+        f"Domanda: {question}\n\n"
+        f"{_REPEATED_INSTRUCTIONS}"
+    )
+    return [system(system_content), user(user_content)]
+
+
+def build_summary_prompt(title: str, text: str) -> list[ChatMessage]:
+    """Metadata enrichment: summarize a whole document (Section 3)."""
+    return [
+        system(f"{TASK_SUMMARY}\nRiassumi il documento in poche frasi, in italiano."),
+        user(f"Titolo: {title}\n\n{text}"),
+    ]
+
+
+def build_keywords_prompt(title: str, text: str | None = None) -> list[ChatMessage]:
+    """Metadata enrichment: extract keywords from title (and content).
+
+    With ``text=None`` this is the HSS-KT variant (title only); otherwise
+    HSS-KTC (title and content) — Table 4.
+    """
+    body = f"Titolo: {title}"
+    if text is not None:
+        body += f"\n\n{text}"
+    return [
+        system(f"{TASK_KEYWORDS}\nEstrai una lista di parole chiave, separate da virgole."),
+        user(body),
+    ]
+
+
+def build_blind_answer_prompt(question: str) -> list[ChatMessage]:
+    """QGA expansion: answer with no retrieved context (Table 3)."""
+    return [
+        system(f"{TASK_BLIND_ANSWER}\nRispondi alla domanda senza alcun contesto."),
+        user(question),
+    ]
+
+
+def build_related_queries_prompt(question: str, n: int) -> list[ChatMessage]:
+    """MQ expansion: generate *n* queries related to the question (Table 3)."""
+    return [
+        system(f"{TASK_RELATED_QUERIES}\nGenera {n} domande correlate, una per riga."),
+        user(question),
+    ]

@@ -1,0 +1,27 @@
+"""Operational tooling: experiment tracking, environments, promotion gates."""
+
+from repro.ops.deployment import (
+    DEV,
+    PROD,
+    QA,
+    WORKBENCH,
+    EnvironmentSpec,
+    PromotionPipeline,
+    ReleaseChecks,
+    standard_environments,
+)
+from repro.ops.experiments import ExperimentRun, ExperimentTracker, track_evaluation
+
+__all__ = [
+    "DEV",
+    "PROD",
+    "QA",
+    "WORKBENCH",
+    "EnvironmentSpec",
+    "PromotionPipeline",
+    "ReleaseChecks",
+    "standard_environments",
+    "ExperimentRun",
+    "ExperimentTracker",
+    "track_evaluation",
+]

@@ -1,0 +1,155 @@
+"""Deployment environments and promotion checks.
+
+Section 9: "The application components can be grouped into four distinct
+environments: Workbench, DEV (Development), QA (Quality), and PROD
+(Production). […] The application environments differ in the tiering and
+sizing of resources: DEV is equipped with minimal resources, whereas QA and
+PROD are exactly equivalent."
+
+This module models that promotion pipeline: an
+:class:`EnvironmentSpec` captures the sizing knobs that actually matter to
+this system (LLM token quota, index replicas, Kubernetes nodes, dataset
+scale), :func:`standard_environments` encodes the paper's tiering, and
+:class:`PromotionPipeline` enforces the two invariants the section states —
+promotions go Workbench → DEV → QA → PROD in order and **QA and PROD must
+be exactly equivalent** — plus the pre-production gates (tests green,
+vulnerability assessment done, penetration test done).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Environment names, in promotion order.
+WORKBENCH = "workbench"
+DEV = "dev"
+QA = "qa"
+PROD = "prod"
+
+PROMOTION_ORDER = (WORKBENCH, DEV, QA, PROD)
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Sizing of one environment."""
+
+    name: str
+    llm_tokens_per_minute: float
+    index_replicas: int
+    k8s_nodes: int
+    corpus_scale: float  # fraction of the production KB mirrored here
+
+    def __post_init__(self) -> None:
+        if self.name not in PROMOTION_ORDER:
+            raise ValueError(f"unknown environment {self.name!r}")
+        if self.llm_tokens_per_minute <= 0 or self.index_replicas <= 0 or self.k8s_nodes <= 0:
+            raise ValueError("resource sizes must be positive")
+        if not 0.0 < self.corpus_scale <= 1.0:
+            raise ValueError("corpus_scale must lie in (0, 1]")
+
+    def sizing(self) -> dict[str, float]:
+        """The comparable sizing vector (everything except the name)."""
+        return {
+            "llm_tokens_per_minute": self.llm_tokens_per_minute,
+            "index_replicas": self.index_replicas,
+            "k8s_nodes": self.k8s_nodes,
+            "corpus_scale": self.corpus_scale,
+        }
+
+
+def standard_environments(
+    production_quota: float = 1_310_000.0,
+) -> dict[str, EnvironmentSpec]:
+    """The paper's tiering: minimal DEV, QA exactly equivalent to PROD.
+
+    The production LLM quota defaults to the value the Figure 2 load test
+    recommends.
+    """
+    prod = EnvironmentSpec(
+        name=PROD,
+        llm_tokens_per_minute=production_quota,
+        index_replicas=3,
+        k8s_nodes=6,
+        corpus_scale=1.0,
+    )
+    return {
+        WORKBENCH: EnvironmentSpec(
+            name=WORKBENCH,
+            llm_tokens_per_minute=production_quota / 20,
+            index_replicas=1,
+            k8s_nodes=1,
+            corpus_scale=0.05,
+        ),
+        DEV: EnvironmentSpec(
+            name=DEV,
+            llm_tokens_per_minute=production_quota / 10,
+            index_replicas=1,
+            k8s_nodes=2,
+            corpus_scale=0.10,
+        ),
+        QA: replace(prod, name=QA),
+        PROD: prod,
+    }
+
+
+@dataclass(frozen=True)
+class ReleaseChecks:
+    """Pre-production gates (Section 9's DevOps and security practices)."""
+
+    tests_green: bool = False
+    vulnerability_assessment_done: bool = False
+    penetration_test_done: bool = False
+
+
+@dataclass
+class PromotionPipeline:
+    """Tracks where a release stands and validates each promotion."""
+
+    environments: dict[str, EnvironmentSpec] = field(default_factory=standard_environments)
+    current: str = WORKBENCH
+
+    def validate_environments(self) -> list[str]:
+        """Configuration lint: the invariants Section 9 states.
+
+        Returns a list of violations (empty when the setup is sound).
+        """
+        problems = []
+        missing = [name for name in PROMOTION_ORDER if name not in self.environments]
+        if missing:
+            problems.append(f"missing environments: {', '.join(missing)}")
+            return problems
+        qa, prod = self.environments[QA], self.environments[PROD]
+        if qa.sizing() != prod.sizing():
+            problems.append("QA and PROD must be exactly equivalent")
+        dev, workbench = self.environments[DEV], self.environments[WORKBENCH]
+        if dev.sizing()["llm_tokens_per_minute"] >= prod.sizing()["llm_tokens_per_minute"]:
+            problems.append("DEV must be smaller than PROD")
+        if workbench.corpus_scale > dev.corpus_scale:
+            problems.append("Workbench must not exceed DEV in corpus scale")
+        return problems
+
+    def promote(self, checks: ReleaseChecks | None = None) -> str:
+        """Move the release one environment forward.
+
+        Promotion into PROD requires every pre-production gate of
+        *checks*; earlier promotions only require green tests.
+        """
+        problems = self.validate_environments()
+        if problems:
+            raise ValueError("; ".join(problems))
+        position = PROMOTION_ORDER.index(self.current)
+        if position == len(PROMOTION_ORDER) - 1:
+            raise ValueError("release is already in production")
+        target = PROMOTION_ORDER[position + 1]
+
+        checks = checks or ReleaseChecks()
+        if not checks.tests_green:
+            raise PermissionError("promotion blocked: tests are not green")
+        if target == PROD:
+            if not checks.vulnerability_assessment_done:
+                raise PermissionError("promotion to PROD blocked: vulnerability assessment missing")
+            if not checks.penetration_test_done:
+                raise PermissionError("promotion to PROD blocked: penetration test missing")
+
+        self.current = target
+        return target

@@ -1,0 +1,159 @@
+"""Experiment tracking — the Workbench ops service.
+
+Section 9: the Workbench environment includes "Ops Services for experiment
+tracking, and metrics and notebooks for seamless data exploration".  The
+agile development of Section 7 (several retrieval variants per iteration,
+each judged on the validation datasets) needs exactly that: record every
+run's parameters and metrics, list and compare runs, and persist the
+ledger so a new session can pick up where the last one stopped.
+
+The tracker is deliberately minimal — a JSON-lines ledger on disk — but
+carries the full workflow: ``start_run`` → ``log_params`` / ``log_metrics``
+→ ``finish_run``; ``best_run`` and ``compare`` answer the two questions a
+team actually asks ("which variant won?", "what changed between these
+two?").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ExperimentRun:
+    """One tracked run: parameters in, metrics out."""
+
+    run_id: str
+    name: str
+    params: dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+    finished: bool = False
+
+    def to_json(self) -> str:
+        """Serialize as one ledger line."""
+        return json.dumps(
+            {
+                "run_id": self.run_id,
+                "name": self.name,
+                "params": self.params,
+                "metrics": self.metrics,
+                "tags": list(self.tags),
+                "finished": self.finished,
+            },
+            ensure_ascii=False,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExperimentRun":
+        """Parse one ledger line."""
+        payload = json.loads(line)
+        return cls(
+            run_id=payload["run_id"],
+            name=payload["name"],
+            params=payload["params"],
+            metrics=payload["metrics"],
+            tags=tuple(payload["tags"]),
+            finished=payload["finished"],
+        )
+
+
+class ExperimentTracker:
+    """An append-only run ledger, optionally persisted to disk."""
+
+    def __init__(self, ledger_path: str | Path | None = None) -> None:
+        self._ledger_path = Path(ledger_path) if ledger_path else None
+        self._runs: dict[str, ExperimentRun] = {}
+        self._counter = 0
+        if self._ledger_path and self._ledger_path.exists():
+            for line in self._ledger_path.read_text().splitlines():
+                if line.strip():
+                    run = ExperimentRun.from_json(line)
+                    self._runs[run.run_id] = run
+                    self._counter = max(self._counter, int(run.run_id.split("-")[1]))
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    # -- workflow ------------------------------------------------------------
+
+    def start_run(self, name: str, tags: tuple[str, ...] = ()) -> ExperimentRun:
+        """Open a new run under *name*."""
+        self._counter += 1
+        run = ExperimentRun(run_id=f"run-{self._counter:04d}", name=name, tags=tags)
+        self._runs[run.run_id] = run
+        return run
+
+    def log_params(self, run: ExperimentRun, **params: object) -> None:
+        """Attach parameters to an open run."""
+        self._require_open(run)
+        run.params.update(params)
+
+    def log_metrics(self, run: ExperimentRun, **metrics: float) -> None:
+        """Attach metric values to an open run."""
+        self._require_open(run)
+        run.metrics.update({name: float(value) for name, value in metrics.items()})
+
+    def finish_run(self, run: ExperimentRun) -> None:
+        """Close the run and append it to the ledger."""
+        self._require_open(run)
+        run.finished = True
+        if self._ledger_path:
+            self._ledger_path.parent.mkdir(parents=True, exist_ok=True)
+            with self._ledger_path.open("a") as ledger:
+                ledger.write(run.to_json() + "\n")
+
+    # -- queries ---------------------------------------------------------------
+
+    def runs(self, name: str | None = None, tag: str | None = None) -> list[ExperimentRun]:
+        """Finished runs, optionally filtered by experiment name or tag."""
+        selected = [run for run in self._runs.values() if run.finished]
+        if name is not None:
+            selected = [run for run in selected if run.name == name]
+        if tag is not None:
+            selected = [run for run in selected if tag in run.tags]
+        return selected
+
+    def best_run(self, metric: str, name: str | None = None, maximize: bool = True) -> ExperimentRun:
+        """The finished run with the best value of *metric*."""
+        candidates = [run for run in self.runs(name=name) if metric in run.metrics]
+        if not candidates:
+            raise LookupError(f"no finished run carries metric {metric!r}")
+        return (max if maximize else min)(candidates, key=lambda run: run.metrics[metric])
+
+    def compare(self, run_a: ExperimentRun, run_b: ExperimentRun) -> dict[str, tuple[object, object]]:
+        """Param/metric pairs that differ between two runs."""
+        differences: dict[str, tuple[object, object]] = {}
+        keys = set(run_a.params) | set(run_b.params)
+        for key in sorted(keys):
+            left, right = run_a.params.get(key), run_b.params.get(key)
+            if left != right:
+                differences[f"param:{key}"] = (left, right)
+        keys = set(run_a.metrics) | set(run_b.metrics)
+        for key in sorted(keys):
+            left, right = run_a.metrics.get(key), run_b.metrics.get(key)
+            if left != right:
+                differences[f"metric:{key}"] = (left, right)
+        return differences
+
+    def _require_open(self, run: ExperimentRun) -> None:
+        if run.finished:
+            raise ValueError(f"run {run.run_id} is already finished")
+        if run.run_id not in self._runs:
+            raise KeyError(f"run {run.run_id} does not belong to this tracker")
+
+
+def track_evaluation(tracker: ExperimentTracker, name: str, params: dict, result) -> ExperimentRun:
+    """Record one :class:`~repro.eval.harness.EvaluationResult` as a run."""
+    run = tracker.start_run(name)
+    tracker.log_params(run, **params)
+    tracker.log_metrics(
+        run,
+        answered_fraction=result.answered_fraction,
+        **result.metrics.as_dict(),
+    )
+    tracker.finish_run(run)
+    return run

@@ -1,0 +1,23 @@
+"""Ingestion & indexing pipeline: clock, queue, store, services."""
+
+from repro.pipeline.clock import SimulatedClock
+from repro.pipeline.enrichment import DocumentEnrichment, MetadataEnricher
+from repro.pipeline.indexing import IndexingReport, IndexingService
+from repro.pipeline.ingestion import DEFAULT_POLL_INTERVAL, IngestionService, PollReport
+from repro.pipeline.queue import MessageQueue, QueueMessage
+from repro.pipeline.store import KbDocument, KnowledgeBaseStore
+
+__all__ = [
+    "SimulatedClock",
+    "DocumentEnrichment",
+    "MetadataEnricher",
+    "IndexingReport",
+    "IndexingService",
+    "DEFAULT_POLL_INTERVAL",
+    "IngestionService",
+    "PollReport",
+    "MessageQueue",
+    "QueueMessage",
+    "KbDocument",
+    "KnowledgeBaseStore",
+]

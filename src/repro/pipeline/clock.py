@@ -1,0 +1,33 @@
+"""Simulated clock.
+
+All time-dependent components — the 15-minute ingestion polling cron, the
+token-bucket rate limiter, the load-test arrival process, response-time
+accounting — read time from an injected clock instead of the wall clock, so
+hour-long scenarios replay deterministically in milliseconds.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds*; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to *timestamp* (no-op if already past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now

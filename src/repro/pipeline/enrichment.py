@@ -1,0 +1,48 @@
+"""LLM metadata enrichment.
+
+Section 3: "We augment the metadata generating via LLM a *summary* of the
+whole document and a list of *keywords*."  The enrichment step runs inside
+the indexing service, once per (re)indexed document, and its outputs become
+the ``summary`` (searchable, retrievable) field of every chunk and the
+optional ``llm_keywords`` field used by the Table 4 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.base import ChatCompletionClient
+from repro.llm.prompts import build_keywords_prompt, build_summary_prompt
+
+
+@dataclass(frozen=True)
+class DocumentEnrichment:
+    """The LLM-generated metadata of one document."""
+
+    summary: str
+    keywords: tuple[str, ...]
+
+
+class MetadataEnricher:
+    """Generates the summary + keyword metadata via the chat LLM."""
+
+    def __init__(self, llm: ChatCompletionClient, keyword_variant: str = "none") -> None:
+        if keyword_variant not in ("none", "kt", "ktc"):
+            raise ValueError("keyword_variant must be 'none', 'kt' or 'ktc'")
+        self._llm = llm
+        self._keyword_variant = keyword_variant
+
+    def enrich(self, title: str, text: str) -> DocumentEnrichment:
+        """Summarize the whole document and optionally extract keywords."""
+        summary_response = self._llm.complete(build_summary_prompt(title, text), max_tokens=96)
+
+        keywords: tuple[str, ...] = ()
+        if self._keyword_variant != "none":
+            content = text if self._keyword_variant == "ktc" else None
+            keyword_response = self._llm.complete(
+                build_keywords_prompt(title, content), max_tokens=64
+            )
+            keywords = tuple(
+                part.strip() for part in keyword_response.content.split(",") if part.strip()
+            )
+        return DocumentEnrichment(summary=summary_response.content, keywords=keywords)

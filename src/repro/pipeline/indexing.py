@@ -1,0 +1,135 @@
+"""Indexing service.
+
+Section 3: event-triggered consumer of the ingestion queue.  For every
+message it fetches the document from the KB store, parses the HTML, chunks
+it with the paragraph-aligned strategy (512-token chunks, Section 4),
+enriches the metadata via the LLM (summary + keywords), and feeds the
+search index.  Document updates replace all previous chunks of the page;
+deletes tombstone them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htmlproc.chunking import HtmlParagraphChunker
+from repro.htmlproc.parser import parse_html
+from repro.pipeline.enrichment import MetadataEnricher
+from repro.pipeline.queue import MessageQueue
+from repro.pipeline.store import KbDocument, KnowledgeBaseStore
+from repro.search.index import SearchIndex
+from repro.search.schema import ChunkRecord
+
+
+@dataclass(frozen=True)
+class IndexingReport:
+    """What one drain of the queue accomplished."""
+
+    messages: int
+    documents_indexed: int
+    documents_deleted: int
+    chunks_written: int
+
+
+class IndexingService:
+    """Queue consumer that turns KB documents into index chunks."""
+
+    def __init__(
+        self,
+        store: KnowledgeBaseStore,
+        queue: MessageQueue,
+        index: SearchIndex,
+        enricher: MetadataEnricher | None = None,
+        chunker: HtmlParagraphChunker | None = None,
+    ) -> None:
+        self._store = store
+        self._queue = queue
+        self._index = index
+        self._enricher = enricher
+        self._chunker = chunker or HtmlParagraphChunker()
+
+    def build_records(self, document: KbDocument) -> list[ChunkRecord]:
+        """Parse, chunk and enrich one document into its chunk records."""
+        parsed = parse_html(document.html)
+        chunks = self._chunker.chunk_document(parsed)
+        if not chunks:
+            return []
+
+        summary = ""
+        llm_keywords: tuple[str, ...] = ()
+        if self._enricher is not None:
+            enrichment = self._enricher.enrich(parsed.title, parsed.text)
+            summary = enrichment.summary
+            llm_keywords = enrichment.keywords
+
+        return [
+            ChunkRecord(
+                chunk_id=f"{document.doc_id}#{chunk.index}",
+                doc_id=document.doc_id,
+                title=parsed.title,
+                content=chunk.text,
+                summary=summary,
+                domain=document.domain,
+                section=document.section,
+                topic=document.topic,
+                keywords=document.keywords,
+                llm_keywords=llm_keywords,
+            )
+            for chunk in chunks
+        ]
+
+    def process_one(self) -> bool:
+        """Consume one queue message; returns False when the queue is empty."""
+        message = self._queue.receive()
+        if message is None:
+            return False
+        try:
+            action = message.body.get("action")
+            doc_id = message.body["doc_id"]
+            if action == "delete":
+                self._index.delete_document(doc_id)
+            elif action == "upsert":
+                if doc_id in self._store:
+                    self._index.delete_document(doc_id)
+                    self._index.add_chunks(self.build_records(self._store.get(doc_id)))
+                # The document may have been deleted after the message was
+                # published; a missing doc means the delete message follows.
+            else:
+                raise ValueError(f"unknown action {action!r}")
+        except Exception:
+            self._queue.abandon(message.message_id)
+            raise
+        self._queue.acknowledge(message.message_id)
+        return True
+
+    def drain(self) -> IndexingReport:
+        """Consume every pending message; returns an aggregate report."""
+        messages = 0
+        indexed = 0
+        deleted = 0
+        chunks_before = len(self._index)
+        while True:
+            message = self._queue.receive()
+            if message is None:
+                break
+            messages += 1
+            action = message.body.get("action")
+            doc_id = message.body["doc_id"]
+            try:
+                if action == "delete":
+                    self._index.delete_document(doc_id)
+                    deleted += 1
+                elif doc_id in self._store:
+                    self._index.delete_document(doc_id)
+                    self._index.add_chunks(self.build_records(self._store.get(doc_id)))
+                    indexed += 1
+            except Exception:
+                self._queue.abandon(message.message_id)
+                raise
+            self._queue.acknowledge(message.message_id)
+        return IndexingReport(
+            messages=messages,
+            documents_indexed=indexed,
+            documents_deleted=deleted,
+            chunks_written=max(0, len(self._index) - chunks_before),
+        )

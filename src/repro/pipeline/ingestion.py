@@ -1,0 +1,89 @@
+"""Ingestion service.
+
+Section 3: "The Ingestion service extracts information from each HTML
+document in the Knowledge Base.  Given that the KB is edited on daily
+basis, this service is also in charge to keep data updated by polling
+modifications every 15 minutes.  It is deployed on a serverless
+infrastructure component, triggered by a cron-job mechanism."
+
+The simulation keeps the same shape: a cron tick (:meth:`poll_due` /
+:meth:`run_due_polls`) fires every ``poll_interval`` simulated seconds; each
+poll publishes one queue message per created/updated/deleted document since
+the previous poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.clock import SimulatedClock
+from repro.pipeline.queue import MessageQueue
+from repro.pipeline.store import KnowledgeBaseStore
+
+#: The production polling cadence (15 minutes).
+DEFAULT_POLL_INTERVAL = 15 * 60.0
+
+
+@dataclass(frozen=True)
+class PollReport:
+    """What one polling cycle published."""
+
+    polled_at: float
+    upserts: int
+    deletes: int
+
+
+class IngestionService:
+    """Cron-triggered change detector publishing to the indexing queue."""
+
+    def __init__(
+        self,
+        store: KnowledgeBaseStore,
+        queue: MessageQueue,
+        clock: SimulatedClock,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self._store = store
+        self._queue = queue
+        self._clock = clock
+        self._poll_interval = poll_interval
+        self._last_poll = -1.0  # ensures the first poll sees everything
+        self._next_due = 0.0
+        self.reports: list[PollReport] = []
+
+    @property
+    def poll_interval(self) -> float:
+        """Seconds between cron triggers."""
+        return self._poll_interval
+
+    def poll_now(self) -> PollReport:
+        """Run one polling cycle immediately (also used for the initial load)."""
+        now = self._clock.now()
+        upserts = 0
+        for document in self._store.modified_since(self._last_poll):
+            self._queue.publish(
+                {"action": "upsert", "doc_id": document.doc_id, "modified_at": document.modified_at}
+            )
+            upserts += 1
+        deletes = 0
+        for doc_id in self._store.deleted_since(self._last_poll):
+            self._queue.publish({"action": "delete", "doc_id": doc_id})
+            deletes += 1
+        self._last_poll = now
+        report = PollReport(polled_at=now, upserts=upserts, deletes=deletes)
+        self.reports.append(report)
+        return report
+
+    def poll_due(self) -> bool:
+        """True when the cron should fire at the current simulated time."""
+        return self._clock.now() >= self._next_due
+
+    def run_due_polls(self) -> list[PollReport]:
+        """Fire every cron trigger that has come due; returns their reports."""
+        reports = []
+        while self.poll_due():
+            reports.append(self.poll_now())
+            self._next_due += self._poll_interval
+        return reports

@@ -1,0 +1,88 @@
+"""Message queue between the ingestion and indexing services.
+
+Section 3: "The Indexing service communicates with the Ingestion service by
+means of a message queue.  Using an event-based trigger, it reads messages
+posted by the ingester and it feeds the index."  This in-process queue
+reproduces the at-least-once semantics of a cloud queue: messages are
+*leased* for processing and must be acknowledged; unacknowledged messages
+return to the queue, so a crashed indexer never loses a document update.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class QueueMessage:
+    """One message with its delivery metadata."""
+
+    message_id: int
+    body: dict[str, Any]
+    delivery_count: int = 1
+
+
+@dataclass
+class _Stats:
+    enqueued: int = 0
+    delivered: int = 0
+    acknowledged: int = 0
+    redelivered: int = 0
+
+
+class MessageQueue:
+    """FIFO queue with lease/acknowledge delivery."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._ready: deque[QueueMessage] = deque()
+        self._leased: dict[int, QueueMessage] = {}
+        self.stats = _Stats()
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages leased but not yet acknowledged."""
+        return len(self._leased)
+
+    def publish(self, body: dict[str, Any]) -> int:
+        """Enqueue *body*; returns the message id."""
+        message = QueueMessage(message_id=next(self._ids), body=dict(body))
+        self._ready.append(message)
+        self.stats.enqueued += 1
+        return message.message_id
+
+    def receive(self) -> QueueMessage | None:
+        """Lease the next message, or None when the queue is empty."""
+        if not self._ready:
+            return None
+        message = self._ready.popleft()
+        self._leased[message.message_id] = message
+        self.stats.delivered += 1
+        return message
+
+    def acknowledge(self, message_id: int) -> None:
+        """Complete processing of a leased message."""
+        if message_id not in self._leased:
+            raise KeyError(f"message {message_id} is not leased")
+        del self._leased[message_id]
+        self.stats.acknowledged += 1
+
+    def abandon(self, message_id: int) -> None:
+        """Return a leased message to the queue (front) for redelivery."""
+        message = self._leased.pop(message_id, None)
+        if message is None:
+            raise KeyError(f"message {message_id} is not leased")
+        self._ready.appendleft(
+            QueueMessage(
+                message_id=message.message_id,
+                body=message.body,
+                delivery_count=message.delivery_count + 1,
+            )
+        )
+        self.stats.redelivered += 1

@@ -1,0 +1,80 @@
+"""Knowledge-base store.
+
+The system of record the ingestion service polls: HTML pages written by
+employees, each carrying the editor-provided *domain*, *section*, *topic*
+and *keywords* metadata described in Section 3, plus a modification
+timestamp.  The KB "is edited on a daily basis"; the store exposes a
+changes-since query so that the 15-minute polling cycle only touches
+modified documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class KbDocument:
+    """One knowledge-base page.
+
+    Attributes:
+        doc_id: stable document identifier (the page URL in the real KB).
+        html: raw HTML markup of the page.
+        domain / section / topic: editor-provided classification tags.
+        keywords: editor-provided keyword tags.
+        modified_at: last-modification time (simulated seconds).
+    """
+
+    doc_id: str
+    html: str
+    domain: str = ""
+    section: str = ""
+    topic: str = ""
+    keywords: tuple[str, ...] = ()
+    modified_at: float = 0.0
+
+
+class KnowledgeBaseStore:
+    """Mutable collection of :class:`KbDocument` with change tracking."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, KbDocument] = {}
+        self._deleted: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def put(self, document: KbDocument) -> None:
+        """Create or replace a document (the editor saved the page)."""
+        self._documents[document.doc_id] = document
+        self._deleted.pop(document.doc_id, None)
+
+    def update_html(self, doc_id: str, html: str, modified_at: float) -> None:
+        """Edit the markup of an existing page."""
+        current = self._documents[doc_id]
+        self._documents[doc_id] = replace(current, html=html, modified_at=modified_at)
+
+    def delete(self, doc_id: str, deleted_at: float) -> None:
+        """Remove a page; the deletion is visible to changes-since polling."""
+        if doc_id in self._documents:
+            del self._documents[doc_id]
+            self._deleted[doc_id] = deleted_at
+
+    def get(self, doc_id: str) -> KbDocument:
+        """Fetch one page by id."""
+        return self._documents[doc_id]
+
+    def all_documents(self) -> list[KbDocument]:
+        """Every live page, in insertion order."""
+        return list(self._documents.values())
+
+    def modified_since(self, timestamp: float) -> list[KbDocument]:
+        """Pages created or edited strictly after *timestamp*."""
+        return [doc for doc in self._documents.values() if doc.modified_at > timestamp]
+
+    def deleted_since(self, timestamp: float) -> list[str]:
+        """Ids of pages deleted strictly after *timestamp*."""
+        return [doc_id for doc_id, at in self._deleted.items() if at > timestamp]

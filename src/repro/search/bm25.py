@@ -1,0 +1,76 @@
+"""Okapi BM25 ranking (Robertson & Spärck Jones).
+
+The scoring function of the full-text half of Hybrid Search (Section 4).
+Implements the standard Lucene-compatible formulation:
+
+    idf(t)       = ln(1 + (N - df + 0.5) / (df + 0.5))
+    score(d, q)  = Σ_t idf(t) · tf · (k1 + 1) / (tf + k1 · (1 - b + b · |d|/avgdl))
+
+with the usual defaults k1 = 1.2, b = 0.75.  The scorer works against a
+single :class:`~repro.search.inverted.InvertedIndex`; multi-field scoring
+with per-field boosts (Azure "scoring profiles") is composed one level up in
+:mod:`repro.search.fulltext`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.search.inverted import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Bm25Parameters:
+    """BM25 free parameters."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must lie in [0, 1]")
+
+
+class Bm25Scorer:
+    """Scores an analyzed query against one inverted index."""
+
+    def __init__(self, index: InvertedIndex, parameters: Bm25Parameters | None = None) -> None:
+        self._index = index
+        self._parameters = parameters or Bm25Parameters()
+
+    def idf(self, term: str) -> float:
+        """Lucene-style lower-bounded inverse document frequency of *term*."""
+        n = len(self._index)
+        if n == 0:
+            return 0.0
+        df = self._index.document_frequency(term)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score_all(self, query_terms: list[str]) -> dict[int, float]:
+        """BM25 scores of every document matching at least one query term."""
+        parameters = self._parameters
+        average_length = self._index.average_length or 1.0
+        scores: dict[int, float] = {}
+        for term in query_terms:
+            postings = self._index.postings(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in postings.items():
+                length_norm = 1.0 - parameters.b + parameters.b * (
+                    self._index.document_length(doc_id) / average_length
+                )
+                contribution = idf * tf * (parameters.k1 + 1.0) / (tf + parameters.k1 * length_norm)
+                scores[doc_id] = scores.get(doc_id, 0.0) + contribution
+        return scores
+
+    def top_n(self, query_terms: list[str], n: int) -> list[tuple[int, float]]:
+        """The *n* best-scoring documents as ``(doc_id, score)`` pairs."""
+        if n <= 0:
+            return []
+        scores = self.score_all(query_terms)
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:n]

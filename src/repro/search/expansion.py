@@ -1,0 +1,88 @@
+"""Query-expansion variants (Table 3).
+
+The paper tested three LLM-based expansions of the input query, none of
+which improved over plain HSS:
+
+* **QGA** — ask the LLM to answer the question *without* context, then
+  retrieve with the query expanded by that blind answer.  The blind answer
+  mixes in generic boilerplate and off-topic terms, which dilutes the query.
+* **MQ1** — ask the LLM for several related queries, run a hybrid search per
+  query, and fuse the per-query rankings (multi-query hybrid search).
+* **MQ2** — same generated queries, but one standard hybrid search over the
+  *text concatenation* of all queries and the *average embedding* of all
+  queries.
+
+Each variant wraps a configured :class:`~repro.search.hybrid.HybridSemanticSearch`
+so the rest of the pipeline is byte-identical to production.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.base import ChatCompletionClient
+from repro.llm.prompts import build_blind_answer_prompt, build_related_queries_prompt
+from repro.search.hybrid import HybridSemanticSearch
+from repro.search.results import RetrievedChunk
+
+
+class QgaExpansion:
+    """Query + Generated Answer expansion."""
+
+    def __init__(self, searcher: HybridSemanticSearch, llm: ChatCompletionClient) -> None:
+        self._searcher = searcher
+        self._llm = llm
+
+    def expand(self, query: str) -> str:
+        """Return the query expanded with a context-free generated answer."""
+        response = self._llm.complete(build_blind_answer_prompt(query), max_tokens=128)
+        return f"{query} {response.content}"
+
+    def search(self, query: str, filters: dict[str, str] | None = None) -> list[RetrievedChunk]:
+        """HSS over the expanded query."""
+        return self._searcher.search(self.expand(query), filters=filters)
+
+
+class _MultiQueryBase:
+    """Shared related-query generation for MQ1/MQ2."""
+
+    def __init__(
+        self, searcher: HybridSemanticSearch, llm: ChatCompletionClient, num_queries: int = 3
+    ) -> None:
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        self._searcher = searcher
+        self._llm = llm
+        self._num_queries = num_queries
+
+    def generate_queries(self, query: str) -> list[str]:
+        """The original query plus the LLM-generated related queries."""
+        response = self._llm.complete(
+            build_related_queries_prompt(query, self._num_queries), max_tokens=256
+        )
+        related = [line.strip() for line in response.content.splitlines() if line.strip()]
+        return [query, *related[: self._num_queries]]
+
+
+class Mq1Expansion(_MultiQueryBase):
+    """Multi-query expansion, variant 1: per-query search fused by RRF."""
+
+    def search(self, query: str, filters: dict[str, str] | None = None) -> list[RetrievedChunk]:
+        """One hybrid search per generated query, fused into one ranking."""
+        return self._searcher.search_multi(self.generate_queries(query), filters=filters)
+
+
+class Mq2Expansion(_MultiQueryBase):
+    """Multi-query expansion, variant 2: concatenated text + mean embedding."""
+
+    def search(self, query: str, filters: dict[str, str] | None = None) -> list[RetrievedChunk]:
+        """Single hybrid search on the concatenation and average embedding."""
+        queries = self.generate_queries(query)
+        concatenated = " ".join(queries)
+        embedder = self._searcher.index.embedder
+        vectors = np.stack([embedder.embed(q) for q in queries])
+        mean_vector = vectors.mean(axis=0)
+        norm = float(np.linalg.norm(mean_vector))
+        if norm > 1e-12:
+            mean_vector = mean_vector / norm
+        return self._searcher.search_fused_vector(concatenated, mean_vector, filters=filters)

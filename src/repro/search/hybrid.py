@@ -1,0 +1,130 @@
+"""Hybrid Search with Semantic reranking (HSS) — the production retriever.
+
+Orchestrates the full retrieval algorithm of Section 4:
+
+1. full-text BM25 retrieves the top ``text_n`` (= 50) chunks;
+2. vector search retrieves the top ``vector_k`` (= 15) chunks per vector
+   field (title and content embeddings);
+3. Reciprocal Rank Fusion merges the rankings (c = 60);
+4. the semantic reranker adds its score to each fused result;
+5. the final ranking of ``final_n`` (= 50) chunks is returned.
+
+The class also exposes the two ablation modes of Table 2 (text-only and
+vector-only) through ``mode`` so the benchmarks exercise the exact same code
+path minus one component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.fulltext import FullTextSearch, ScoringProfile
+from repro.search.fusion import DEFAULT_RRF_CONSTANT, reciprocal_rank_fusion
+from repro.search.index import SearchIndex
+from repro.search.reranker import SemanticReranker
+from repro.search.results import RetrievedChunk
+from repro.search.vector import VectorSearch
+
+#: Retrieval modes: production hybrid plus the Table 2 ablations.
+MODES = ("hybrid", "text", "vector")
+
+
+@dataclass(frozen=True)
+class HybridSearchConfig:
+    """Tunable parameters of the HSS retriever (paper defaults)."""
+
+    text_n: int = 50
+    vector_k: int = 15
+    final_n: int = 50
+    rrf_c: float = DEFAULT_RRF_CONSTANT
+    mode: str = "hybrid"
+    use_reranker: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if min(self.text_n, self.vector_k, self.final_n) <= 0:
+            raise ValueError("result sizes must be positive")
+
+
+class HybridSemanticSearch:
+    """The HSS retrieval algorithm over a :class:`SearchIndex`."""
+
+    def __init__(
+        self,
+        index: SearchIndex,
+        reranker: SemanticReranker | None = None,
+        config: HybridSearchConfig | None = None,
+        profile: ScoringProfile | None = None,
+    ) -> None:
+        self.config = config or HybridSearchConfig()
+        if self.config.use_reranker and reranker is None:
+            raise ValueError("a reranker is required unless use_reranker=False")
+        self._index = index
+        self._reranker = reranker
+        self._fulltext = FullTextSearch(index, profile=profile)
+        self._vector = VectorSearch(index)
+
+    @property
+    def index(self) -> SearchIndex:
+        """The underlying search index."""
+        return self._index
+
+    def search(
+        self, query: str, filters: dict[str, str] | None = None
+    ) -> list[RetrievedChunk]:
+        """Retrieve the final ranking of chunks for *query*."""
+        config = self.config
+        rankings: dict[str, list[RetrievedChunk]] = {}
+
+        if config.mode in ("hybrid", "text"):
+            rankings["text"] = self._fulltext.search(query, n=config.text_n, filters=filters)
+        if config.mode in ("hybrid", "vector"):
+            for field_name, ranking in self._vector.search(
+                query, k=config.vector_k, filters=filters
+            ).items():
+                rankings[f"vector_{field_name}"] = ranking
+
+        fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
+        if config.use_reranker and self._reranker is not None:
+            fused = self._reranker.rerank(query, fused)
+        return fused[: config.final_n]
+
+    def search_fused_vector(
+        self,
+        query_text: str,
+        query_vector,
+        filters: dict[str, str] | None = None,
+    ) -> list[RetrievedChunk]:
+        """Hybrid search with an externally supplied query embedding.
+
+        The text ranking uses *query_text*; the vector rankings use
+        *query_vector*.  This is the entry point for the MQ2 expansion
+        variant, which concatenates generated query texts and averages their
+        embeddings.
+        """
+        config = self.config
+        rankings: dict[str, list[RetrievedChunk]] = {
+            "text": self._fulltext.search(query_text, n=config.text_n, filters=filters)
+        }
+        for field_name, ranking in self._vector.search_by_vector(
+            query_vector, k=config.vector_k, filters=filters
+        ).items():
+            rankings[f"vector_{field_name}"] = ranking
+        fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
+        if config.use_reranker and self._reranker is not None:
+            fused = self._reranker.rerank(query_text, fused)
+        return fused[: config.final_n]
+
+    def search_multi(
+        self, queries: list[str], filters: dict[str, str] | None = None
+    ) -> list[RetrievedChunk]:
+        """Multi-query hybrid search (the MQ1 expansion variant).
+
+        Runs a full hybrid search per query and fuses the per-query result
+        lists with RRF.
+        """
+        if not queries:
+            return []
+        per_query = {f"q{i}": self.search(query, filters=filters) for i, query in enumerate(queries)}
+        return reciprocal_rank_fusion(per_query, c=self.config.rrf_c, top_n=self.config.final_n)

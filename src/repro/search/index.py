@@ -1,0 +1,236 @@
+"""The search index: documents, inverted postings and vector graphs.
+
+:class:`SearchIndex` is the in-process equivalent of the Azure AI Search
+index the paper builds (Section 4).  It owns:
+
+* one :class:`~repro.search.inverted.InvertedIndex` per *searchable* field;
+* one ANN index (HNSW by default, exact k-NN optionally) per *vector*
+  field, fed by the configured embedding model;
+* the chunk records themselves, for retrieval of *retrievable* fields;
+* exact-match filtering on *filterable* fields.
+
+Updates: the ingestion flow re-indexes modified documents every polling
+cycle, so the index supports document-level delete.  HNSW has no efficient
+hard delete, so deletions tombstone the internal ids; vector queries
+oversample and drop tombstones, and :meth:`vacuum` rebuilds the graphs when
+the tombstone ratio crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.ann.exact import ExactKnnIndex
+from repro.ann.hnsw import HnswIndex
+from repro.embeddings.model import EmbeddingModel
+from repro.search.inverted import InvertedIndex
+from repro.search.schema import ChunkRecord, IndexSchema, uniask_schema
+from repro.text.analyzer import FULL_ANALYZER, ItalianAnalyzer
+
+
+class SearchIndex:
+    """An updatable hybrid (text + vector) chunk index.
+
+    Args:
+        schema: field definitions; defaults to the UniAsk production schema.
+        embedder: model used to embed vector fields and queries.
+        ann_backend: ``"hnsw"`` (production) or ``"exact"`` (ground truth).
+        hnsw_m / hnsw_ef_construction / hnsw_ef_search: HNSW parameters.
+        seed: seed forwarded to HNSW level draws.
+    """
+
+    def __init__(
+        self,
+        embedder: EmbeddingModel,
+        schema: IndexSchema | None = None,
+        ann_backend: str = "hnsw",
+        hnsw_m: int = 16,
+        hnsw_ef_construction: int = 100,
+        hnsw_ef_search: int = 80,
+        seed: int = 42,
+        analyzer: ItalianAnalyzer | None = None,
+    ) -> None:
+        if ann_backend not in ("hnsw", "exact"):
+            raise ValueError("ann_backend must be 'hnsw' or 'exact'")
+        self.schema = schema or uniask_schema()
+        self.embedder = embedder
+        self._ann_backend = ann_backend
+        self._hnsw_m = hnsw_m
+        self._hnsw_ef_construction = hnsw_ef_construction
+        self._hnsw_ef_search = hnsw_ef_search
+        self._seed = seed
+
+        self._records: dict[int, ChunkRecord] = {}
+        self._internal_by_chunk: dict[str, int] = {}
+        self._internals_by_doc: dict[str, list[int]] = {}
+        self._next_internal = 0
+        self._deleted: set[int] = set()
+
+        self.analyzer = analyzer if analyzer is not None else FULL_ANALYZER
+        self._inverted: dict[str, InvertedIndex] = {
+            name: InvertedIndex(self.analyzer) for name in self.schema.searchable_fields
+        }
+        self._vectors: dict[str, HnswIndex | ExactKnnIndex] = {
+            name: self._new_ann_index() for name in self.schema.vector_fields
+        }
+
+    # -- sizing ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records) - len(self._deleted)
+
+    @property
+    def document_count(self) -> int:
+        """Number of live source documents."""
+        return sum(
+            1
+            for internals in self._internals_by_doc.values()
+            if any(i not in self._deleted for i in internals)
+        )
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of stored chunks that are deleted but not vacuumed."""
+        if not self._records:
+            return 0.0
+        return len(self._deleted) / len(self._records)
+
+    # -- writes --------------------------------------------------------------
+
+    def add_chunk(self, record: ChunkRecord, vectors: dict[str, np.ndarray] | None = None) -> int:
+        """Index one chunk; returns its internal id.
+
+        Re-adding an existing ``chunk_id`` replaces the previous version.
+        ``vectors`` optionally supplies pre-computed embeddings per vector
+        field (used when loading a persisted index), bypassing the embedder.
+        """
+        if record.chunk_id in self._internal_by_chunk:
+            self._tombstone(self._internal_by_chunk[record.chunk_id])
+
+        internal = self._next_internal
+        self._next_internal += 1
+        self._records[internal] = record
+        self._internal_by_chunk[record.chunk_id] = internal
+        self._internals_by_doc.setdefault(record.doc_id, []).append(internal)
+
+        for name, inverted in self._inverted.items():
+            inverted.add(internal, record.value(name))
+        for name, ann in self._vectors.items():
+            if vectors is not None and name in vectors:
+                vector = np.asarray(vectors[name], dtype=np.float64)
+            else:
+                vector = self.embedder.embed(record.value(name))
+            ann.add(internal, vector)
+        return internal
+
+    def chunk_vector(self, internal: int, field_name: str) -> np.ndarray:
+        """The stored embedding of a live chunk's vector field."""
+        if not self.is_live(internal):
+            raise KeyError(f"chunk {internal} is not live")
+        return self.embedder.embed(self._records[internal].value(field_name))
+
+    def add_chunks(self, records: Iterable[ChunkRecord]) -> list[int]:
+        """Index many chunks; returns their internal ids."""
+        return [self.add_chunk(record) for record in records]
+
+    def delete_document(self, doc_id: str) -> int:
+        """Tombstone every chunk of *doc_id*; returns how many were removed."""
+        internals = self._internals_by_doc.get(doc_id, [])
+        removed = 0
+        for internal in internals:
+            if internal not in self._deleted:
+                self._tombstone(internal)
+                removed += 1
+        return removed
+
+    def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
+        """Rebuild vector graphs dropping tombstones.
+
+        Returns True when a rebuild happened (ratio above the threshold).
+        """
+        if self.tombstone_ratio <= max_tombstone_ratio:
+            return False
+        live = {i: r for i, r in self._records.items() if i not in self._deleted}
+        self._vectors = {name: self._new_ann_index() for name in self.schema.vector_fields}
+        for internal, record in live.items():
+            for name, ann in self._vectors.items():
+                ann.add(internal, self.embedder.embed(record.value(name)))
+        for internal in list(self._deleted):
+            self._records.pop(internal, None)
+        for doc_id in list(self._internals_by_doc):
+            kept = [i for i in self._internals_by_doc[doc_id] if i in live]
+            if kept:
+                self._internals_by_doc[doc_id] = kept
+            else:
+                del self._internals_by_doc[doc_id]
+        self._deleted.clear()
+        return True
+
+    # -- reads ---------------------------------------------------------------
+
+    def record(self, internal: int) -> ChunkRecord:
+        """The chunk record stored under internal id *internal*."""
+        return self._records[internal]
+
+    def is_live(self, internal: int) -> bool:
+        """False when the chunk has been tombstoned."""
+        return internal in self._records and internal not in self._deleted
+
+    def live_internals(self) -> list[int]:
+        """All live internal ids."""
+        return [i for i in self._records if i not in self._deleted]
+
+    def inverted_index(self, field_name: str) -> InvertedIndex:
+        """The postings of searchable field *field_name*."""
+        return self._inverted[field_name]
+
+    def vector_search(
+        self, field_name: str, query_vector: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        """The *k* nearest live chunks to *query_vector* on a vector field."""
+        ann = self._vectors[field_name]
+        if k <= 0 or len(ann) == 0:
+            return []
+        # Oversample to survive tombstone filtering.
+        fetch = k + len(self._deleted)
+        hits = ann.search(query_vector, fetch)
+        live = [(internal, distance) for internal, distance in hits if internal not in self._deleted]
+        return live[:k]
+
+    def matches_filters(self, internal: int, filters: dict[str, str] | None) -> bool:
+        """Exact-match filter evaluation on filterable fields."""
+        if not filters:
+            return True
+        record = self._records[internal]
+        for name, expected in filters.items():
+            if name not in self.schema.filterable_fields:
+                raise KeyError(f"field {name!r} is not filterable")
+            value = getattr(record, name)
+            if isinstance(value, tuple):
+                if expected not in value:
+                    return False
+            elif value != expected:
+                return False
+        return True
+
+    # -- internals -------------------------------------------------------------
+
+    def _tombstone(self, internal: int) -> None:
+        self._deleted.add(internal)
+        record = self._records[internal]
+        self._internal_by_chunk.pop(record.chunk_id, None)
+        for inverted in self._inverted.values():
+            inverted.remove(internal)
+
+    def _new_ann_index(self) -> HnswIndex | ExactKnnIndex:
+        if self._ann_backend == "exact":
+            return ExactKnnIndex(self.embedder.dim)
+        return HnswIndex(
+            self.embedder.dim,
+            m=self._hnsw_m,
+            ef_construction=self._hnsw_ef_construction,
+            ef_search=self._hnsw_ef_search,
+            seed=self._seed,
+        )

@@ -1,0 +1,53 @@
+"""LLM keyword enrichment of the index (Table 4).
+
+The paper tried enriching the index with keywords extracted by the LLM from
+the document *title* (HSS-KT) or from *title and content* (HSS-KTC), adding
+them as an extra searchable field.  Neither variant moved the metrics
+meaningfully; both are reproduced here so the experiment can be re-run.
+"""
+
+from __future__ import annotations
+
+from repro.llm.base import ChatCompletionClient
+from repro.llm.prompts import build_keywords_prompt
+from repro.search.schema import ChunkRecord
+
+#: Enrichment variants of Table 4.
+VARIANTS = ("none", "kt", "ktc")
+
+
+def extract_llm_keywords(
+    llm: ChatCompletionClient, title: str, content: str | None = None
+) -> tuple[str, ...]:
+    """Ask the LLM for comma-separated keywords of a document.
+
+    ``content=None`` extracts from the title only (KT); otherwise from title
+    and content (KTC).
+    """
+    response = llm.complete(build_keywords_prompt(title, content), max_tokens=64)
+    keywords = tuple(part.strip() for part in response.content.split(",") if part.strip())
+    return keywords
+
+
+def enrich_record(
+    record: ChunkRecord, llm: ChatCompletionClient, variant: str = "none"
+) -> ChunkRecord:
+    """Return *record* with the ``llm_keywords`` field filled per *variant*."""
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}")
+    if variant == "none":
+        return record
+    content = record.content if variant == "ktc" else None
+    keywords = extract_llm_keywords(llm, record.title, content)
+    return ChunkRecord(
+        chunk_id=record.chunk_id,
+        doc_id=record.doc_id,
+        title=record.title,
+        content=record.content,
+        summary=record.summary,
+        domain=record.domain,
+        section=record.section,
+        topic=record.topic,
+        keywords=record.keywords,
+        llm_keywords=keywords,
+    )

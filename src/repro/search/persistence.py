@@ -1,0 +1,97 @@
+"""Index persistence.
+
+A production deployment does not rebuild its index on restart: records and
+embeddings are persisted and reloaded.  This module saves a
+:class:`~repro.search.index.SearchIndex` to a directory —
+
+* ``records.json`` — every live chunk record plus schema/backend settings;
+* ``vectors.npz``  — one embedding matrix per vector field, row-aligned
+  with the records;
+
+— and loads it back without re-embedding anything (the ANN graphs are
+rebuilt deterministically from the stored vectors, which is both simpler
+and more compact than serializing the HNSW adjacency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.model import EmbeddingModel
+from repro.search.index import SearchIndex
+from repro.search.schema import ChunkRecord, FieldDefinition, IndexSchema
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: SearchIndex, directory: str | Path) -> Path:
+    """Persist all live chunks of *index* into *directory*.
+
+    Returns the directory path.  Tombstoned chunks are not persisted, so a
+    save acts as an implicit vacuum.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    internals = sorted(index.live_internals())
+    records = [dataclasses.asdict(index.record(internal)) for internal in internals]
+
+    vector_fields = index.schema.vector_fields
+    matrices: dict[str, np.ndarray] = {}
+    for field_name in vector_fields:
+        rows = [index.chunk_vector(internal, field_name) for internal in internals]
+        matrices[field_name] = np.stack(rows) if rows else np.zeros((0, index.embedder.dim))
+
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "embedding_dim": index.embedder.dim,
+        "schema": [dataclasses.asdict(field) for field in index.schema.fields],
+        "records": records,
+    }
+    (directory / "records.json").write_text(json.dumps(manifest, ensure_ascii=False))
+    np.savez_compressed(directory / "vectors.npz", **matrices)
+    return directory
+
+
+def load_index(
+    directory: str | Path,
+    embedder: EmbeddingModel,
+    ann_backend: str = "hnsw",
+    seed: int = 42,
+) -> SearchIndex:
+    """Load a persisted index from *directory*.
+
+    The *embedder* is used for future writes and queries; the persisted
+    chunk vectors are inserted as-is, so loading never re-embeds.  Its
+    dimensionality must match the saved one.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "records.json").read_text())
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported index format version: {manifest.get('version')}")
+    if manifest["embedding_dim"] != embedder.dim:
+        raise ValueError(
+            f"embedder dim {embedder.dim} does not match saved dim {manifest['embedding_dim']}"
+        )
+
+    schema = IndexSchema(
+        fields=tuple(FieldDefinition(**field) for field in manifest["schema"])
+    )
+    index = SearchIndex(embedder=embedder, schema=schema, ann_backend=ann_backend, seed=seed)
+
+    with np.load(directory / "vectors.npz") as archive:
+        matrices = {name: archive[name] for name in archive.files}
+
+    for row, payload in enumerate(manifest["records"]):
+        payload = dict(payload)
+        for key in ("keywords", "llm_keywords"):
+            if key in payload:
+                payload[key] = tuple(payload[key])
+        record = ChunkRecord(**payload)
+        vectors = {name: matrices[name][row] for name in matrices}
+        index.add_chunk(record, vectors=vectors)
+    return index

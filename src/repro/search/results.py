@@ -1,0 +1,45 @@
+"""Shared result types for the retrieval executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.search.schema import ChunkRecord
+
+
+@dataclass(frozen=True)
+class RetrievedChunk:
+    """One chunk returned by a retrieval algorithm.
+
+    Attributes:
+        record: the chunk payload (retrievable fields).
+        score: the final relevance score used for ordering.
+        components: named score breakdown — e.g. ``{"text_rrf": ...,
+            "vector_content_rrf": ..., "reranker": ...}`` for hybrid search.
+    """
+
+    record: ChunkRecord
+    score: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def doc_id(self) -> str:
+        """Source document id of the chunk."""
+        return self.record.doc_id
+
+
+def dedupe_by_document(results: list[RetrievedChunk]) -> list[RetrievedChunk]:
+    """Keep only the best-ranked chunk of each source document.
+
+    Retrieval metrics in the paper are computed at document granularity;
+    this helper collapses a chunk ranking into a document ranking while
+    preserving order.
+    """
+    seen: set[str] = set()
+    collapsed: list[RetrievedChunk] = []
+    for result in results:
+        if result.doc_id in seen:
+            continue
+        seen.add(result.doc_id)
+        collapsed.append(result)
+    return collapsed

@@ -1,0 +1,68 @@
+"""Vector search executor.
+
+The vector half of Hybrid Search (Section 4): the query is embedded once and
+the K approximate nearest chunks are fetched *per vector field* (UniAsk
+indexes separate title and content embeddings), producing one ranking per
+field.  Each ranking is fused separately by RRF downstream, matching Azure
+AI Search's multi-vector hybrid behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.search.index import SearchIndex
+from repro.search.results import RetrievedChunk
+
+
+class VectorSearch:
+    """ANN search over the vector fields of a :class:`SearchIndex`."""
+
+    def __init__(self, index: SearchIndex, vector_fields: tuple[str, ...] | None = None) -> None:
+        self._index = index
+        self._fields = vector_fields or index.schema.vector_fields
+
+    @property
+    def vector_fields(self) -> tuple[str, ...]:
+        """The vector fields this executor queries."""
+        return tuple(self._fields)
+
+    def search(
+        self, query: str, k: int = 15, filters: dict[str, str] | None = None
+    ) -> dict[str, list[RetrievedChunk]]:
+        """Per-field rankings of the *k* nearest chunks to *query*.
+
+        Returns a mapping ``vector_field -> ranking``; similarity is
+        ``1 - cosine distance`` so that larger scores are better, consistent
+        with the BM25 ranking direction.
+        """
+        query_vector = self._index.embedder.embed(query)
+        return self.search_by_vector(query_vector, k, filters)
+
+    def search_by_vector(
+        self, query_vector, k: int = 15, filters: dict[str, str] | None = None
+    ) -> dict[str, list[RetrievedChunk]]:
+        """Same as :meth:`search` but with a pre-computed query embedding.
+
+        Used by the MQ2 query-expansion variant (Table 3), which averages
+        the embeddings of several generated queries.
+        """
+        rankings: dict[str, list[RetrievedChunk]] = {}
+        for field_name in self._fields:
+            # Oversample so that post-hoc filtering can still fill k results.
+            fetch = k if not filters else 4 * k
+            hits = self._index.vector_search(field_name, query_vector, fetch)
+            ranking: list[RetrievedChunk] = []
+            for internal, distance in hits:
+                if not self._index.matches_filters(internal, filters):
+                    continue
+                similarity = 1.0 - distance
+                ranking.append(
+                    RetrievedChunk(
+                        record=self._index.record(internal),
+                        score=similarity,
+                        components={f"cosine_{field_name}": similarity},
+                    )
+                )
+                if len(ranking) >= k:
+                    break
+            rankings[field_name] = ranking
+        return rankings

@@ -1,0 +1,111 @@
+"""Alerting on top of the monitoring dashboard.
+
+Section 9's monitoring exists so operators notice problems; in production
+nobody stares at a dashboard — alert rules watch the same counters.  Rules
+evaluate a :class:`~repro.service.monitoring.DashboardSnapshot` and fire
+when an operational threshold is crossed: failed-request spikes, guardrail
+rate drift (the Phase 1 release-1 bug would have tripped this), latency
+degradation, or traffic drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.service.monitoring import DashboardSnapshot
+
+#: Severities, in escalation order.
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert."""
+
+    rule: str
+    severity: str
+    message: str
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """A named predicate over the dashboard snapshot."""
+
+    name: str
+    severity: str
+    predicate: Callable[[DashboardSnapshot], bool]
+    describe: Callable[[DashboardSnapshot], str]
+
+    def evaluate(self, snapshot: DashboardSnapshot) -> Alert | None:
+        """Fire the alert when the predicate holds."""
+        if self.predicate(snapshot):
+            return Alert(rule=self.name, severity=self.severity, message=self.describe(snapshot))
+        return None
+
+
+def _guardrail_rate(snapshot: DashboardSnapshot) -> float:
+    if snapshot.queries == 0:
+        return 0.0
+    return snapshot.guardrails_triggered / snapshot.queries
+
+
+def _failure_rate(snapshot: DashboardSnapshot) -> float:
+    if snapshot.queries == 0:
+        return 0.0
+    return snapshot.failed_requests / snapshot.queries
+
+
+def default_rules(
+    max_guardrail_rate: float = 0.15,
+    max_failure_rate: float = 0.02,
+    max_response_time: float = 5.0,
+) -> list[AlertRule]:
+    """The production rule set with its documented thresholds.
+
+    The guardrail-rate rule is calibrated from Table 5: a healthy system
+    blocks ~5% of answers; the 25% observed under the Phase 1 release-1
+    bug would fire it immediately.
+    """
+    return [
+        AlertRule(
+            name="guardrail_rate",
+            severity=SEVERITY_WARNING,
+            predicate=lambda s: _guardrail_rate(s) > max_guardrail_rate,
+            describe=lambda s: (
+                f"guardrails triggered on {_guardrail_rate(s):.1%} of queries "
+                f"(threshold {max_guardrail_rate:.0%}) — check generation quality"
+            ),
+        ),
+        AlertRule(
+            name="failed_requests",
+            severity=SEVERITY_CRITICAL,
+            predicate=lambda s: _failure_rate(s) > max_failure_rate,
+            describe=lambda s: (
+                f"{s.failed_requests} failed requests ({_failure_rate(s):.1%}, "
+                f"threshold {max_failure_rate:.0%}) — check the LLM token quota"
+            ),
+        ),
+        AlertRule(
+            name="response_time",
+            severity=SEVERITY_WARNING,
+            predicate=lambda s: s.average_response_time > max_response_time,
+            describe=lambda s: (
+                f"average response time {s.average_response_time:.1f}s "
+                f"(threshold {max_response_time:.1f}s)"
+            ),
+        ),
+    ]
+
+
+def evaluate_alerts(
+    snapshot: DashboardSnapshot, rules: list[AlertRule] | None = None
+) -> list[Alert]:
+    """Evaluate all *rules* against *snapshot*; returns the fired alerts."""
+    fired = []
+    for rule in rules if rules is not None else default_rules():
+        alert = rule.evaluate(snapshot)
+        if alert is not None:
+            fired.append(alert)
+    return fired

@@ -1,0 +1,177 @@
+"""Backend service.
+
+Section 3: "The BackEnd service is a REST layer exposing endpoints to be
+called by the frontend.  It contains the logic responsible for login and
+the requests to the Retrieval and Generation services.  It stores
+feedbacks and user actions."
+
+The in-process equivalent exposes the same three endpoints — ``login``,
+``query``, ``feedback`` — enforces session authentication, models response
+time (retrieval + LLM latency as a function of token volume), and writes
+every event to the monitoring collector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.answer import UniAskAnswer
+from repro.core.engine import UniAskEngine
+from repro.pipeline.clock import SimulatedClock
+from repro.service.feedback import FeedbackStore, GranularFeedback
+from repro.service.monitoring import MetricsCollector
+from repro.text.tokenizer import count_tokens
+
+
+class AuthenticationError(Exception):
+    """The session token is missing or invalid."""
+
+
+class AuthorizationError(Exception):
+    """The session's role does not permit the requested operation.
+
+    Section 9: "A dedicated role-based access-control system segregates
+    accesses and roles" — employees query; only the operations role reads
+    the monitoring dashboard.
+    """
+
+
+#: Roles known to the access-control layer.
+ROLE_EMPLOYEE = "employee"
+ROLE_OPS = "ops"
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One served query, as stored by the backend."""
+
+    query_id: str
+    user_id: str
+    question: str
+    answer: UniAskAnswer
+    served_at: float
+
+
+class BackendService:
+    """The REST layer of UniAsk, in process."""
+
+    def __init__(
+        self,
+        engine: UniAskEngine,
+        clock: SimulatedClock,
+        metrics: MetricsCollector | None = None,
+        base_latency: float = 0.4,
+        seconds_per_kilo_token: float = 1.1,
+        latency_jitter: float = 0.15,
+        seed: int = 11,
+    ) -> None:
+        self._engine = engine
+        self._clock = clock
+        self.metrics = metrics or MetricsCollector()
+        self.feedback_store = FeedbackStore()
+        self._sessions: dict[str, tuple[str, str]] = {}  # token -> (user_id, role)
+        self._records: dict[str, QueryRecord] = {}
+        self._base_latency = base_latency
+        self._seconds_per_kilo_token = seconds_per_kilo_token
+        self._latency_jitter = latency_jitter
+        self._rng = random.Random(seed)
+        self._query_counter = 0
+
+    # -- endpoints ------------------------------------------------------------
+
+    def login(self, user_id: str, role: str = ROLE_EMPLOYEE) -> str:
+        """Authenticate *user_id* with *role*; returns a session token."""
+        if role not in (ROLE_EMPLOYEE, ROLE_OPS):
+            raise ValueError(f"unknown role {role!r}")
+        token = f"session-{user_id}-{len(self._sessions)}"
+        self._sessions[token] = (user_id, role)
+        return token
+
+    def dashboard(self, token: str, bucket_seconds: float = 60.0):
+        """The monitoring dashboard — operations role only (least privilege)."""
+        self._authorize(token, ROLE_OPS)
+        return self.metrics.snapshot(bucket_seconds=bucket_seconds)
+
+    def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
+        """Serve one question for an authenticated session."""
+        user_id = self._authenticate(token)
+        answer = self._engine.ask(question, filters=filters)
+        response_time = self._model_response_time(question, answer)
+        self._clock.advance(response_time)
+        answer = self._with_response_time(answer, response_time)
+
+        self._query_counter += 1
+        record = QueryRecord(
+            query_id=f"q-{self._query_counter:07d}",
+            user_id=user_id,
+            question=question,
+            answer=answer,
+            served_at=self._clock.now(),
+        )
+        self._records[record.query_id] = record
+        self.metrics.record_query(
+            timestamp=record.served_at,
+            user_id=user_id,
+            outcome=answer.outcome,
+            response_time=response_time,
+        )
+        return record
+
+    def feedback(self, token: str, feedback: GranularFeedback) -> None:
+        """Store one feedback form for a previously served query."""
+        self._authenticate(token)
+        if feedback.query_id not in self._records:
+            raise KeyError(f"unknown query id {feedback.query_id}")
+        self.feedback_store.add(feedback)
+        self.metrics.record_feedback()
+
+    # -- accessors ----------------------------------------------------------------
+
+    def record(self, query_id: str) -> QueryRecord:
+        """Fetch one stored query record."""
+        return self._records[query_id]
+
+    @property
+    def served_queries(self) -> int:
+        """Number of queries served so far."""
+        return self._query_counter
+
+    # -- internals ------------------------------------------------------------------
+
+    def _authenticate(self, token: str) -> str:
+        session = self._sessions.get(token)
+        if session is None:
+            raise AuthenticationError("invalid session token")
+        return session[0]
+
+    def _authorize(self, token: str, required_role: str) -> str:
+        session = self._sessions.get(token)
+        if session is None:
+            raise AuthenticationError("invalid session token")
+        user_id, role = session
+        if role != required_role:
+            raise AuthorizationError(f"role {role!r} may not perform this operation")
+        return user_id
+
+    def _model_response_time(self, question: str, answer: UniAskAnswer) -> float:
+        """Latency model: base + LLM time proportional to token volume."""
+        context_tokens = sum(count_tokens(chunk.record.content) for chunk in answer.context)
+        total_tokens = count_tokens(question) + context_tokens + count_tokens(answer.raw_answer)
+        latency = self._base_latency + self._seconds_per_kilo_token * total_tokens / 1000.0
+        jitter = 1.0 + self._latency_jitter * (2.0 * self._rng.random() - 1.0)
+        return latency * jitter
+
+    @staticmethod
+    def _with_response_time(answer: UniAskAnswer, response_time: float) -> UniAskAnswer:
+        return UniAskAnswer(
+            question=answer.question,
+            answer_text=answer.answer_text,
+            raw_answer=answer.raw_answer,
+            outcome=answer.outcome,
+            citations=answer.citations,
+            documents=answer.documents,
+            context=answer.context,
+            guardrail_report=answer.guardrail_report,
+            response_time=response_time,
+        )

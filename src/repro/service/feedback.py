@@ -1,0 +1,75 @@
+"""Granular user feedback (Section 8).
+
+The frontend pop-up modal asks five questions after each answer:
+
+1. Was the answer helpful?
+2. Did the system retrieve relevant documents for your question?
+3. Rating experience 1–5 (1 and 2 count as negative, 3–5 as positive);
+4. Links to relevant documents (ground-truth collection on failures);
+5. Additional comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Ratings 1-2 are negative, 3-5 positive (paper's convention).
+POSITIVE_RATING_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class GranularFeedback:
+    """One filled feedback form."""
+
+    query_id: str
+    user_id: str
+    helpful: bool
+    retrieved_relevant: bool
+    rating: int
+    links: tuple[str, ...] = ()
+    comments: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rating <= 5:
+            raise ValueError("rating must lie in 1..5")
+
+    @property
+    def positive(self) -> bool:
+        """True when the rating counts as positive."""
+        return self.rating >= POSITIVE_RATING_THRESHOLD
+
+
+@dataclass
+class FeedbackStore:
+    """Backend-side storage of feedback forms."""
+
+    feedbacks: list[GranularFeedback] = field(default_factory=list)
+
+    def add(self, feedback: GranularFeedback) -> None:
+        """Persist one feedback form."""
+        self.feedbacks.append(feedback)
+
+    def __len__(self) -> int:
+        return len(self.feedbacks)
+
+    @property
+    def positive_fraction(self) -> float:
+        """Share of positive ratings among all feedbacks."""
+        if not self.feedbacks:
+            return 0.0
+        return sum(1 for f in self.feedbacks if f.positive) / len(self.feedbacks)
+
+    def ground_truth_links(self) -> dict[str, tuple[str, ...]]:
+        """query_id → user-contributed ground-truth document links.
+
+        The paper found this field "extremely useful to gather ground-truth
+        documents … for questions on which the system had failed".
+        """
+        return {f.query_id: f.links for f in self.feedbacks if f.links}
+
+    def by_rating(self) -> dict[int, int]:
+        """Histogram of ratings 1..5."""
+        histogram = {rating: 0 for rating in range(1, 6)}
+        for feedback in self.feedbacks:
+            histogram[feedback.rating] += 1
+        return histogram

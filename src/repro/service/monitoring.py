@@ -1,0 +1,149 @@
+"""Monitoring: metrics collection and the dashboard of Figure 3.
+
+Section 9: "we have created a dashboard that directly queries the logs of
+the various microservices […] reporting the number of users, the number of
+feedbacks provided, the average response time, and the number of failed
+requests and triggered guardrails."
+
+:class:`MetricsCollector` is the log sink every service writes to;
+:class:`DashboardSnapshot` is the aggregated page, including per-interval
+time series for plotting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.answer import OUTCOME_ANSWERED
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One served query, as logged by the backend."""
+
+    timestamp: float
+    user_id: str
+    outcome: str
+    response_time: float
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class DashboardSnapshot:
+    """The Figure 3 page: headline numbers plus per-bucket series."""
+
+    users: int
+    queries: int
+    feedbacks: int
+    average_response_time: float
+    failed_requests: int
+    guardrails_triggered: int
+    outcome_breakdown: dict[str, int] = field(default_factory=dict)
+    queries_per_bucket: list[int] = field(default_factory=list)
+    failures_per_bucket: list[int] = field(default_factory=list)
+    response_time_per_bucket: list[float] = field(default_factory=list)
+
+
+class MetricsCollector:
+    """Aggregates query events and feedback counts for the dashboard."""
+
+    def __init__(self) -> None:
+        self._events: list[QueryEvent] = []
+        self._feedback_count = 0
+
+    def record_query(
+        self,
+        timestamp: float,
+        user_id: str,
+        outcome: str,
+        response_time: float,
+        failed: bool = False,
+    ) -> None:
+        """Log one served (or failed) query."""
+        self._events.append(
+            QueryEvent(
+                timestamp=timestamp,
+                user_id=user_id,
+                outcome=outcome,
+                response_time=response_time,
+                failed=failed,
+            )
+        )
+
+    def record_feedback(self) -> None:
+        """Count one submitted feedback form."""
+        self._feedback_count += 1
+
+    @property
+    def events(self) -> list[QueryEvent]:
+        """All logged query events."""
+        return list(self._events)
+
+    def snapshot(self, bucket_seconds: float = 60.0) -> DashboardSnapshot:
+        """Aggregate everything logged so far into one dashboard page."""
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        outcomes = Counter(event.outcome for event in self._events)
+        guardrails = sum(
+            count for outcome, count in outcomes.items() if outcome.startswith("guardrail_")
+        )
+        failed = sum(1 for event in self._events if event.failed)
+        served = [event for event in self._events if not event.failed]
+        average_rt = (
+            sum(event.response_time for event in served) / len(served) if served else 0.0
+        )
+
+        queries_per_bucket: list[int] = []
+        failures_per_bucket: list[int] = []
+        rt_per_bucket: list[float] = []
+        if self._events:
+            horizon = max(event.timestamp for event in self._events)
+            buckets = int(horizon // bucket_seconds) + 1
+            queries_per_bucket = [0] * buckets
+            failures_per_bucket = [0] * buckets
+            rt_sums = [0.0] * buckets
+            rt_counts = [0] * buckets
+            for event in self._events:
+                bucket = int(event.timestamp // bucket_seconds)
+                queries_per_bucket[bucket] += 1
+                if event.failed:
+                    failures_per_bucket[bucket] += 1
+                else:
+                    rt_sums[bucket] += event.response_time
+                    rt_counts[bucket] += 1
+            rt_per_bucket = [
+                rt_sums[i] / rt_counts[i] if rt_counts[i] else 0.0 for i in range(buckets)
+            ]
+
+        return DashboardSnapshot(
+            users=len({event.user_id for event in self._events}),
+            queries=len(self._events),
+            feedbacks=self._feedback_count,
+            average_response_time=average_rt,
+            failed_requests=failed,
+            guardrails_triggered=guardrails,
+            outcome_breakdown=dict(outcomes),
+            queries_per_bucket=queries_per_bucket,
+            failures_per_bucket=failures_per_bucket,
+            response_time_per_bucket=rt_per_bucket,
+        )
+
+
+def format_dashboard(snapshot: DashboardSnapshot) -> str:
+    """Render the dashboard page as text (the Figure 3 equivalent)."""
+    lines = [
+        "UniAsk monitoring dashboard",
+        "---------------------------",
+        f"users:                {snapshot.users}",
+        f"queries served:       {snapshot.queries}",
+        f"feedbacks provided:   {snapshot.feedbacks}",
+        f"avg response time:    {snapshot.average_response_time:.2f}s",
+        f"failed requests:      {snapshot.failed_requests}",
+        f"guardrails triggered: {snapshot.guardrails_triggered}",
+        "outcomes:",
+    ]
+    for outcome, count in sorted(snapshot.outcome_breakdown.items(), key=lambda p: -p[1]):
+        marker = "·" if outcome == OUTCOME_ANSWERED else "!"
+        lines.append(f"  {marker} {outcome}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Simulated user populations for the pilot phases (Section 8).
+
+Two roles are modelled:
+
+* **SMEs** (subject matter experts, Phase 1) — deep domain knowledge, but
+  a 20-year habit of keyword queries: before being trained on the new
+  guidelines they often compress a natural-language question back into
+  keywords.  They leave feedback on about half of their questions.
+* **Branch users** (Phase 2) — trained in advance to ask natural-language
+  questions; selected among the most active tool users, so they leave
+  feedback at a high rate.
+
+A user's satisfaction follows what the paper observed: answers grounded in
+truly relevant documents are rated positively most of the time; confident
+answers built on the wrong documents are penalized; guardrail apologies
+are rated negatively.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.queries import LabeledQuery
+from repro.service.backend import QueryRecord
+from repro.service.feedback import GranularFeedback
+
+ROLE_SME = "sme"
+ROLE_BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class UserBehavior:
+    """Behavioural parameters of one role."""
+
+    p_feedback: float
+    p_keyword_habit: float  # chance of degrading a NL question to keywords
+    p_positive_grounded: float = 0.93
+    p_positive_ungrounded: float = 0.60
+    p_positive_guardrail: float = 0.12
+
+
+#: Default behaviours per role; the keyword habit drops after training.
+SME_UNTRAINED = UserBehavior(p_feedback=0.5, p_keyword_habit=0.6)
+SME_TRAINED = UserBehavior(p_feedback=0.5, p_keyword_habit=0.1)
+BRANCH_TRAINED = UserBehavior(p_feedback=0.75, p_keyword_habit=0.05)
+
+
+@dataclass
+class SimulatedUser:
+    """One employee interacting with UniAsk during a pilot."""
+
+    user_id: str
+    role: str
+    behavior: UserBehavior
+    rng: random.Random
+
+    def phrase_question(self, query: LabeledQuery) -> str:
+        """How this user actually types *query* (habit may keywordize it)."""
+        if self.rng.random() >= self.behavior.p_keyword_habit:
+            return query.text
+        # Old habit: strip the question down to 2-3 salient words.
+        words = [word for word in query.text.rstrip("?").split() if len(word) > 3]
+        keep = min(len(words), 2 + self.rng.randrange(2))
+        return " ".join(words[:keep]) if words else query.text
+
+    def maybe_give_feedback(
+        self, record: QueryRecord, query: LabeledQuery
+    ) -> GranularFeedback | None:
+        """Fill the feedback form with probability ``p_feedback``."""
+        if self.rng.random() >= self.behavior.p_feedback:
+            return None
+        return self.give_feedback(record, query)
+
+    def give_feedback(self, record: QueryRecord, query: LabeledQuery) -> GranularFeedback:
+        """Judge the answer against the user's own knowledge of the truth."""
+        answer = record.answer
+        retrieved_relevant = any(
+            chunk.doc_id in query.relevant_docs for chunk in answer.documents[:4]
+        )
+        if answer.answered:
+            grounded = any(chunk.doc_id in query.relevant_docs for chunk in answer.context)
+            p_positive = (
+                self.behavior.p_positive_grounded
+                if grounded
+                else self.behavior.p_positive_ungrounded
+            )
+        else:
+            p_positive = self.behavior.p_positive_guardrail
+
+        positive = self.rng.random() < p_positive
+        rating = 3 + self.rng.randrange(3) if positive else 1 + self.rng.randrange(2)
+        links = () if positive else tuple(sorted(query.relevant_docs)[:2])
+        comments = "" if positive else "La risposta non copre la procedura corretta."
+        return GranularFeedback(
+            query_id=record.query_id,
+            user_id=self.user_id,
+            helpful=positive,
+            retrieved_relevant=retrieved_relevant,
+            rating=rating,
+            links=links,
+            comments=comments,
+        )
+
+
+def make_users(
+    count: int, role: str, behavior: UserBehavior, seed: int
+) -> list[SimulatedUser]:
+    """Build a deterministic population of *count* users."""
+    rng = random.Random(seed)
+    return [
+        SimulatedUser(
+            user_id=f"{role}-{number:04d}",
+            role=role,
+            behavior=behavior,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        for number in range(count)
+    ]

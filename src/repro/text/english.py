@@ -1,0 +1,61 @@
+"""English language pack.
+
+The paper's first future-work goal is "to adapt our system to other
+languages and other use cases".  The analysis chain is language-specific in
+exactly three places — stop words, stemming, elision — all injectable into
+:class:`~repro.text.analyzer.ItalianAnalyzer`'s generic machinery.  This
+module provides the English instances:
+
+* :data:`ENGLISH_STOPWORDS` — the classic function-word list;
+* :func:`english_stem` — Harman's S-stemmer (plural normalization only),
+  the English counterpart of the Italian *light* stemmer: high precision,
+  no verb-conjugation heroics;
+* :func:`english_analyzer` — the assembled chain.
+"""
+
+from __future__ import annotations
+
+from repro.text.analyzer import ItalianAnalyzer
+
+_STOPWORD_BLOCK = """
+a an the this that these those
+i you he she it we they me him her us them my your his its our their
+is are was were be been being am
+do does did doing have has had having
+will would shall should can could may might must
+and or but if then else when where how what which who whom why
+of in on at by for with about against between into through to from
+up down out off over under again further once not no nor only same so
+than too very just there here all any both each few more most other some such
+"""
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(_STOPWORD_BLOCK.split())
+
+
+def english_stem(word: str) -> str:
+    """Harman S-stemmer: conflate English plurals, nothing else.
+
+    Rules (first match wins, never stem below 3 characters):
+    ``-ies`` → ``-y`` (policies → policy), ``-es`` → drop ``s`` unless the
+    word ends in ``-aies/-eies/-oies``, ``-s`` → drop unless the word ends
+    in ``-us/-ss``.
+    """
+    if len(word) < 4:
+        return word
+    if word.endswith("ies") and not word.endswith(("aies", "eies")):
+        return word[:-3] + "y"
+    if word.endswith("es") and not word.endswith(("aes", "ees", "oes")):
+        return word[:-1]
+    if word.endswith("s") and not word.endswith(("us", "ss")):
+        return word[:-1]
+    return word
+
+
+def english_analyzer(remove_stopwords: bool = True, apply_stemming: bool = True) -> ItalianAnalyzer:
+    """The English analysis chain, assembled on the generic analyzer."""
+    return ItalianAnalyzer(
+        remove_stopwords=remove_stopwords,
+        apply_stemming=apply_stemming,
+        stopword_set=ENGLISH_STOPWORDS,
+        stem_fn=english_stem,
+    )

@@ -1,0 +1,56 @@
+"""Italian light stemmer.
+
+A from-scratch implementation of the *light* Italian stemmer used by
+Lucene's ``ItalianLightStemFilter`` (Savoy, "Light Stemming Approaches for
+the French, Portuguese, German and Hungarian Languages", applied to Italian).
+Light stemming only normalizes plural/gender inflection on nouns and
+adjectives; it deliberately does not attack verb conjugation, which keeps
+precision high for retrieval.
+
+The algorithm:
+
+1. replace accented vowels with their plain forms,
+2. drop a final vowel chain according to simple plural/gender rules
+   (``-chi/-che`` → ``-c``  … ``-i/-e/-a/-o`` dropped),
+3. never stem below 3 characters.
+"""
+
+from __future__ import annotations
+
+_ACCENT_MAP = str.maketrans(
+    "àáâäèéêëìíîïòóôöùúûüÀÁÂÄÈÉÊËÌÍÎÏÒÓÔÖÙÚÛÜ",
+    "aaaaeeeeiiiioooouuuuAAAAEEEEIIIIOOOOUUUU",
+)
+
+
+def remove_accents(word: str) -> str:
+    """Replace accented vowels with unaccented equivalents."""
+    return word.translate(_ACCENT_MAP)
+
+
+def stem(word: str) -> str:
+    """Return the light stem of an Italian *word* (expects lower-case input)."""
+    word = remove_accents(word)
+    if len(word) < 4:
+        return word
+
+    # Plural of -co/-ca and -go/-ga words keeps the velar sound with an h:
+    # banchi/banche -> banc, luoghi -> luog.
+    if len(word) > 5 and word.endswith(("chi", "che")):
+        return word[:-2]
+    if len(word) > 5 and word.endswith(("ghi", "ghe")):
+        return word[:-2]
+
+    # Final unstressed vowel marks gender/number: conto/conti/conta/conte.
+    if word[-1] in "aeio":
+        word = word[:-1]
+        # A remaining final 'i' after dropping ('bonifici' -> 'bonifici' ->
+        # 'bonific' via the double-vowel plural) normalizes too.
+        if len(word) > 3 and word[-1] == "i":
+            word = word[:-1]
+    return word
+
+
+def stem_tokens(tokens: list[str]) -> list[str]:
+    """Stem every token in *tokens*."""
+    return [stem(token) for token in tokens]

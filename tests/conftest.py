@@ -1,0 +1,54 @@
+"""Shared fixtures: a small synthetic KB and a fully wired system.
+
+Session-scoped because building the index embeds every chunk; all tests
+treat these fixtures as read-only.  Tests that mutate state build their own
+instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.factory import UniAskSystem, build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig, SyntheticKb
+from repro.corpus.queries import (
+    HumanDatasetConfig,
+    KeywordDatasetConfig,
+    generate_human_dataset,
+    generate_keyword_dataset,
+)
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.embeddings.concepts import ConceptLexicon
+
+
+@pytest.fixture(scope="session")
+def small_kb() -> SyntheticKb:
+    """A compact corpus: 40 topics + 3 error families (~100 documents)."""
+    return KbGenerator(KbGeneratorConfig(num_topics=40, error_families=3, seed=7)).generate()
+
+
+@pytest.fixture(scope="session")
+def lexicon() -> ConceptLexicon:
+    """The Italian banking concept lexicon."""
+    return build_banking_lexicon()
+
+
+@pytest.fixture(scope="session")
+def system(small_kb: SyntheticKb, lexicon: ConceptLexicon) -> UniAskSystem:
+    """A fully wired UniAsk deployment over the small corpus (read-only)."""
+    return build_uniask_system(small_kb.store(), lexicon, seed=3)
+
+
+@pytest.fixture(scope="session")
+def human_queries(small_kb: SyntheticKb):
+    """A small human-question dataset over the small corpus."""
+    return generate_human_dataset(small_kb, HumanDatasetConfig(num_questions=60, seed=5))
+
+
+@pytest.fixture(scope="session")
+def keyword_queries(small_kb: SyntheticKb):
+    """A small keyword dataset (with its source log)."""
+    queries, log = generate_keyword_dataset(
+        small_kb, KeywordDatasetConfig(num_queries=40, log_searches=2000, seed=5)
+    )
+    return queries, log

@@ -1,0 +1,69 @@
+"""Unit tests for exhaustive k-NN and distance functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann.distance import batch_cosine_distance, cosine_distance, euclidean_distance
+from repro.ann.exact import ExactKnnIndex
+
+
+class TestDistances:
+    def test_cosine_identical(self):
+        v = np.array([0.3, 0.4])
+        assert cosine_distance(v, v) == pytest.approx(0.0)
+
+    def test_cosine_opposite(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([-1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_distance(np.zeros(2), np.ones(2)) == 1.0
+
+    def test_euclidean(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_batch_matches_scalar(self):
+        generator = np.random.default_rng(0)
+        matrix = generator.standard_normal((10, 6))
+        query = generator.standard_normal(6)
+        batch = batch_cosine_distance(query, matrix)
+        for i in range(10):
+            assert batch[i] == pytest.approx(cosine_distance(query, matrix[i]))
+
+    def test_batch_empty(self):
+        assert batch_cosine_distance(np.ones(3), np.zeros((0, 3))).shape == (0,)
+
+
+class TestExactKnn:
+    def test_orders_by_distance(self):
+        index = ExactKnnIndex(dim=2)
+        index.add(0, np.array([1.0, 0.0]))
+        index.add(1, np.array([0.0, 1.0]))
+        index.add(2, np.array([0.7, 0.7]))
+        results = index.search(np.array([1.0, 0.0]), 3)
+        assert [i for i, _ in results] == [0, 2, 1]
+
+    def test_k_zero(self):
+        index = ExactKnnIndex(dim=2)
+        index.add(0, np.ones(2))
+        assert index.search(np.ones(2), 0) == []
+
+    def test_empty_index(self):
+        assert ExactKnnIndex(dim=2).search(np.ones(2), 3) == []
+
+    def test_wrong_shape_rejected(self):
+        index = ExactKnnIndex(dim=2)
+        with pytest.raises(ValueError):
+            index.add(0, np.ones(3))
+
+    def test_incremental_adds_visible(self):
+        index = ExactKnnIndex(dim=2)
+        index.add(0, np.array([1.0, 0.0]))
+        assert len(index.search(np.array([1.0, 0.0]), 5)) == 1
+        index.add(1, np.array([0.9, 0.1]))
+        assert len(index.search(np.array([1.0, 0.0]), 5)) == 2
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ExactKnnIndex(dim=0)

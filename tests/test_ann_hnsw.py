@@ -1,0 +1,117 @@
+"""Unit tests for the HNSW index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann.exact import ExactKnnIndex
+from repro.ann.hnsw import HnswIndex
+
+
+def _unit_rows(n: int, dim: int, seed: int) -> np.ndarray:
+    generator = np.random.default_rng(seed)
+    rows = generator.standard_normal((n, dim))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+@pytest.fixture()
+def populated() -> tuple[HnswIndex, np.ndarray]:
+    vectors = _unit_rows(300, 24, seed=0)
+    index = HnswIndex(dim=24, m=8, ef_construction=80, ef_search=60, seed=1)
+    for i, row in enumerate(vectors):
+        index.add(i, row)
+    return index, vectors
+
+
+class TestHnswBasics:
+    def test_empty_search(self):
+        index = HnswIndex(dim=4)
+        assert index.search(np.ones(4), 5) == []
+
+    def test_single_element(self):
+        index = HnswIndex(dim=4, seed=2)
+        index.add(7, np.array([1.0, 0.0, 0.0, 0.0]))
+        results = index.search(np.array([1.0, 0.0, 0.0, 0.0]), 3)
+        assert results[0][0] == 7
+        assert results[0][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_id_rejected(self):
+        index = HnswIndex(dim=3)
+        index.add(1, np.ones(3))
+        with pytest.raises(ValueError):
+            index.add(1, np.ones(3))
+
+    def test_wrong_shape_rejected(self):
+        index = HnswIndex(dim=3)
+        with pytest.raises(ValueError):
+            index.add(1, np.ones(4))
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            HnswIndex(dim=3, metric="manhattan")
+
+    def test_len_and_contains(self, populated):
+        index, _ = populated
+        assert len(index) == 300
+        assert 0 in index
+        assert 999 not in index
+
+    def test_results_sorted_by_distance(self, populated):
+        index, vectors = populated
+        results = index.search(vectors[0], 10)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_self_is_nearest(self, populated):
+        index, vectors = populated
+        for probe in (0, 50, 299):
+            results = index.search(vectors[probe], 1)
+            assert results[0][0] == probe
+
+    def test_k_larger_than_index(self):
+        index = HnswIndex(dim=4, seed=3)
+        for i in range(5):
+            index.add(i, _unit_rows(1, 4, seed=i)[0])
+        assert len(index.search(np.ones(4) / 2.0, 50)) == 5
+
+    def test_deterministic_given_seed(self):
+        vectors = _unit_rows(100, 16, seed=4)
+        def build():
+            index = HnswIndex(dim=16, m=6, seed=11)
+            for i, row in enumerate(vectors):
+                index.add(i, row)
+            return index.search(vectors[3], 10)
+        assert build() == build()
+
+
+class TestHnswRecall:
+    def test_high_recall_against_exact(self, populated):
+        """The paper found HNSW ≈ exhaustive k-NN; recall@10 must be high."""
+        index, vectors = populated
+        exact = ExactKnnIndex(dim=24)
+        for i, row in enumerate(vectors):
+            exact.add(i, row)
+
+        queries = _unit_rows(30, 24, seed=5)
+        total_recall = 0.0
+        for query in queries:
+            truth = {i for i, _ in exact.search(query, 10)}
+            approx = {i for i, _ in index.search(query, 10)}
+            total_recall += len(truth & approx) / 10
+        assert total_recall / len(queries) >= 0.9
+
+    def test_higher_ef_not_worse(self, populated):
+        index, vectors = populated
+        exact = ExactKnnIndex(dim=24)
+        for i, row in enumerate(vectors):
+            exact.add(i, row)
+        query = _unit_rows(1, 24, seed=6)[0]
+        truth = {i for i, _ in exact.search(query, 10)}
+        low = {i for i, _ in index.search(query, 10, ef=12)}
+        high = {i for i, _ in index.search(query, 10, ef=200)}
+        assert len(truth & high) >= len(truth & low)
+
+    def test_graph_layers_exist(self, populated):
+        index, _ = populated
+        assert index.max_level >= 1  # 300 points virtually always give >1 layer

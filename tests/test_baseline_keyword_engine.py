@@ -1,0 +1,92 @@
+"""Unit tests for the legacy exact-keyword baseline ("Prev")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.keyword_engine import PrevKeywordEngine
+from repro.pipeline.store import KbDocument
+
+
+def _doc(doc_id: str, title: str, body: str) -> KbDocument:
+    html = f"<html><head><title>{title}</title></head><body><p>{body}</p></body></html>"
+    return KbDocument(doc_id=doc_id, html=html)
+
+
+@pytest.fixture()
+def engine() -> PrevKeywordEngine:
+    engine = PrevKeywordEngine()
+    engine.index_all(
+        [
+            _doc("carta", "Attivare carta", "Per attivare la carta di credito usare il portale."),
+            _doc("bonifico", "Bonifico estero", "Il bonifico estero richiede il codice BIC."),
+            _doc("cassa", "Quadratura", "La quadratura di cassa avviene in filiale ogni sera."),
+        ]
+    )
+    return engine
+
+
+class TestPrevKeywordEngine:
+    def test_exact_match_found(self, engine):
+        results = engine.search("bonifico estero")
+        assert results and results[0].doc_id == "bonifico"
+
+    def test_and_semantics(self, engine):
+        # "bonifico" AND "filiale" never co-occur: no results.
+        assert engine.search("bonifico filiale") == []
+
+    def test_no_stemming(self, engine):
+        """Inflected forms do not match — the defining legacy weakness."""
+        assert engine.search("bonifici esteri") == []
+
+    def test_no_synonyms(self, engine):
+        assert engine.search("trasferimento fondi") == []
+
+    def test_stopwords_removed_from_query(self, engine):
+        results = engine.search("il bonifico per l'estero")  # "estero" via elision? no: l'estero kept
+        # "il" and "per" are dropped; "l'estero" stays as "l'estero" and fails.
+        assert results == []
+
+    def test_natural_language_question_fails(self, engine):
+        assert engine.search("Come posso inoltrare la richiesta di un trasferimento fondi?") == []
+
+    def test_short_canonical_question_succeeds(self, engine):
+        results = engine.search("Come posso attivare la carta?")
+        assert results and results[0].doc_id == "carta"
+
+    def test_title_bonus_affects_ranking(self):
+        docs = [
+            _doc("in-title", "Carta di credito", "Documento generico sulla gestione."),
+            _doc("in-body", "Guida", "carta carta credito credito testo della pagina."),
+        ]
+        small_bonus = PrevKeywordEngine(title_bonus=0.5)
+        small_bonus.index_all(docs)
+        assert small_bonus.search("carta credito")[0].doc_id == "in-body"
+
+        big_bonus = PrevKeywordEngine(title_bonus=100.0)
+        big_bonus.index_all(docs)
+        assert big_bonus.search("carta credito")[0].doc_id == "in-title"
+
+    def test_ranked_by_term_frequency(self):
+        engine = PrevKeywordEngine(title_bonus=0.0)
+        engine.index_all(
+            [
+                _doc("many", "a", "carta carta carta carta"),
+                _doc("few", "b", "carta una volta sola"),
+            ]
+        )
+        results = engine.search("carta")
+        assert results[0].doc_id == "many"
+
+    def test_case_insensitive(self, engine):
+        assert engine.search("BONIFICO ESTERO")
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.search("il la di") == []
+
+    def test_n_truncation(self, engine):
+        assert len(engine.search("filiale", n=1)) <= 1
+
+    def test_len(self, engine):
+        assert len(engine) == 3

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_ask_command(self, capsys):
+        code = main(["--topics", "25", "--seed", "3", "ask", "Come posso attivare la carta di credito?"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "❓" in out
+        assert "Documenti trovati:" in out or "⚠" in out
+
+    def test_eval_command(self, capsys):
+        code = main(["--topics", "25", "--seed", "3", "eval", "--questions", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out
+        assert "UniAsk" in out
+
+    def test_loadtest_command(self, capsys):
+        code = main(["loadtest", "--minutes", "10", "--quota", "500000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total requests" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic KB generator and vocabulary."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import DOMAINS, build_banking_vocabulary
+from repro.htmlproc.parser import parse_html
+from repro.text.tokenizer import word_tokenize
+
+
+class TestVocabulary:
+    def test_classes_populated(self):
+        vocabulary = build_banking_vocabulary()
+        assert len(vocabulary.entities) >= 40
+        assert len(vocabulary.actions) >= 10
+        assert len(vocabulary.systems) >= 10
+
+    def test_every_entity_has_synonyms(self):
+        vocabulary = build_banking_vocabulary()
+        for entity in vocabulary.entities:
+            assert entity.synonyms, f"{entity.concept_id} lacks synonyms"
+
+    def test_systems_are_pure_jargon(self):
+        vocabulary = build_banking_vocabulary()
+        for system in vocabulary.systems:
+            assert system.synonyms == ()
+
+    def test_entity_domains_valid(self):
+        vocabulary = build_banking_vocabulary()
+        for entity in vocabulary.entities:
+            assert entity.domain in DOMAINS
+
+    def test_lexicon_resolves_synonyms(self):
+        vocabulary = build_banking_vocabulary()
+        weights = vocabulary.lexicon.concepts_in_text("un trasferimento fondi urgente")
+        assert "bonifico" in weights
+
+    def test_concept_ids_unique(self):
+        vocabulary = build_banking_vocabulary()
+        ids = [concept.concept_id for concept in vocabulary.all_concepts]
+        assert len(ids) == len(set(ids))
+
+
+class TestKbGenerator:
+    @pytest.fixture(scope="class")
+    def kb(self):
+        return KbGenerator(KbGeneratorConfig(num_topics=50, error_families=4, seed=11)).generate()
+
+    def test_topic_count(self, kb):
+        assert len(kb.topics) == 50
+
+    def test_every_topic_has_documents(self, kb):
+        for topic_id in kb.topics:
+            assert kb.docs_by_topic[topic_id]
+
+    def test_near_duplicate_variants_share_key_sentence(self, kb):
+        for topic_id, doc_ids in kb.docs_by_topic.items():
+            if topic_id.startswith("error-") or len(doc_ids) < 2:
+                continue
+            sentences = {kb.document(doc_id).key_sentence for doc_id in doc_ids}
+            assert len(sentences) == 1
+
+    def test_error_families_nearly_identical(self, kb):
+        codes = sorted(kb.doc_by_error_code)
+        same_family = [c for c in codes if c.startswith("ERR-10")]
+        assert len(same_family) >= 2
+        a = parse_html(kb.document(kb.doc_by_error_code[same_family[0]]).document.html)
+        b = parse_html(kb.document(kb.doc_by_error_code[same_family[1]]).document.html)
+        shared = set(a.text.split()) & set(b.text.split())
+        assert len(shared) / max(len(set(a.text.split())), 1) > 0.6
+
+    def test_error_code_unique_per_document(self, kb):
+        assert len(kb.doc_by_error_code) == 4 * 8
+
+    def test_documents_are_short(self, kb):
+        """The paper: ~248 words on average, a handful of paragraphs."""
+        lengths = []
+        paragraph_counts = []
+        for generated in kb.documents:
+            parsed = parse_html(generated.document.html)
+            lengths.append(len(word_tokenize(parsed.text)))
+            paragraph_counts.append(len(parsed.paragraphs))
+        assert 40 <= statistics.mean(lengths) <= 300
+        assert 4 <= statistics.mean(paragraph_counts) <= 12
+
+    def test_documents_carry_editor_metadata(self, kb):
+        for generated in kb.documents:
+            assert generated.document.domain
+            assert generated.document.section
+            assert generated.document.keywords
+
+    def test_titles_present(self, kb):
+        for generated in kb.documents:
+            assert parse_html(generated.document.html).title
+
+    def test_deterministic(self):
+        config = KbGeneratorConfig(num_topics=20, error_families=2, seed=99)
+        a = KbGenerator(config).generate()
+        b = KbGenerator(config).generate()
+        assert [d.doc_id for d in a.documents] == [d.doc_id for d in b.documents]
+        assert [d.document.html for d in a.documents] == [d.document.html for d in b.documents]
+
+    def test_different_seeds_differ(self):
+        a = KbGenerator(KbGeneratorConfig(num_topics=20, seed=1)).generate()
+        b = KbGenerator(KbGeneratorConfig(num_topics=20, seed=2)).generate()
+        assert [d.document.html for d in a.documents] != [d.document.html for d in b.documents]
+
+    def test_store_roundtrip(self, kb):
+        store = kb.store()
+        assert len(store) == len(kb.documents)
+
+    def test_document_lookup(self, kb):
+        first = kb.documents[0]
+        assert kb.document(first.doc_id) is first
+        with pytest.raises(KeyError):
+            kb.document("kb/nope")

@@ -1,0 +1,102 @@
+"""Unit tests for the linear query adapter (future-work feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.adapter import (
+    AdaptedEmbedder,
+    LinearQueryAdapter,
+    TrainingPair,
+    pairs_from_labeled_queries,
+    train_query_adapter,
+)
+from repro.embeddings.model import SyntheticAdaEmbedder
+
+
+@pytest.fixture()
+def embedder() -> SyntheticAdaEmbedder:
+    return SyntheticAdaEmbedder(None, dim=48, seed=13)
+
+
+class TestLinearQueryAdapter:
+    def test_identity_adapter_is_noop(self, embedder):
+        adapter = LinearQueryAdapter.identity(48)
+        vector = embedder.embed("bonifico estero")
+        np.testing.assert_allclose(adapter.adapt(vector), vector)
+        assert adapter.deviation_from_identity() == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            LinearQueryAdapter(np.zeros((3, 4)))
+
+    def test_adapted_vectors_unit_norm(self, embedder):
+        adapter = LinearQueryAdapter(np.diag(np.linspace(0.5, 2.0, 48)))
+        adapted = adapter.adapt(embedder.embed("carta di credito"))
+        assert np.linalg.norm(adapted) == pytest.approx(1.0)
+
+    def test_degenerate_map_falls_back_to_input(self, embedder):
+        adapter = LinearQueryAdapter(np.zeros((48, 48)))
+        vector = embedder.embed("carta")
+        np.testing.assert_allclose(adapter.adapt(vector), vector)
+
+
+class TestTraining:
+    def test_empty_pairs_yield_identity(self, embedder):
+        adapter = train_query_adapter(embedder, [])
+        assert adapter.deviation_from_identity() == 0.0
+
+    def test_negative_regularization_rejected(self, embedder):
+        with pytest.raises(ValueError):
+            train_query_adapter(embedder, [], regularization=-1.0)
+
+    def test_training_moves_queries_toward_targets(self, embedder):
+        pairs = [
+            TrainingPair("come fare un giroconto", "procedura per il bonifico interno"),
+            TrainingPair("richiedere il pin", "procedura per le credenziali di accesso"),
+            TrainingPair("pc bloccato in filiale", "riavviare la postazione di lavoro"),
+        ]
+        adapter = train_query_adapter(embedder, pairs, regularization=0.1)
+        improved = 0
+        for pair in pairs:
+            query = embedder.embed(pair.query)
+            target = embedder.embed(pair.relevant_text)
+            before = float(query @ target)
+            after = float(adapter.adapt(query) @ target)
+            if after > before:
+                improved += 1
+        assert improved >= 2  # training pairs must (mostly) get closer
+
+    def test_large_regularization_stays_near_identity(self, embedder):
+        pairs = [TrainingPair("a b c", "x y z")]
+        tight = train_query_adapter(embedder, pairs, regularization=1e6)
+        assert tight.deviation_from_identity() < 0.01
+
+
+class TestAdaptedEmbedder:
+    def test_dim_mismatch_rejected(self, embedder):
+        with pytest.raises(ValueError):
+            AdaptedEmbedder(embedder, LinearQueryAdapter.identity(12))
+
+    def test_embed_batch_shape(self, embedder):
+        adapted = AdaptedEmbedder(embedder, LinearQueryAdapter.identity(48))
+        assert adapted.embed_batch(["a", "b"]).shape == (2, 48)
+        assert adapted.embed_batch([]).shape == (0, 48)
+
+    def test_identity_view_matches_base(self, embedder):
+        adapted = AdaptedEmbedder(embedder, LinearQueryAdapter.identity(48))
+        np.testing.assert_allclose(adapted.embed("bonifico"), embedder.embed("bonifico"))
+
+
+class TestPairsFromLabeledQueries:
+    def test_pairs_built_from_ground_truth(self, small_kb, human_queries):
+        pairs = pairs_from_labeled_queries(human_queries, small_kb)
+        assert pairs
+        assert all(pair.query and pair.relevant_text for pair in pairs)
+
+    def test_queries_without_ground_truth_skipped(self, small_kb):
+        from repro.corpus.queries import LabeledQuery
+
+        orphan = LabeledQuery(query_id="x", text="domanda", kind="human")
+        assert pairs_from_labeled_queries([orphan], small_kb) == []

@@ -1,0 +1,122 @@
+"""Unit tests for the two chunking strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htmlproc.chunking import HtmlParagraphChunker, RecursiveCharacterTextSplitter
+from repro.htmlproc.parser import ParsedDocument, parse_html
+from repro.text.tokenizer import count_tokens
+
+
+def _document(paragraphs: list[str]) -> ParsedDocument:
+    offsets = []
+    cursor = 0
+    for i, p in enumerate(paragraphs):
+        offsets.append(cursor)
+        cursor += len(p) + (2 if i < len(paragraphs) - 1 else 0)
+    return ParsedDocument(title="t", paragraphs=tuple(paragraphs), paragraph_offsets=tuple(offsets))
+
+
+class TestHtmlParagraphChunker:
+    def test_short_document_single_chunk(self):
+        chunker = HtmlParagraphChunker(max_tokens=512)
+        chunks = chunker.chunk_document(_document(["uno due", "tre quattro"]))
+        assert len(chunks) == 1
+        assert chunks[0].start_paragraph == 0
+        assert chunks[0].end_paragraph == 1
+
+    def test_splits_on_paragraph_boundaries_only(self):
+        paragraphs = [f"parola{i} " * 30 for i in range(10)]
+        chunker = HtmlParagraphChunker(max_tokens=60)
+        chunks = chunker.chunk_document(_document(paragraphs))
+        assert len(chunks) > 1
+        for chunk in chunks:
+            for piece in chunk.text.split("\n\n"):
+                assert piece in paragraphs
+
+    def test_chunks_cover_all_paragraphs_in_order(self):
+        paragraphs = [f"contenuto{i} " * 20 for i in range(8)]
+        chunker = HtmlParagraphChunker(max_tokens=50)
+        chunks = chunker.chunk_document(_document(paragraphs))
+        reconstructed = "\n\n".join(chunk.text for chunk in chunks)
+        assert reconstructed == "\n\n".join(paragraphs)
+
+    def test_chunks_respect_max_tokens_when_possible(self):
+        paragraphs = ["breve " * 10] * 12
+        chunker = HtmlParagraphChunker(max_tokens=40)
+        for chunk in chunker.chunk_document(_document(paragraphs)):
+            assert count_tokens(chunk.text) <= 40
+
+    def test_oversized_paragraph_becomes_own_chunk(self):
+        huge = "parola " * 300
+        chunker = HtmlParagraphChunker(max_tokens=50)
+        chunks = chunker.chunk_document(_document(["piccolo", huge, "piccolo due"]))
+        assert any(count_tokens(chunk.text) > 50 for chunk in chunks)
+
+    def test_small_chunks_merged(self):
+        chunker = HtmlParagraphChunker(max_tokens=512, min_tokens=10)
+        chunks = chunker.chunk_document(_document(["a", "b", "c", "d"]))
+        assert len(chunks) == 1
+
+    def test_chunk_html_end_to_end(self):
+        chunks = HtmlParagraphChunker().chunk_html("<p>alfa</p><p>beta</p>")
+        assert len(chunks) == 1
+        assert "alfa" in chunks[0].text
+
+    def test_empty_document(self):
+        assert HtmlParagraphChunker().chunk_document(_document([])) == []
+
+    def test_indices_sequential(self):
+        paragraphs = [f"p{i} " * 40 for i in range(6)]
+        chunks = HtmlParagraphChunker(max_tokens=50).chunk_document(_document(paragraphs))
+        assert [chunk.index for chunk in chunks] == list(range(len(chunks)))
+
+
+class TestRecursiveCharacterTextSplitter:
+    def test_short_text_single_chunk(self):
+        splitter = RecursiveCharacterTextSplitter(chunk_size=100, chunk_overlap=10)
+        assert splitter.split_text("corto") == ["corto"]
+
+    def test_long_text_split(self):
+        text = ("frase numero uno. " * 100).strip()
+        splitter = RecursiveCharacterTextSplitter(chunk_size=200, chunk_overlap=20)
+        chunks = splitter.split_text(text)
+        assert len(chunks) > 1
+
+    def test_chunks_within_size_bound(self):
+        text = "parola " * 500
+        splitter = RecursiveCharacterTextSplitter(chunk_size=150, chunk_overlap=15)
+        for chunk in splitter.split_text(text):
+            assert len(chunk) <= 150 + 15  # size plus worst-case separator slack
+
+    def test_overlap_must_be_smaller_than_size(self):
+        with pytest.raises(ValueError):
+            RecursiveCharacterTextSplitter(chunk_size=10, chunk_overlap=10)
+
+    def test_no_content_lost(self):
+        text = "alfa beta gamma delta " * 50
+        splitter = RecursiveCharacterTextSplitter(chunk_size=100, chunk_overlap=0)
+        joined = " ".join(splitter.split_text(text))
+        for word in ("alfa", "beta", "gamma", "delta"):
+            assert word in joined
+
+    def test_produces_noisier_chunks_than_html_strategy(self):
+        """The paper's observation: the generic splitter cuts mid-paragraph."""
+        paragraphs = [f"Paragrafo {i} con contenuto coerente scritto dall'editor." for i in range(20)]
+        markup = "".join(f"<p>{p}</p>" for p in paragraphs)
+        parsed = parse_html(markup)
+
+        html_chunks = HtmlParagraphChunker(max_tokens=40, min_tokens=1).chunk_document(parsed)
+        char_chunks = RecursiveCharacterTextSplitter(chunk_size=40, chunk_overlap=8).chunk_document(parsed)
+
+        def broken(chunks):
+            return sum(
+                1
+                for chunk in chunks
+                for piece in chunk.text.split("\n\n")
+                if piece and piece not in paragraphs
+            )
+
+        assert broken(html_chunks) == 0
+        assert broken(char_chunks) > 0

@@ -1,0 +1,68 @@
+"""Unit tests for HTML parsing."""
+
+from __future__ import annotations
+
+from repro.htmlproc.parser import parse_html
+
+SAMPLE = """
+<html>
+  <head><title>Attivare la carta</title>
+  <style>p { color: red; }</style></head>
+  <body>
+    <h1>Attivare la carta</h1>
+    <p>Primo paragrafo della guida.</p>
+    <p>Secondo paragrafo con <b>markup</b> inline.</p>
+    <ul><li>Primo passo</li><li>Secondo passo</li></ul>
+    <script>alert('no');</script>
+  </body>
+</html>
+"""
+
+
+class TestParseHtml:
+    def test_title_extracted(self):
+        assert parse_html(SAMPLE).title == "Attivare la carta"
+
+    def test_paragraph_count(self):
+        parsed = parse_html(SAMPLE)
+        # h1 + 2 <p> + 2 <li>
+        assert len(parsed.paragraphs) == 5
+
+    def test_inline_markup_flattened(self):
+        parsed = parse_html(SAMPLE)
+        assert "Secondo paragrafo con markup inline." in parsed.paragraphs
+
+    def test_script_and_style_skipped(self):
+        text = parse_html(SAMPLE).text
+        assert "alert" not in text
+        assert "color" not in text
+
+    def test_list_items_are_blocks(self):
+        parsed = parse_html(SAMPLE)
+        assert "Primo passo" in parsed.paragraphs
+
+    def test_offsets_align_with_text(self):
+        parsed = parse_html(SAMPLE)
+        for offset, paragraph in zip(parsed.paragraph_offsets, parsed.paragraphs):
+            assert parsed.text[offset : offset + len(paragraph)] == paragraph
+
+    def test_title_fallback_to_first_heading(self):
+        parsed = parse_html("<html><body><h1>Solo intestazione</h1><p>x</p></body></html>")
+        assert parsed.title == "Solo intestazione"
+
+    def test_empty_document(self):
+        parsed = parse_html("")
+        assert parsed.title == ""
+        assert parsed.paragraphs == ()
+
+    def test_whitespace_normalized(self):
+        parsed = parse_html("<p>molti    spazi\n   e righe</p>")
+        assert parsed.paragraphs == ("molti spazi e righe",)
+
+    def test_br_becomes_space(self):
+        parsed = parse_html("<p>prima<br>dopo</p>")
+        assert parsed.paragraphs == ("prima dopo",)
+
+    def test_entity_references_decoded(self):
+        parsed = parse_html("<p>pi&ugrave; veloce &amp; sicuro</p>")
+        assert parsed.paragraphs == ("più veloce & sicuro",)

@@ -1,0 +1,136 @@
+"""Unit tests for the simulated chat LLM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings.concepts import Concept, ConceptLexicon
+from repro.guardrails.citation import extract_citations
+from repro.llm.base import ChatMessage, user
+from repro.llm.prompts import (
+    ContextDocument,
+    build_answer_prompt,
+    build_blind_answer_prompt,
+    build_keywords_prompt,
+    build_related_queries_prompt,
+    build_summary_prompt,
+)
+from repro.llm.simulated import REFUSAL_TEXT, SimulatedChatLLM
+
+
+@pytest.fixture(scope="module")
+def llm() -> SimulatedChatLLM:
+    lexicon = ConceptLexicon(
+        [
+            Concept("bonifico", "bonifico", ("trasferimento fondi",)),
+            Concept("carta", "carta di credito", ("carta revolving",)),
+            Concept("act_attivare", "attivare", ("abilitare",)),
+        ]
+    )
+    return SimulatedChatLLM(lexicon, seed=3)
+
+
+def _context(relevant: bool) -> list[ContextDocument]:
+    if relevant:
+        content = (
+            "Per attivare la carta di credito occorre accedere a GestCarte. "
+            "La conferma arriva entro pochi minuti."
+        )
+    else:
+        content = "La quadratura di cassa si esegue a fine giornata in filiale."
+    return [ContextDocument(key="doc1", title="Guida", content=content)]
+
+
+class TestRagAnswer:
+    def test_grounded_answer_cites_context(self, llm):
+        prompt = build_answer_prompt("Come posso attivare la carta di credito?", _context(True))
+        response = llm.complete(prompt)
+        assert "[doc1]" in response.content
+
+    def test_answer_is_extractive(self, llm):
+        prompt = build_answer_prompt("Come posso attivare la carta di credito?", _context(True))
+        response = llm.complete(prompt)
+        assert "GestCarte" in response.content
+
+    def test_irrelevant_context_yields_refusal_or_no_citation(self, llm):
+        prompt = build_answer_prompt("Come posso attivare la carta di credito?", _context(False))
+        response = llm.complete(prompt)
+        assert response.content == REFUSAL_TEXT or not extract_citations(response.content)
+
+    def test_deterministic_at_fixed_seed(self, llm):
+        prompt = build_answer_prompt("Come attivare la carta?", _context(True))
+        assert llm.complete(prompt).content == llm.complete(prompt).content
+
+    def test_reseed_changes_runs(self):
+        lexicon = ConceptLexicon([Concept("carta", "carta di credito")])
+        llm = SimulatedChatLLM(lexicon, seed=1, p_missing_citation=0.5)
+        prompt = build_answer_prompt("Domanda sulla carta di credito?", _context(True))
+        outputs = set()
+        for nonce in range(12):
+            llm.reseed(nonce)
+            outputs.add(llm.complete(prompt, temperature=1.0).content)
+        assert len(outputs) > 1
+
+    def test_usage_accounting(self, llm):
+        prompt = build_answer_prompt("Come attivare la carta di credito?", _context(True))
+        response = llm.complete(prompt)
+        assert response.usage.prompt_tokens > 0
+        assert response.usage.completion_tokens > 0
+        assert response.usage.total_tokens == (
+            response.usage.prompt_tokens + response.usage.completion_tokens
+        )
+
+    def test_max_tokens_truncates(self, llm):
+        prompt = build_answer_prompt("Come attivare la carta di credito?", _context(True))
+        short = llm.complete(prompt, max_tokens=5)
+        assert short.usage.completion_tokens <= 5
+
+    def test_malformed_prompt_refuses(self, llm):
+        response = llm.complete(
+            [ChatMessage("system", "TASK: rag_answer"), user("niente contesto qui")]
+        )
+        assert response.content == REFUSAL_TEXT
+
+
+class TestAuxiliaryTasks:
+    def test_summary_is_lead_based(self, llm):
+        prompt = build_summary_prompt("Titolo", "Prima frase utile. Seconda frase. Terza frase.")
+        response = llm.complete(prompt)
+        assert response.content.startswith("Prima frase utile.")
+
+    def test_keywords_extracted_from_lexicon(self, llm):
+        prompt = build_keywords_prompt("Attivare la carta di credito", None)
+        response = llm.complete(prompt)
+        assert "carta di credito" in response.content
+
+    def test_blind_answer_mentions_question_topic(self, llm):
+        response = llm.complete(build_blind_answer_prompt("Come attivare la carta di credito?"))
+        assert "carta di credito" in response.content
+
+    def test_blind_answer_contains_noise(self, llm):
+        """QGA degrades retrieval because the blind answer adds off-topic terms."""
+        response = llm.complete(build_blind_answer_prompt("Come attivare la carta di credito?"))
+        assert "assistenza" in response.content or "portale" in response.content
+
+    def test_related_queries_count(self, llm):
+        response = llm.complete(build_related_queries_prompt("Come attivare la carta?", 3))
+        assert len(response.content.splitlines()) == 3
+
+    def test_related_queries_reuse_user_terms(self, llm):
+        """Rephrasings keep the user's own words — the LLM cannot translate
+        into internal jargon it has never seen."""
+        response = llm.complete(build_related_queries_prompt("Come attivare la carta di credito?", 2))
+        first_two = response.content.splitlines()[:2]
+        assert all("carta" in line for line in first_two)
+        assert not any("revolving" in line for line in first_two)
+
+    def test_unknown_task_refuses(self, llm):
+        response = llm.complete([ChatMessage("system", "nessun task"), user("ciao")])
+        assert response.content == REFUSAL_TEXT
+
+    def test_call_counter(self):
+        lexicon = ConceptLexicon([Concept("x", "bonifico")])
+        llm = SimulatedChatLLM(lexicon)
+        llm.complete(build_blind_answer_prompt("bonifico?"))
+        llm.complete(build_blind_answer_prompt("bonifico?"))
+        assert llm.calls == 2

@@ -1,0 +1,99 @@
+"""Unit tests for the deployment environments and promotion pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ops.deployment import (
+    DEV,
+    PROD,
+    QA,
+    WORKBENCH,
+    EnvironmentSpec,
+    PromotionPipeline,
+    ReleaseChecks,
+    standard_environments,
+)
+
+
+class TestEnvironmentSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentSpec(name="staging", llm_tokens_per_minute=1, index_replicas=1, k8s_nodes=1, corpus_scale=1)
+        with pytest.raises(ValueError):
+            EnvironmentSpec(name=DEV, llm_tokens_per_minute=0, index_replicas=1, k8s_nodes=1, corpus_scale=1)
+        with pytest.raises(ValueError):
+            EnvironmentSpec(name=DEV, llm_tokens_per_minute=1, index_replicas=1, k8s_nodes=1, corpus_scale=1.5)
+
+    def test_standard_tiering(self):
+        environments = standard_environments()
+        assert set(environments) == {WORKBENCH, DEV, QA, PROD}
+        # The paper: DEV minimal, QA exactly equivalent to PROD.
+        assert environments[QA].sizing() == environments[PROD].sizing()
+        assert environments[DEV].llm_tokens_per_minute < environments[PROD].llm_tokens_per_minute
+        assert environments[DEV].corpus_scale < 1.0
+
+
+class TestValidation:
+    def test_standard_setup_is_clean(self):
+        assert PromotionPipeline().validate_environments() == []
+
+    def test_qa_prod_drift_detected(self):
+        environments = standard_environments()
+        environments[QA] = replace(environments[QA], k8s_nodes=5)
+        pipeline = PromotionPipeline(environments=environments)
+        assert any("exactly equivalent" in problem for problem in pipeline.validate_environments())
+
+    def test_oversized_dev_detected(self):
+        environments = standard_environments()
+        environments[DEV] = replace(
+            environments[DEV], llm_tokens_per_minute=environments[PROD].llm_tokens_per_minute * 2
+        )
+        pipeline = PromotionPipeline(environments=environments)
+        assert any("smaller than PROD" in problem for problem in pipeline.validate_environments())
+
+    def test_missing_environment_detected(self):
+        environments = standard_environments()
+        del environments[QA]
+        pipeline = PromotionPipeline(environments=environments)
+        assert any("missing environments" in problem for problem in pipeline.validate_environments())
+
+
+class TestPromotion:
+    def test_full_path_with_all_gates(self):
+        pipeline = PromotionPipeline()
+        all_green = ReleaseChecks(
+            tests_green=True, vulnerability_assessment_done=True, penetration_test_done=True
+        )
+        assert pipeline.promote(all_green) == DEV
+        assert pipeline.promote(all_green) == QA
+        assert pipeline.promote(all_green) == PROD
+        with pytest.raises(ValueError):
+            pipeline.promote(all_green)
+
+    def test_red_tests_block_everywhere(self):
+        pipeline = PromotionPipeline()
+        with pytest.raises(PermissionError):
+            pipeline.promote(ReleaseChecks(tests_green=False))
+
+    def test_prod_requires_security_gates(self):
+        pipeline = PromotionPipeline(current=QA)
+        with pytest.raises(PermissionError, match="vulnerability"):
+            pipeline.promote(ReleaseChecks(tests_green=True))
+        with pytest.raises(PermissionError, match="penetration"):
+            pipeline.promote(
+                ReleaseChecks(tests_green=True, vulnerability_assessment_done=True)
+            )
+
+    def test_earlier_promotions_need_only_tests(self):
+        pipeline = PromotionPipeline()
+        assert pipeline.promote(ReleaseChecks(tests_green=True)) == DEV
+
+    def test_broken_environments_block_promotion(self):
+        environments = standard_environments()
+        environments[QA] = replace(environments[QA], index_replicas=1)
+        pipeline = PromotionPipeline(environments=environments)
+        with pytest.raises(ValueError):
+            pipeline.promote(ReleaseChecks(tests_green=True))

@@ -1,0 +1,118 @@
+"""Unit tests for the experiment tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ops.experiments import ExperimentRun, ExperimentTracker, track_evaluation
+
+
+class TestWorkflow:
+    def test_start_log_finish(self):
+        tracker = ExperimentTracker()
+        run = tracker.start_run("hss-tuning")
+        tracker.log_params(run, vector_k=15, rrf_c=60)
+        tracker.log_metrics(run, mrr=0.57, hit_at_4=0.64)
+        tracker.finish_run(run)
+        assert run.finished
+        assert tracker.runs(name="hss-tuning") == [run]
+
+    def test_open_runs_not_listed(self):
+        tracker = ExperimentTracker()
+        tracker.start_run("draft")
+        assert tracker.runs() == []
+
+    def test_cannot_log_to_finished_run(self):
+        tracker = ExperimentTracker()
+        run = tracker.start_run("x")
+        tracker.finish_run(run)
+        with pytest.raises(ValueError):
+            tracker.log_metrics(run, mrr=0.1)
+
+    def test_foreign_run_rejected(self):
+        tracker = ExperimentTracker()
+        stranger = ExperimentRun(run_id="run-9999", name="other")
+        with pytest.raises(KeyError):
+            tracker.log_params(stranger, a=1)
+
+    def test_run_ids_unique_and_ordered(self):
+        tracker = ExperimentTracker()
+        ids = [tracker.start_run("x").run_id for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+
+class TestQueries:
+    def _tracker(self):
+        tracker = ExperimentTracker()
+        for k, mrr in ((5, 0.52), (15, 0.57), (50, 0.55)):
+            run = tracker.start_run("k-sweep", tags=("retrieval",))
+            tracker.log_params(run, vector_k=k)
+            tracker.log_metrics(run, mrr=mrr)
+            tracker.finish_run(run)
+        return tracker
+
+    def test_best_run_maximize(self):
+        tracker = self._tracker()
+        best = tracker.best_run("mrr", name="k-sweep")
+        assert best.params["vector_k"] == 15
+
+    def test_best_run_minimize(self):
+        tracker = self._tracker()
+        worst = tracker.best_run("mrr", name="k-sweep", maximize=False)
+        assert worst.params["vector_k"] == 5
+
+    def test_best_run_missing_metric(self):
+        with pytest.raises(LookupError):
+            self._tracker().best_run("latency")
+
+    def test_tag_filter(self):
+        tracker = self._tracker()
+        assert len(tracker.runs(tag="retrieval")) == 3
+        assert tracker.runs(tag="generation") == []
+
+    def test_compare_reports_differences_only(self):
+        tracker = self._tracker()
+        runs = tracker.runs(name="k-sweep")
+        differences = tracker.compare(runs[0], runs[1])
+        assert "param:vector_k" in differences
+        assert "metric:mrr" in differences
+        assert tracker.compare(runs[0], runs[0]) == {}
+
+
+class TestPersistence:
+    def test_ledger_roundtrip(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        tracker = ExperimentTracker(path)
+        run = tracker.start_run("persisted")
+        tracker.log_params(run, chunk_tokens=512)
+        tracker.log_metrics(run, mrr=0.5)
+        tracker.finish_run(run)
+
+        reloaded = ExperimentTracker(path)
+        assert len(reloaded) == 1
+        restored = reloaded.runs(name="persisted")[0]
+        assert restored.params == {"chunk_tokens": 512}
+        assert restored.metrics == {"mrr": 0.5}
+
+    def test_counter_continues_after_reload(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        tracker = ExperimentTracker(path)
+        tracker.finish_run(tracker.start_run("a"))
+        reloaded = ExperimentTracker(path)
+        new_run = reloaded.start_run("b")
+        assert new_run.run_id == "run-0002"
+
+
+class TestTrackEvaluation:
+    def test_records_evaluation_result(self, system, human_queries):
+        from repro.eval.harness import RetrievalEvaluator, hss_retriever
+
+        result = RetrievalEvaluator().evaluate(
+            hss_retriever(system.searcher), human_queries[:15]
+        )
+        tracker = ExperimentTracker()
+        run = track_evaluation(tracker, "smoke", {"mode": "hybrid"}, result)
+        assert run.finished
+        assert run.metrics["answered_fraction"] == result.answered_fraction
+        assert run.metrics["mrr"] == result.metrics.mrr

@@ -1,0 +1,140 @@
+"""Additional property-based tests: chunker, analyzer, queue, rate limiter."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htmlproc.chunking import HtmlParagraphChunker, RecursiveCharacterTextSplitter
+from repro.htmlproc.parser import ParsedDocument
+from repro.llm.rate_limiter import TokenBucketRateLimiter
+from repro.pipeline.queue import MessageQueue
+from repro.text.analyzer import FULL_ANALYZER
+from repro.text.stemmer import stem
+
+words = st.text(alphabet="abcdefghilmnoprstuvz", min_size=1, max_size=12)
+paragraph = st.lists(words, min_size=1, max_size=40).map(" ".join)
+paragraphs = st.lists(paragraph, min_size=0, max_size=15)
+
+
+def _document(parts: list[str]) -> ParsedDocument:
+    offsets = []
+    cursor = 0
+    for i, part in enumerate(parts):
+        offsets.append(cursor)
+        cursor += len(part) + (2 if i < len(parts) - 1 else 0)
+    return ParsedDocument(title="t", paragraphs=tuple(parts), paragraph_offsets=tuple(offsets))
+
+
+class TestChunkerProperties:
+    @given(paragraphs, st.integers(min_value=8, max_value=200))
+    @settings(max_examples=50)
+    def test_html_chunker_is_lossless_and_ordered(self, parts, max_tokens):
+        chunker = HtmlParagraphChunker(max_tokens=max_tokens, min_tokens=1)
+        chunks = chunker.chunk_document(_document(parts))
+        reconstructed = "\n\n".join(chunk.text for chunk in chunks)
+        assert reconstructed == "\n\n".join(parts)
+
+    @given(paragraphs, st.integers(min_value=8, max_value=200))
+    @settings(max_examples=50)
+    def test_html_chunker_indices_sequential(self, parts, max_tokens):
+        chunker = HtmlParagraphChunker(max_tokens=max_tokens, min_tokens=1)
+        chunks = chunker.chunk_document(_document(parts))
+        assert [chunk.index for chunk in chunks] == list(range(len(chunks)))
+
+    @given(st.text(alphabet="abcdefg \n.", min_size=0, max_size=400),
+           st.integers(min_value=20, max_value=100))
+    @settings(max_examples=50)
+    def test_recursive_splitter_never_empty_chunks(self, text, size):
+        splitter = RecursiveCharacterTextSplitter(chunk_size=size, chunk_overlap=size // 5)
+        for chunk in splitter.split_text(text):
+            assert chunk.strip()
+
+
+class TestAnalyzerProperties:
+    @given(st.lists(words, min_size=0, max_size=20).map(" ".join))
+    @settings(max_examples=60)
+    def test_analysis_terms_are_stems(self, text):
+        # A light stemmer drops one final vowel per pass, so terms whose
+        # stem still ends in a vowel (all-vowel runs) are not fixed points.
+        for term in FULL_ANALYZER.analyze(text):
+            assert stem(term) == term or term[-1] in "aeiou"
+
+    @given(st.lists(words, min_size=0, max_size=20).map(" ".join))
+    @settings(max_examples=60)
+    def test_analysis_case_insensitive(self, text):
+        assert FULL_ANALYZER.analyze(text) == FULL_ANALYZER.analyze(text.upper())
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(), max_size=30))
+    @settings(max_examples=50)
+    def test_fifo_and_conservation(self, payloads):
+        queue = MessageQueue()
+        for payload in payloads:
+            queue.publish({"value": payload})
+        received = []
+        while True:
+            message = queue.receive()
+            if message is None:
+                break
+            received.append(message.body["value"])
+            queue.acknowledge(message.message_id)
+        assert received == payloads
+        assert queue.stats.acknowledged == len(payloads)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_abandoned_messages_never_lost(self, abandon_flags):
+        queue = MessageQueue()
+        for i in range(len(abandon_flags)):
+            queue.publish({"n": i})
+        seen = set()
+        budget = len(abandon_flags) * 3
+        flags = iter(abandon_flags * 3)
+        while budget > 0:
+            budget -= 1
+            message = queue.receive()
+            if message is None:
+                break
+            if next(flags, False):
+                queue.abandon(message.message_id)
+            else:
+                seen.add(message.body["n"])
+                queue.acknowledge(message.message_id)
+        # Whatever was not acknowledged must still be queued, not lost.
+        remaining = set()
+        while True:
+            message = queue.receive()
+            if message is None:
+                break
+            remaining.add(message.body["n"])
+            queue.acknowledge(message.message_id)
+        assert seen | remaining == set(range(len(abandon_flags)))
+
+
+class TestRateLimiterProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.01, max_value=10.0), st.integers(min_value=0, max_value=500)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_never_exceeds_long_run_rate(self, steps):
+        limiter = TokenBucketRateLimiter(tokens_per_minute=600, burst_tokens=100)
+        now = 0.0
+        admitted_tokens = 0.0
+        for gap, tokens in steps:
+            now += gap
+            if limiter.try_acquire(tokens, now=now).allowed:
+                admitted_tokens += tokens
+        # Admitted tokens can never exceed burst + rate * elapsed.
+        assert admitted_tokens <= 100 + (600 / 60.0) * now + 1e-6
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=40)
+    def test_available_never_exceeds_capacity(self, at):
+        limiter = TokenBucketRateLimiter(tokens_per_minute=120, burst_tokens=50)
+        assert limiter.available(now=at) <= 50.0

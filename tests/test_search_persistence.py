@@ -1,0 +1,102 @@
+"""Unit tests for index save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.model import SyntheticAdaEmbedder
+from repro.search.index import SearchIndex
+from repro.search.persistence import load_index, save_index
+from repro.search.schema import ChunkRecord
+
+
+def _record(doc: str, content: str) -> ChunkRecord:
+    return ChunkRecord(
+        chunk_id=f"{doc}#0",
+        doc_id=doc,
+        title=f"Titolo {doc}",
+        content=content,
+        domain="governance",
+        keywords=("tag1", "tag2"),
+    )
+
+
+@pytest.fixture()
+def embedder() -> SyntheticAdaEmbedder:
+    return SyntheticAdaEmbedder(None, dim=32, seed=9)
+
+
+@pytest.fixture()
+def populated(embedder) -> SearchIndex:
+    index = SearchIndex(embedder=embedder, seed=9)
+    index.add_chunk(_record("a", "contenuto sul bonifico estero"))
+    index.add_chunk(_record("b", "contenuto sulla carta di credito"))
+    index.add_chunk(_record("c", "contenuto sulla quadratura di cassa"))
+    return index
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_records(self, populated, embedder, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        assert len(loaded) == 3
+        originals = {populated.record(i).chunk_id for i in populated.live_internals()}
+        restored = {loaded.record(i).chunk_id for i in loaded.live_internals()}
+        assert originals == restored
+
+    def test_roundtrip_preserves_tuple_fields(self, populated, embedder, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        record = loaded.record(loaded.live_internals()[0])
+        assert record.keywords == ("tag1", "tag2")
+
+    def test_search_results_identical_after_reload(self, populated, embedder, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        query = embedder.embed("il bonifico per l'estero")
+        before = [populated.record(i).doc_id for i, _ in populated.vector_search("content", query, 3)]
+        after = [loaded.record(i).doc_id for i, _ in loaded.vector_search("content", query, 3)]
+        assert before == after
+
+    def test_fulltext_works_after_reload(self, populated, embedder, tmp_path):
+        from repro.search.fulltext import FullTextSearch
+
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        results = FullTextSearch(loaded).search("quadratura cassa")
+        assert results and results[0].doc_id == "c"
+
+    def test_save_drops_tombstones(self, populated, embedder, tmp_path):
+        populated.delete_document("b")
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        assert len(loaded) == 2
+        assert loaded.tombstone_ratio == 0.0
+
+    def test_load_never_reembeds(self, populated, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        fresh = SyntheticAdaEmbedder(None, dim=32, seed=9)
+        load_index(tmp_path / "idx", fresh, seed=9)
+        assert fresh.calls == 0
+
+    def test_dim_mismatch_rejected(self, populated, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        wrong = SyntheticAdaEmbedder(None, dim=64, seed=9)
+        with pytest.raises(ValueError):
+            load_index(tmp_path / "idx", wrong)
+
+    def test_loaded_index_accepts_new_writes(self, populated, embedder, tmp_path):
+        save_index(populated, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", embedder, seed=9)
+        loaded.add_chunk(_record("d", "contenuto nuovo sul mutuo ipotecario"))
+        assert len(loaded) == 4
+        query = embedder.embed("mutuo ipotecario")
+        hits = loaded.vector_search("content", query, 1)
+        assert loaded.record(hits[0][0]).doc_id == "d"
+
+    def test_vectors_actually_stored(self, populated, tmp_path):
+        path = save_index(populated, tmp_path / "idx")
+        with np.load(path / "vectors.npz") as archive:
+            assert set(archive.files) == {"title", "content"}
+            assert archive["content"].shape == (3, 32)

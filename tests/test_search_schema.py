@@ -1,0 +1,50 @@
+"""Unit tests for the index schema and chunk records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.schema import ChunkRecord, FieldDefinition, IndexSchema, uniask_schema
+
+
+class TestIndexSchema:
+    def test_uniask_schema_fields(self):
+        schema = uniask_schema()
+        assert set(schema.searchable_fields) == {"title", "content", "summary"}
+        assert set(schema.vector_fields) == {"title", "content"}
+        assert set(schema.filterable_fields) == {"domain", "section", "topic", "keywords"}
+        assert set(schema.retrievable_fields) == {"title", "content", "summary"}
+
+    def test_llm_keywords_variant(self):
+        schema = uniask_schema(include_llm_keywords=True)
+        assert "llm_keywords" in schema.searchable_fields
+
+    def test_base_schema_has_no_llm_keywords(self):
+        assert "llm_keywords" not in [f.name for f in uniask_schema().fields]
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSchema(fields=(FieldDefinition("a"), FieldDefinition("a")))
+
+    def test_field_lookup(self):
+        schema = uniask_schema()
+        assert schema.field("title").vector is True
+        with pytest.raises(KeyError):
+            schema.field("missing")
+
+
+class TestChunkRecord:
+    def test_value_of_string_field(self):
+        record = ChunkRecord(chunk_id="d#0", doc_id="d", title="Titolo", content="Testo")
+        assert record.value("title") == "Titolo"
+
+    def test_value_of_collection_field(self):
+        record = ChunkRecord(
+            chunk_id="d#0", doc_id="d", title="t", content="c", keywords=("alfa", "beta")
+        )
+        assert record.value("keywords") == "alfa beta"
+
+    def test_frozen(self):
+        record = ChunkRecord(chunk_id="d#0", doc_id="d", title="t", content="c")
+        with pytest.raises(AttributeError):
+            record.title = "nuovo"

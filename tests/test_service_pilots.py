@@ -1,0 +1,128 @@
+"""Unit tests for simulated users, pilot releases and UAT."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.queries import (
+    HumanDatasetConfig,
+    KeywordDatasetConfig,
+    build_uat_dataset,
+    generate_human_dataset,
+    generate_keyword_dataset,
+)
+from repro.service.backend import BackendService
+from repro.service.pilots import (
+    BuggyRougeGuardrail,
+    buggy_guardrail_pipeline,
+    run_release,
+    run_uat,
+)
+from repro.service.users import (
+    BRANCH_TRAINED,
+    SME_TRAINED,
+    SME_UNTRAINED,
+    SimulatedUser,
+    make_users,
+)
+
+
+class TestSimulatedUsers:
+    def test_population_deterministic(self):
+        a = make_users(5, "sme", SME_TRAINED, seed=1)
+        b = make_users(5, "sme", SME_TRAINED, seed=1)
+        assert [u.user_id for u in a] == [u.user_id for u in b]
+
+    def test_untrained_sme_keywordizes(self):
+        user = SimulatedUser("u", "sme", SME_UNTRAINED, random.Random(0))
+        from repro.corpus.queries import LabeledQuery
+
+        query = LabeledQuery(
+            query_id="q", text="Come posso attivare la carta di credito per un cliente?", kind="human"
+        )
+        phrasings = {user.phrase_question(query) for _ in range(50)}
+        assert any(len(p.split()) <= 4 for p in phrasings)  # keyword habit
+        assert query.text in phrasings  # sometimes asks properly
+
+    def test_trained_branch_user_mostly_natural(self):
+        user = SimulatedUser("u", "branch", BRANCH_TRAINED, random.Random(0))
+        from repro.corpus.queries import LabeledQuery
+
+        query = LabeledQuery(query_id="q", text="Come posso attivare la carta?", kind="human")
+        natural = sum(1 for _ in range(100) if user.phrase_question(query) == query.text)
+        assert natural >= 80
+
+
+class TestBuggyGuardrail:
+    def test_bug_checks_only_first_chunk(self):
+        from repro.search.results import RetrievedChunk
+        from repro.search.schema import ChunkRecord
+
+        first = RetrievedChunk(
+            record=ChunkRecord(chunk_id="a#0", doc_id="a", title="t", content="testo del tutto diverso"),
+            score=1.0,
+        )
+        second = RetrievedChunk(
+            record=ChunkRecord(
+                chunk_id="b#0",
+                doc_id="b",
+                title="t",
+                content="Per attivare la carta di credito accedere a GestCarte e confermare.",
+            ),
+            score=0.9,
+        )
+        answer = "Per attivare la carta di credito accedere a GestCarte e confermare [doc2]."
+        buggy = BuggyRougeGuardrail()
+        from repro.guardrails.rouge import RougeGuardrail
+
+        assert RougeGuardrail().check("q", answer, [first, second]).passed
+        assert not buggy.check("q", answer, [first, second]).passed
+
+    def test_buggy_pipeline_composition(self):
+        pipeline = buggy_guardrail_pipeline()
+        assert pipeline.guardrail_names == ("citation", "rouge", "clarification")
+
+
+class TestPilotRelease:
+    def test_release_collects_feedback(self, system, small_kb):
+        backend = BackendService(system.engine, system.clock, seed=3)
+        users = make_users(5, "sme", SME_TRAINED, seed=3)
+        questions = generate_human_dataset(small_kb, HumanDatasetConfig(num_questions=40, seed=8))
+        report = run_release(backend, users, questions, seed=3)
+        assert report.questions == 40
+        assert report.proper_answers + report.guardrails_triggered <= 40
+        assert 0 < report.feedbacks <= 40
+        assert 0.0 <= report.positive_rate <= 1.0
+
+    def test_most_answers_proper(self, system, small_kb):
+        backend = BackendService(system.engine, system.clock, seed=4)
+        users = make_users(5, "branch", BRANCH_TRAINED, seed=4)
+        questions = generate_human_dataset(small_kb, HumanDatasetConfig(num_questions=40, seed=9))
+        report = run_release(backend, users, questions, seed=4)
+        assert report.proper_answer_rate > 0.6
+
+
+class TestUat:
+    @pytest.fixture(scope="class")
+    def uat_report(self, system, small_kb):
+        human = generate_human_dataset(small_kb, HumanDatasetConfig(num_questions=150, seed=10))
+        keyword, log = generate_keyword_dataset(
+            small_kb, KeywordDatasetConfig(num_queries=60, log_searches=3000, seed=10)
+        )
+        dataset = build_uat_dataset(small_kb, human, keyword, log, seed=10)
+        return run_uat(system.engine, dataset)
+
+    def test_totals(self, uat_report):
+        assert uat_report.total == 210
+        assert uat_report.guardrails_expected == 10
+
+    def test_majority_correct(self, uat_report):
+        assert uat_report.correct_rate > 0.5
+
+    def test_out_of_scope_guarded(self, uat_report):
+        assert uat_report.guardrail_success_rate >= 0.7
+
+    def test_improper_guardrails_rare(self, uat_report):
+        assert uat_report.improper_guardrail_rate < 0.15

@@ -1,0 +1,117 @@
+"""Unit tests for the post-launch ticket model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.queries import LabeledQuery, generate_unanswerable_queries
+from repro.service.tickets import (
+    CAUSE_ANSWERED,
+    CAUSE_IRRELEVANT,
+    CAUSE_NO_RESULTS,
+    CAUSE_RELEVANT,
+    TicketPropensity,
+    assistant_outcome_observer,
+    keywordize,
+    search_outcome_observer,
+    simulate_tickets,
+    ticket_reduction,
+)
+
+
+def _query(text: str = "Come posso attivare la carta?", relevant=("doc-a",)) -> LabeledQuery:
+    return LabeledQuery(
+        query_id="q", text=text, kind="human", relevant_docs=frozenset(relevant)
+    )
+
+
+class TestKeywordize:
+    def test_compresses_to_few_words(self):
+        phrased = keywordize("Come posso attivare la carta di credito per un cliente?", random.Random(0))
+        assert 2 <= len(phrased.split()) <= 3
+
+    def test_short_enquiry_survives(self):
+        assert keywordize("carta", random.Random(0)) == "carta"
+
+
+class TestObservers:
+    def test_search_observer_causes(self):
+        observe = search_outcome_observer(lambda q: [])
+        assert observe(_query(), "x") == CAUSE_NO_RESULTS
+        observe = search_outcome_observer(lambda q: ["doc-a"])
+        assert observe(_query(), "x") == CAUSE_RELEVANT
+        observe = search_outcome_observer(lambda q: ["doc-z"] * 10)
+        assert observe(_query(), "x") == CAUSE_IRRELEVANT
+
+    def test_assistant_observer_grounded_answer(self, system, small_kb):
+        observe = assistant_outcome_observer(system.engine)
+        topic = next(iter(small_kb.topics.values()))
+        relevant = frozenset(small_kb.docs_by_topic[topic.topic_id])
+        query = LabeledQuery(
+            query_id="q",
+            text=f"Come posso {topic.action.canonical} {topic.entity.canonical}?",
+            kind="human",
+            relevant_docs=relevant,
+        )
+        cause = observe(query, query.text)
+        assert cause in (CAUSE_ANSWERED, CAUSE_RELEVANT)
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        queries = [_query() for _ in range(50)]
+        observe = search_outcome_observer(lambda q: ["doc-z"])
+        a = simulate_tickets(observe, queries, keyword_habit=0.5, seed=3)
+        b = simulate_tickets(observe, queries, keyword_habit=0.5, seed=3)
+        assert a == b
+
+    def test_propensity_ordering_respected(self):
+        queries = [_query() for _ in range(400)]
+        failing = simulate_tickets(
+            search_outcome_observer(lambda q: []), queries, keyword_habit=1.0, seed=4
+        )
+        succeeding = simulate_tickets(
+            search_outcome_observer(lambda q: ["doc-a"]), queries, keyword_habit=1.0, seed=4
+        )
+        assert failing.ticket_rate > succeeding.ticket_rate
+
+    def test_invalid_habit(self):
+        with pytest.raises(ValueError):
+            simulate_tickets(search_outcome_observer(lambda q: []), [], keyword_habit=1.5)
+
+    def test_reduction_math(self):
+        from repro.service.tickets import TicketReport
+
+        before = TicketReport(searches=100, tickets=50, by_cause={})
+        after = TicketReport(searches=100, tickets=40, by_cause={})
+        assert ticket_reduction(before, after) == pytest.approx(0.2)
+
+    def test_custom_propensity(self):
+        queries = [_query() for _ in range(200)]
+        never = TicketPropensity(
+            no_results=0.0, irrelevant_results=0.0, relevant_results=0.0, answered_grounded=0.0
+        )
+        report = simulate_tickets(
+            search_outcome_observer(lambda q: []), queries, keyword_habit=1.0, propensity=never
+        )
+        assert report.tickets == 0
+
+
+class TestUnanswerableQueries:
+    def test_generated_from_missing_pairs(self, small_kb):
+        queries = generate_unanswerable_queries(small_kb, count=20)
+        assert len(queries) == 20
+        assert all(not q.relevant_docs for q in queries)
+        covered = {(t.action.canonical, t.entity.canonical) for t in small_kb.topics.values()}
+        for query in queries:
+            assert all(
+                not (action in query.text and entity in query.text)
+                for action, entity in covered
+            )
+
+    def test_deterministic(self, small_kb):
+        a = generate_unanswerable_queries(small_kb, count=10, seed=1)
+        b = generate_unanswerable_queries(small_kb, count=10, seed=1)
+        assert [q.text for q in a] == [q.text for q in b]

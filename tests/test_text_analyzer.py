@@ -1,0 +1,63 @@
+"""Unit tests for the Italian analyzer chain."""
+
+from __future__ import annotations
+
+from repro.text.analyzer import FULL_ANALYZER, SURFACE_ANALYZER, ItalianAnalyzer
+from repro.text.stemmer import stem
+
+
+class TestFullAnalyzer:
+    def test_lowercases(self):
+        assert FULL_ANALYZER.analyze("BONIFICO") == [stem("bonifico")]
+
+    def test_removes_stopwords(self):
+        terms = FULL_ANALYZER.analyze("il conto corrente del cliente")
+        assert stem("il") not in terms
+        assert stem("del") not in terms
+        assert stem("conto") in terms
+
+    def test_elision_split_drops_particle(self):
+        terms = FULL_ANALYZER.analyze("l'estratto conto")
+        assert stem("estratto") in terms
+        assert "l" not in terms
+
+    def test_stems_inflection(self):
+        assert FULL_ANALYZER.analyze("bonifici") == FULL_ANALYZER.analyze("bonifico")
+
+    def test_question_scaffold_reduces_to_content_words(self):
+        terms = FULL_ANALYZER.analyze("Come posso attivare la carta di credito?")
+        assert sorted(terms) == sorted([stem("attivare"), stem("carta"), stem("credito")])
+
+    def test_analyze_unique_is_set(self):
+        unique = FULL_ANALYZER.analyze_unique("carta carta carta")
+        assert unique == {stem("carta")}
+
+    def test_empty_text(self):
+        assert FULL_ANALYZER.analyze("") == []
+
+    def test_only_stopwords_text(self):
+        assert FULL_ANALYZER.analyze("il lo la e di a da") == []
+
+
+class TestSurfaceAnalyzer:
+    def test_keeps_stopwords(self):
+        terms = SURFACE_ANALYZER.analyze("il conto del cliente")
+        assert "il" in terms
+
+    def test_keeps_inflection(self):
+        assert SURFACE_ANALYZER.analyze("bonifici") == ["bonifici"]
+
+
+class TestCustomAnalyzer:
+    def test_extra_stopwords(self):
+        analyzer = ItalianAnalyzer(extra_stopwords=frozenset(["banca"]))
+        assert stem("banca") not in analyzer.analyze("la banca centrale")
+
+    def test_no_stemming_option(self):
+        analyzer = ItalianAnalyzer(apply_stemming=False)
+        assert analyzer.analyze("procedure operative") == ["procedure", "operative"]
+
+    def test_frozen_dataclass_semantics(self):
+        a = ItalianAnalyzer()
+        b = ItalianAnalyzer()
+        assert a == b

@@ -1,0 +1,83 @@
+"""Unit tests for LCS, ROUGE-L and Jaccard similarity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.similarity import jaccard, lcs_length, rouge_l, rouge_l_score
+
+
+class TestLcs:
+    def test_identical(self):
+        assert lcs_length(list("abc"), list("abc")) == 3
+
+    def test_disjoint(self):
+        assert lcs_length(list("abc"), list("xyz")) == 0
+
+    def test_subsequence_not_substring(self):
+        assert lcs_length(list("axbxc"), list("abc")) == 3
+
+    def test_empty_inputs(self):
+        assert lcs_length([], list("abc")) == 0
+        assert lcs_length(list("abc"), []) == 0
+
+    def test_symmetry(self):
+        a = "la procedura per attivare".split()
+        b = "procedura di attivazione per il cliente".split()
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    def test_bounded_by_shorter_sequence(self):
+        a = "uno due tre quattro cinque".split()
+        b = "uno due".split()
+        assert lcs_length(a, b) <= len(b)
+
+
+class TestRougeL:
+    def test_identical_texts_score_one(self):
+        text = "Per attivare la carta accedere al portale."
+        assert rouge_l(text, text) == pytest.approx(1.0)
+
+    def test_unrelated_texts_score_low(self):
+        assert rouge_l("la carbonara è una ricetta romana", "attivare il token di sicurezza") < 0.1
+
+    def test_empty_candidate(self):
+        assert rouge_l("", "qualcosa di concreto") == 0.0
+
+    def test_score_in_unit_interval(self):
+        score = rouge_l("attivare la carta del cliente", "la carta del cliente va attivata in filiale")
+        assert 0.0 <= score <= 1.0
+
+    def test_precision_recall_decomposition(self):
+        score = rouge_l_score("a b c", "a b c d e f")
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(0.5)
+        assert score.precision >= score.fmeasure >= score.recall
+
+    def test_guardrail_threshold_separates_grounded_from_hallucinated(self):
+        context = (
+            "Per attivare la carta di credito occorre accedere a GestCarte, "
+            "selezionare la funzione dedicata e confermare l'operazione."
+        )
+        grounded = "Per attivare la carta di credito occorre accedere a GestCarte [doc1]."
+        hallucinated = "Il mutuo ipotecario prevede una rata mensile da concordare con la filiale."
+        assert rouge_l(grounded, context) >= 0.15
+        assert rouge_l(hallucinated, context) < 0.15
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard("carta di credito", "carta di credito") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert jaccard("bonifico estero", "stampante di rete") == 0.0
+
+    def test_stopwords_ignored(self):
+        # Only content words participate, per the UAT construction.
+        assert jaccard("la carta", "carta") == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a, b = "attivare carta credito", "carta credito bloccata"
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    def test_empty_both(self):
+        assert jaccard("", "") == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the Italian light stemmer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stemmer import remove_accents, stem, stem_tokens
+
+
+class TestRemoveAccents:
+    def test_common_accents(self):
+        assert remove_accents("però") == "pero"
+        assert remove_accents("validità") == "validita"
+
+    def test_no_accents_unchanged(self):
+        assert remove_accents("conto") == "conto"
+
+
+class TestStem:
+    def test_singular_plural_merge(self):
+        assert stem("bonifico") == stem("bonifici")
+
+    def test_gender_merge(self):
+        assert stem("carta") == stem("carte")
+
+    def test_masculine_plural(self):
+        assert stem("conto") == stem("conti")
+
+    def test_velar_plural_with_h(self):
+        assert stem("banchi") == stem("banche")
+
+    def test_short_words_untouched(self):
+        assert stem("può") == "puo"
+        assert stem("tre") == "tre"
+
+    def test_minimum_stem_length(self):
+        for word in ("casa", "belle", "dato"):
+            assert len(stem(word)) >= 3
+
+    def test_consonant_final_word_unchanged(self):
+        # Jargon and codes do not end in vowels; they stay intact.
+        assert stem("creditflow") == "creditflow"
+
+    def test_stem_is_idempotent(self):
+        for word in ("bonifici", "procedura", "autorizzazioni", "carte"):
+            assert stem(stem(word)) == stem(word)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("procedura", "procedure"),
+            ("autorizzazione", "autorizzazioni"),
+            ("documento", "documenti"),
+            ("polizza", "polizze"),
+        ],
+    )
+    def test_inflection_pairs_share_stem(self, a, b):
+        assert stem(a) == stem(b)
+
+
+class TestStemTokens:
+    def test_list_stemming(self):
+        assert stem_tokens(["conti", "carte"]) == [stem("conti"), stem("carte")]
+
+    def test_empty_list(self):
+        assert stem_tokens([]) == []

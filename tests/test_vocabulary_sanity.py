@@ -1,0 +1,94 @@
+"""Sanity suite for the banking vocabulary.
+
+The whole reproduction hinges on the vocabulary being internally
+consistent: surface forms must resolve to exactly the intended concept,
+and the synonym structure must actually create the paraphrase gap the
+experiments rely on.  These tests guard the vocabulary against edits that
+would silently distort every benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.vocabulary import build_banking_vocabulary
+from repro.text.analyzer import FULL_ANALYZER
+from repro.text.stemmer import stem
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return build_banking_vocabulary()
+
+
+class TestFormResolution:
+    def test_every_canonical_form_resolves_to_its_concept(self, vocabulary):
+        for concept in vocabulary.all_concepts:
+            weights = vocabulary.lexicon.concepts_in_text(concept.canonical)
+            assert concept.concept_id in weights, concept.canonical
+            # The owning concept must be the strongest match for its own form.
+            assert weights[concept.concept_id] == max(weights.values())
+
+    def test_every_synonym_resolves_to_its_concept(self, vocabulary):
+        for concept in vocabulary.all_concepts:
+            for synonym in concept.synonyms:
+                weights = vocabulary.lexicon.concepts_in_text(synonym)
+                assert concept.concept_id in weights, f"{synonym} -> {concept.concept_id}"
+
+    def test_no_full_form_collisions(self, vocabulary):
+        """No single-word form may fully belong to two different concepts."""
+        owners: dict[str, str] = {}
+        for concept in vocabulary.all_concepts:
+            for form in concept.forms:
+                analyzed = FULL_ANALYZER.analyze(form)
+                if len(analyzed) != 1:
+                    continue
+                key = analyzed[0]
+                assert owners.setdefault(key, concept.concept_id) == concept.concept_id, (
+                    f"stem {key!r} owned by both {owners[key]} and {concept.concept_id}"
+                )
+
+
+class TestParaphraseGap:
+    def test_synonyms_share_no_stem_with_canonical(self, vocabulary):
+        """The paraphrase gap: most synonyms must be lexically disjoint from
+        the canonical form, or the legacy engine could match them."""
+        disjoint = 0
+        total = 0
+        for entity in vocabulary.entities:
+            canonical_stems = set(FULL_ANALYZER.analyze(entity.canonical))
+            for synonym in entity.synonyms:
+                total += 1
+                if not (set(FULL_ANALYZER.analyze(synonym)) & canonical_stems):
+                    disjoint += 1
+        assert disjoint / total > 0.75
+
+    def test_actions_have_disjoint_primary_synonym(self, vocabulary):
+        for action in vocabulary.actions:
+            canonical_stems = set(FULL_ANALYZER.analyze(action.canonical))
+            first = set(FULL_ANALYZER.analyze(action.synonyms[0]))
+            assert not (first & canonical_stems), action.concept_id
+
+
+class TestClassStructure:
+    def test_domains_partition(self, vocabulary):
+        assert all(e.domain not in ("action", "system") for e in vocabulary.entities)
+        assert all(a.domain == "action" for a in vocabulary.actions)
+        assert all(s.domain == "system" for s in vocabulary.systems)
+
+    def test_system_names_not_italian_words(self, vocabulary):
+        """System names are jargon: they must not stem-collide with entities."""
+        entity_stems = {
+            stem_token
+            for entity in vocabulary.entities
+            for stem_token in FULL_ANALYZER.analyze(entity.canonical)
+        }
+        for system in vocabulary.systems:
+            system_stems = set(FULL_ANALYZER.analyze(system.canonical))
+            overlap = system_stems & entity_stems
+            # "Sportello Plus" deliberately shares "sportello"; nothing else may.
+            assert not overlap or overlap <= {stem("sportello")}, system.canonical
+
+    def test_enough_material_for_the_benchmarks(self, vocabulary):
+        # num_topics=400 in the bench config needs at least 400 pairs.
+        assert len(vocabulary.entities) * len(vocabulary.actions) >= 400
