@@ -32,8 +32,17 @@ def _build_system(topics: int, seed: int) -> tuple[SyntheticKb, UniAskSystem]:
 
 def _cmd_ask(args: argparse.Namespace) -> int:
     _, system = _build_system(args.topics, args.seed)
-    answer = system.engine.ask(args.question)
-    print(render_answer_page(answer))
+    if args.trace:
+        from repro.obs.trace import RequestContext
+
+        ctx = RequestContext.traced(request_id="cli-ask")
+        answer = system.engine.ask(args.question, ctx=ctx)
+        print(render_answer_page(answer))
+        print()
+        print(answer.trace.format_table())
+    else:
+        answer = system.engine.ask(args.question)
+        print(render_answer_page(answer))
     return 0
 
 
@@ -97,6 +106,11 @@ def main(argv: list[str] | None = None) -> int:
 
     ask = commands.add_parser("ask", help="answer one question")
     ask.add_argument("question")
+    ask.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage timing table of the request trace",
+    )
     ask.set_defaults(func=_cmd_ask)
 
     demo = commands.add_parser("demo", help="interactive search box")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.guardrails.pipeline import GuardrailReport
+from repro.obs.trace import Trace
 from repro.search.results import RetrievedChunk
 
 #: Final outcome of one query, as tracked by monitoring and Table 5.
@@ -58,6 +59,8 @@ class UniAskAnswer:
         guardrail_report: the full guardrail trace (None when generation
             was skipped).
         response_time: simulated seconds spent serving the query.
+        trace: the per-stage request trace (None unless the caller asked
+            for tracing via a :class:`~repro.obs.trace.RequestContext`).
     """
 
     question: str
@@ -69,6 +72,7 @@ class UniAskAnswer:
     context: tuple[RetrievedChunk, ...] = ()
     guardrail_report: GuardrailReport | None = None
     response_time: float = 0.0
+    trace: Trace | None = None
 
     @property
     def answered(self) -> bool:

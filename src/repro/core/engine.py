@@ -11,9 +11,16 @@ question through the deployed system:
 4. the **guardrail pipeline** validates the answer (citation → ROUGE-L →
    clarification); an invalidated answer is replaced by the apology /
    reformulation message while the document list stays visible.
+
+Each step is an explicit stage method taking the request's
+:class:`~repro.obs.trace.RequestContext`; with tracing enabled every stage
+records a named span (see :mod:`repro.obs.spans`) and the finished
+:class:`~repro.obs.trace.Trace` rides back on ``UniAskAnswer.trace``.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.core.answer import (
     OUTCOME_ANSWERED,
@@ -25,11 +32,14 @@ from repro.core.answer import (
 )
 from repro.core.config import UniAskConfig
 from repro.guardrails.citation import extract_citations
-from repro.guardrails.pipeline import APOLOGY_TEXT, GuardrailPipeline
-from repro.llm.base import ChatCompletionClient
-from repro.llm.content_filter import ContentFilter
+from repro.guardrails.pipeline import APOLOGY_TEXT, GuardrailPipeline, GuardrailReport
+from repro.llm.base import ChatCompletionClient, ChatResponse, traced_complete
+from repro.llm.content_filter import ContentFilter, ContentFilterResult
 from repro.llm.prompts import build_answer_prompt, context_from_results
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.hybrid import HybridSemanticSearch
+from repro.search.results import RetrievedChunk
 
 #: Message shown when the content filter blocks the question outright.
 CONTENT_BLOCKED_TEXT = (
@@ -66,9 +76,34 @@ class UniAskEngine:
         """The retrieval module."""
         return self._searcher
 
-    def ask(self, question: str, filters: dict[str, str] | None = None) -> UniAskAnswer:
-        """Answer *question*; never raises on ordinary pipeline outcomes."""
-        screening = self._content_filter.check(question)
+    def ask(
+        self,
+        question: str,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
+    ) -> UniAskAnswer:
+        """Answer *question*; never raises on ordinary pipeline outcomes.
+
+        Pass a tracing :class:`~repro.obs.trace.RequestContext` as *ctx* to
+        receive the per-stage trace on ``answer.trace``; the default null
+        context records nothing.
+        """
+        ctx = ctx or null_context()
+        trace = ctx.trace
+        with trace.span(spans.STAGE_ASK, question_chars=len(question)) as root:
+            answer = self._ask_staged(question, filters, ctx)
+            root.set("outcome", answer.outcome)
+        if trace.enabled:
+            answer = replace(answer, trace=trace)
+        return answer
+
+    # -- stages --------------------------------------------------------------
+
+    def _ask_staged(
+        self, question: str, filters: dict[str, str] | None, ctx: RequestContext
+    ) -> UniAskAnswer:
+        """The staged pipeline: screen → retrieve → generate → validate."""
+        screening = self._screen(question, ctx)
         if screening.blocked:
             return UniAskAnswer(
                 question=question,
@@ -77,7 +112,7 @@ class UniAskEngine:
                 outcome=OUTCOME_CONTENT_FILTER,
             )
 
-        documents = self._searcher.search(question, filters=filters)
+        documents = self._retrieve(question, filters, ctx)
         if not documents:
             return UniAskAnswer(
                 question=question,
@@ -87,14 +122,8 @@ class UniAskEngine:
             )
 
         context = documents[: self.config.generation.context_size]
-        prompt = build_answer_prompt(question, context_from_results(context))
-        try:
-            response = self._llm.complete(
-                prompt,
-                temperature=self.config.generation.temperature,
-                max_tokens=self.config.generation.max_tokens,
-            )
-        except Exception:
+        response = self._generate(question, context, ctx)
+        if response is None:
             # The LLM service is the least reliable dependency (rate limits,
             # timeouts).  Degrade to search-only: apology plus the retrieved
             # list, never a user-facing exception.
@@ -108,7 +137,7 @@ class UniAskEngine:
             )
         raw_answer = response.content
 
-        report = self._guardrails.run(question, raw_answer, context)
+        report = self._validate(question, raw_answer, context, ctx)
         if not report.passed:
             return UniAskAnswer(
                 question=question,
@@ -120,7 +149,7 @@ class UniAskEngine:
                 guardrail_report=report,
             )
 
-        citations = self._resolve_citations(raw_answer, context)
+        citations = self._resolve_citations(raw_answer, context, ctx)
         return UniAskAnswer(
             question=question,
             answer_text=raw_answer,
@@ -132,22 +161,90 @@ class UniAskEngine:
             guardrail_report=report,
         )
 
-    def _resolve_citations(self, answer: str, context) -> tuple[Citation, ...]:
-        citations = []
+    def _screen(self, question: str, ctx: RequestContext) -> ContentFilterResult:
+        """Stage 1: screen the incoming question."""
+        with ctx.trace.span(spans.STAGE_CONTENT_FILTER) as span:
+            screening = self._content_filter.check(question)
+            span.set("blocked", screening.blocked)
+            if screening.blocked:
+                span.set("category", screening.category)
+        return screening
+
+    def _retrieve(
+        self, question: str, filters: dict[str, str] | None, ctx: RequestContext
+    ) -> list[RetrievedChunk]:
+        """Stage 2: hybrid retrieval with semantic reranking."""
+        with ctx.trace.span(spans.STAGE_RETRIEVAL) as span:
+            documents = self._searcher.search(question, filters=filters, ctx=ctx)
+            span.set("results", len(documents))
+        return documents
+
+    def _generate(
+        self, question: str, context: list[RetrievedChunk], ctx: RequestContext
+    ) -> ChatResponse | None:
+        """Stage 3: build the prompt and call the LLM (None on failure)."""
+        with ctx.trace.span(spans.STAGE_PROMPT_BUILD, context_chunks=len(context)) as span:
+            prompt = build_answer_prompt(question, context_from_results(context))
+            span.set("messages", len(prompt))
+        try:
+            return traced_complete(
+                self._llm,
+                prompt,
+                ctx,
+                temperature=self.config.generation.temperature,
+                max_tokens=self.config.generation.max_tokens,
+            )
+        except Exception:
+            return None
+
+    def _validate(
+        self,
+        question: str,
+        raw_answer: str,
+        context: list[RetrievedChunk],
+        ctx: RequestContext,
+    ) -> GuardrailReport:
+        """Stage 4: run the guardrail pipeline on the generated answer."""
+        with ctx.trace.span(spans.STAGE_GUARDRAILS) as span:
+            report = self._guardrails.run(question, raw_answer, context, ctx=ctx)
+            span.set("passed", report.passed)
+            if report.fired:
+                span.set("fired", report.fired)
+        return report
+
+    def _resolve_citations(
+        self,
+        answer: str,
+        context: list[RetrievedChunk],
+        ctx: RequestContext | None = None,
+    ) -> tuple[Citation, ...]:
+        """Stage 5: map ``[docK]`` markers of the accepted answer to chunks.
+
+        Malformed keys (``doc``, ``docX``, out-of-range indices) are skipped
+        rather than failing the whole answer: a bad marker is a generation
+        blemish, not a reason to drop an already validated answer.
+        """
+        ctx = ctx or null_context()
+        citations: list[Citation] = []
         seen: set[str] = set()
-        for key in extract_citations(answer):
-            if key in seen:
-                continue
-            seen.add(key)
-            position = int(key.removeprefix("doc")) - 1
-            if 0 <= position < len(context):
-                record = context[position].record
-                citations.append(
-                    Citation(
-                        key=key,
-                        chunk_id=record.chunk_id,
-                        doc_id=record.doc_id,
-                        title=record.title,
+        with ctx.trace.span(spans.STAGE_CITATIONS) as span:
+            for key in extract_citations(answer):
+                if key in seen:
+                    continue
+                seen.add(key)
+                suffix = key.removeprefix("doc")
+                if not suffix.isdigit():
+                    continue
+                position = int(suffix) - 1
+                if 0 <= position < len(context):
+                    record = context[position].record
+                    citations.append(
+                        Citation(
+                            key=key,
+                            chunk_id=record.chunk_id,
+                            doc_id=record.doc_id,
+                            title=record.title,
+                        )
                     )
-                )
+            span.set("resolved", len(citations))
         return tuple(citations)

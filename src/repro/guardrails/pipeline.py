@@ -17,6 +17,8 @@ from repro.guardrails.base import Guardrail, GuardrailVerdict
 from repro.guardrails.citation import CitationGuardrail
 from repro.guardrails.clarification import ClarificationGuardrail
 from repro.guardrails.rouge import RougeGuardrail
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.results import RetrievedChunk
 
 #: The apology shown when a guardrail invalidates the generated answer.
@@ -64,12 +66,22 @@ class GuardrailPipeline:
         return tuple(guardrail.name for guardrail in self._guardrails)
 
     def run(
-        self, question: str, answer: str, context: list[RetrievedChunk]
+        self,
+        question: str,
+        answer: str,
+        context: list[RetrievedChunk],
+        ctx: RequestContext | None = None,
     ) -> GuardrailReport:
         """Validate *answer*; stop at the first guardrail that fires."""
+        ctx = ctx or null_context()
+        trace = ctx.trace
         verdicts: list[GuardrailVerdict] = []
         for guardrail in self._guardrails:
-            verdict = guardrail.check(question, answer, context)
+            with trace.span(spans.guardrail_stage(guardrail.name)) as span:
+                verdict = guardrail.check(question, answer, context)
+                span.set("passed", verdict.passed)
+                if verdict.score is not None:
+                    span.set("score", round(verdict.score, 4))
             verdicts.append(verdict)
             if not verdict.passed:
                 message = (

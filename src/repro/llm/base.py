@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
+
 #: The chat roles accepted by the API.
 ROLES = ("system", "user", "assistant")
 
@@ -63,6 +66,41 @@ class ChatCompletionClient(Protocol):
     ) -> ChatResponse:
         """Generate the assistant reply for *messages*."""
         ...
+
+
+def traced_complete(
+    client: ChatCompletionClient,
+    messages: list[ChatMessage],
+    ctx: RequestContext | None = None,
+    *,
+    temperature: float = 0.0,
+    max_tokens: int = 512,
+    stage: str = spans.STAGE_LLM,
+) -> ChatResponse:
+    """Run one completion inside a *stage* span of the request trace.
+
+    Records prompt size, token usage and finish reason on the span; a
+    raising client marks the span as errored before propagating.  With the
+    null context this is a plain ``client.complete`` call — the prompt-size
+    accounting is skipped entirely, keeping the untraced hot path free of
+    observability cost.
+    """
+    ctx = ctx or null_context()
+    trace = ctx.trace
+    if not trace.enabled:
+        return client.complete(messages, temperature=temperature, max_tokens=max_tokens)
+    with trace.span(
+        stage,
+        messages=len(messages),
+        prompt_chars=sum(len(message.content) for message in messages),
+    ) as span:
+        response = client.complete(messages, temperature=temperature, max_tokens=max_tokens)
+        span.annotate(
+            prompt_tokens=response.usage.prompt_tokens,
+            completion_tokens=response.usage.completion_tokens,
+            finish_reason=response.finish_reason,
+        )
+    return response
 
 
 def system(content: str) -> ChatMessage:

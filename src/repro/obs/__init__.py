@@ -1,0 +1,28 @@
+"""Observability: request contexts, traces and the span taxonomy.
+
+The staged request pipeline (engine → retrieval → LLM → guardrails →
+backend) threads a :class:`~repro.obs.trace.RequestContext` through every
+stage; each stage records a named :class:`~repro.obs.trace.Span` with its
+duration, input/output sizes and outcome.  Tracing is zero-cost by
+default: the shared null context records nothing.
+"""
+
+from repro.obs.trace import (
+    NULL_CONTEXT,
+    NullTrace,
+    RequestContext,
+    Span,
+    Trace,
+    WallClock,
+    null_context,
+)
+
+__all__ = [
+    "NULL_CONTEXT",
+    "NullTrace",
+    "RequestContext",
+    "Span",
+    "Trace",
+    "WallClock",
+    "null_context",
+]

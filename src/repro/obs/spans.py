@@ -1,0 +1,83 @@
+"""Span taxonomy of the staged request pipeline.
+
+Stage names are stable identifiers: the monitoring dashboard keys its
+per-stage latency series on them and the tests assert on them, so treat
+renames as breaking changes.  The canonical trace of a fully answered
+question nests as::
+
+    ask
+      content_filter
+      retrieval
+        fulltext
+        embed_query
+        vector_title
+        vector_content
+        fusion
+        rerank
+      prompt_build
+      llm
+      guardrails
+        guardrail_citation
+        guardrail_rouge
+        guardrail_clarification
+      citations
+
+Multi-query retrieval (MQ1) additionally records one ``subquery`` span per
+generated query (attribute ``cached=True`` when a duplicate query reused
+the per-query ranking already recorded in the trace) and a final top-level
+``fusion`` span.
+"""
+
+from __future__ import annotations
+
+#: Root span of one engine request.
+STAGE_ASK = "ask"
+
+#: Input screening (the Azure content filter stand-in).
+STAGE_CONTENT_FILTER = "content_filter"
+
+#: The whole retrieval module (parent of the search stages).
+STAGE_RETRIEVAL = "retrieval"
+
+#: BM25 full-text search across searchable fields.
+STAGE_FULLTEXT = "fulltext"
+
+#: Query embedding ahead of the per-field ANN searches.
+STAGE_EMBED_QUERY = "embed_query"
+
+#: Prefix of the per-field ANN search spans (``vector_title`` …).
+VECTOR_STAGE_PREFIX = "vector_"
+
+#: Reciprocal Rank Fusion of the per-source rankings.
+STAGE_FUSION = "fusion"
+
+#: Semantic reranking of the fused ranking.
+STAGE_RERANK = "rerank"
+
+#: One sub-query of a multi-query (MQ1) retrieval.
+STAGE_SUBQUERY = "subquery"
+
+#: Generation-prompt assembly (context JSON + messages).
+STAGE_PROMPT_BUILD = "prompt_build"
+
+#: The chat-completion call.
+STAGE_LLM = "llm"
+
+#: The guardrail pipeline (parent of the per-guardrail spans).
+STAGE_GUARDRAILS = "guardrails"
+
+#: Prefix of the per-guardrail spans (``guardrail_citation`` …).
+GUARDRAIL_STAGE_PREFIX = "guardrail_"
+
+#: Citation resolution of the accepted answer.
+STAGE_CITATIONS = "citations"
+
+
+def vector_stage(field_name: str) -> str:
+    """Span name of the ANN search over *field_name*."""
+    return f"{VECTOR_STAGE_PREFIX}{field_name}"
+
+
+def guardrail_stage(guardrail_name: str) -> str:
+    """Span name of one guardrail check."""
+    return f"{GUARDRAIL_STAGE_PREFIX}{guardrail_name}"

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.bm25 import Bm25Parameters, Bm25Scorer
 from repro.search.index import SearchIndex
 from repro.search.results import RetrievedChunk
@@ -52,9 +54,22 @@ class FullTextSearch:
         self._fields = search_fields or index.schema.searchable_fields
 
     def search(
-        self, query: str, n: int = 50, filters: dict[str, str] | None = None
+        self,
+        query: str,
+        n: int = 50,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> list[RetrievedChunk]:
         """Top-*n* chunks for *query* by profile-weighted BM25."""
+        ctx = ctx or null_context()
+        with ctx.trace.span(spans.STAGE_FULLTEXT, n=n) as span:
+            results = self._search(query, n, filters)
+            span.set("results", len(results))
+        return results
+
+    def _search(
+        self, query: str, n: int, filters: dict[str, str] | None
+    ) -> list[RetrievedChunk]:
         if n <= 0:
             return []
         combined: dict[int, float] = {}

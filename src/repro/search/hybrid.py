@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.fulltext import FullTextSearch, ScoringProfile
 from repro.search.fusion import DEFAULT_RRF_CONSTANT, reciprocal_rank_fusion
 from repro.search.index import SearchIndex
@@ -71,30 +73,34 @@ class HybridSemanticSearch:
         return self._index
 
     def search(
-        self, query: str, filters: dict[str, str] | None = None
+        self,
+        query: str,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> list[RetrievedChunk]:
         """Retrieve the final ranking of chunks for *query*."""
+        ctx = ctx or null_context()
         config = self.config
         rankings: dict[str, list[RetrievedChunk]] = {}
 
         if config.mode in ("hybrid", "text"):
-            rankings["text"] = self._fulltext.search(query, n=config.text_n, filters=filters)
+            rankings["text"] = self._fulltext.search(
+                query, n=config.text_n, filters=filters, ctx=ctx
+            )
         if config.mode in ("hybrid", "vector"):
             for field_name, ranking in self._vector.search(
-                query, k=config.vector_k, filters=filters
+                query, k=config.vector_k, filters=filters, ctx=ctx
             ).items():
                 rankings[f"vector_{field_name}"] = ranking
 
-        fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
-        if config.use_reranker and self._reranker is not None:
-            fused = self._reranker.rerank(query, fused)
-        return fused[: config.final_n]
+        return self._retrieve(query, rankings, ctx)
 
     def search_fused_vector(
         self,
         query_text: str,
         query_vector,
         filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> list[RetrievedChunk]:
         """Hybrid search with an externally supplied query embedding.
 
@@ -103,28 +109,71 @@ class HybridSemanticSearch:
         variant, which concatenates generated query texts and averages their
         embeddings.
         """
+        ctx = ctx or null_context()
         config = self.config
         rankings: dict[str, list[RetrievedChunk]] = {
-            "text": self._fulltext.search(query_text, n=config.text_n, filters=filters)
+            "text": self._fulltext.search(query_text, n=config.text_n, filters=filters, ctx=ctx)
         }
         for field_name, ranking in self._vector.search_by_vector(
-            query_vector, k=config.vector_k, filters=filters
+            query_vector, k=config.vector_k, filters=filters, ctx=ctx
         ).items():
             rankings[f"vector_{field_name}"] = ranking
-        fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
-        if config.use_reranker and self._reranker is not None:
-            fused = self._reranker.rerank(query_text, fused)
-        return fused[: config.final_n]
+        return self._retrieve(query_text, rankings, ctx)
 
     def search_multi(
-        self, queries: list[str], filters: dict[str, str] | None = None
+        self,
+        queries: list[str],
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> list[RetrievedChunk]:
         """Multi-query hybrid search (the MQ1 expansion variant).
 
         Runs a full hybrid search per query and fuses the per-query result
-        lists with RRF.
+        lists with RRF.  Duplicate sub-queries (the LLM frequently
+        regenerates the original question) reuse the ranking already
+        computed for this request instead of re-running retrieval and the
+        reranker; the trace records a ``subquery`` span per input with a
+        ``cached`` attribute.
         """
         if not queries:
             return []
-        per_query = {f"q{i}": self.search(query, filters=filters) for i, query in enumerate(queries)}
-        return reciprocal_rank_fusion(per_query, c=self.config.rrf_c, top_n=self.config.final_n)
+        ctx = ctx or null_context()
+        trace = ctx.trace
+        filter_key = tuple(sorted(filters.items())) if filters else None
+        cached_rankings: dict[tuple, list[RetrievedChunk]] = {}
+        per_query: dict[str, list[RetrievedChunk]] = {}
+        for i, query in enumerate(queries):
+            key = (query, filter_key)
+            cached = key in cached_rankings
+            with trace.span(spans.STAGE_SUBQUERY, index=i, cached=cached) as span:
+                if not cached:
+                    cached_rankings[key] = self.search(query, filters=filters, ctx=ctx)
+                span.set("results", len(cached_rankings[key]))
+            per_query[f"q{i}"] = cached_rankings[key]
+        with trace.span(
+            spans.STAGE_FUSION, sources=len(per_query), multi_query=True
+        ) as span:
+            fused = reciprocal_rank_fusion(
+                per_query, c=self.config.rrf_c, top_n=self.config.final_n
+            )
+            span.set("results", len(fused))
+        return fused
+
+    def _retrieve(
+        self,
+        rerank_query: str,
+        rankings: dict[str, list[RetrievedChunk]],
+        ctx: RequestContext,
+    ) -> list[RetrievedChunk]:
+        """The shared fuse → rerank → truncate tail of every entry point."""
+        config = self.config
+        with ctx.trace.span(
+            spans.STAGE_FUSION,
+            sources=len(rankings),
+            candidates=sum(len(ranking) for ranking in rankings.values()),
+        ) as span:
+            fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
+            span.set("results", len(fused))
+        if config.use_reranker and self._reranker is not None:
+            fused = self._reranker.rerank(rerank_query, fused, ctx=ctx)
+        return fused[: config.final_n]

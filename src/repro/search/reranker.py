@@ -22,6 +22,8 @@ from __future__ import annotations
 import hashlib
 
 from repro.embeddings.concepts import ConceptLexicon, concept_overlap
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.results import RetrievedChunk
 from repro.text.analyzer import FULL_ANALYZER, ItalianAnalyzer
 
@@ -81,12 +83,22 @@ class SemanticReranker:
         score = self._max_score * min(max(blended, 0.0), 1.0)
         return max(0.0, score + self._noise * _hash_noise(query, result.record.chunk_id))
 
-    def rerank(self, query: str, results: list[RetrievedChunk]) -> list[RetrievedChunk]:
+    def rerank(
+        self,
+        query: str,
+        results: list[RetrievedChunk],
+        ctx: RequestContext | None = None,
+    ) -> list[RetrievedChunk]:
         """Add the reranker score to each fused result and re-sort.
 
         The input scores are assumed to be RRF sums; the output score is
         ``rrf + reranker`` per the paper's hybrid ranking definition.
         """
+        ctx = ctx or null_context()
+        with ctx.trace.span(spans.STAGE_RERANK, candidates=len(results)):
+            return self._rerank(query, results)
+
+    def _rerank(self, query: str, results: list[RetrievedChunk]) -> list[RetrievedChunk]:
         rescored = []
         for result in results:
             reranker_score = self.score(query, result)

@@ -9,6 +9,8 @@ AI Search's multi-vector hybrid behaviour.
 
 from __future__ import annotations
 
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
 from repro.search.index import SearchIndex
 from repro.search.results import RetrievedChunk
 
@@ -26,7 +28,11 @@ class VectorSearch:
         return tuple(self._fields)
 
     def search(
-        self, query: str, k: int = 15, filters: dict[str, str] | None = None
+        self,
+        query: str,
+        k: int = 15,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> dict[str, list[RetrievedChunk]]:
         """Per-field rankings of the *k* nearest chunks to *query*.
 
@@ -34,35 +40,50 @@ class VectorSearch:
         ``1 - cosine distance`` so that larger scores are better, consistent
         with the BM25 ranking direction.
         """
-        query_vector = self._index.embedder.embed(query)
-        return self.search_by_vector(query_vector, k, filters)
+        ctx = ctx or null_context()
+        with ctx.trace.span(spans.STAGE_EMBED_QUERY, query_chars=len(query)):
+            query_vector = self._index.embedder.embed(query)
+        return self.search_by_vector(query_vector, k, filters, ctx=ctx)
 
     def search_by_vector(
-        self, query_vector, k: int = 15, filters: dict[str, str] | None = None
+        self,
+        query_vector,
+        k: int = 15,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
     ) -> dict[str, list[RetrievedChunk]]:
         """Same as :meth:`search` but with a pre-computed query embedding.
 
         Used by the MQ2 query-expansion variant (Table 3), which averages
         the embeddings of several generated queries.
         """
+        ctx = ctx or null_context()
         rankings: dict[str, list[RetrievedChunk]] = {}
         for field_name in self._fields:
-            # Oversample so that post-hoc filtering can still fill k results.
-            fetch = k if not filters else 4 * k
-            hits = self._index.vector_search(field_name, query_vector, fetch)
-            ranking: list[RetrievedChunk] = []
-            for internal, distance in hits:
-                if not self._index.matches_filters(internal, filters):
-                    continue
-                similarity = 1.0 - distance
-                ranking.append(
-                    RetrievedChunk(
-                        record=self._index.record(internal),
-                        score=similarity,
-                        components={f"cosine_{field_name}": similarity},
-                    )
-                )
-                if len(ranking) >= k:
-                    break
+            with ctx.trace.span(spans.vector_stage(field_name), k=k) as span:
+                ranking = self._search_field(field_name, query_vector, k, filters)
+                span.set("results", len(ranking))
             rankings[field_name] = ranking
         return rankings
+
+    def _search_field(
+        self, field_name: str, query_vector, k: int, filters: dict[str, str] | None
+    ) -> list[RetrievedChunk]:
+        # Oversample so that post-hoc filtering can still fill k results.
+        fetch = k if not filters else 4 * k
+        hits = self._index.vector_search(field_name, query_vector, fetch)
+        ranking: list[RetrievedChunk] = []
+        for internal, distance in hits:
+            if not self._index.matches_filters(internal, filters):
+                continue
+            similarity = 1.0 - distance
+            ranking.append(
+                RetrievedChunk(
+                    record=self._index.record(internal),
+                    score=similarity,
+                    components={f"cosine_{field_name}": similarity},
+                )
+            )
+            if len(ranking) >= k:
+                break
+        return ranking

@@ -14,10 +14,12 @@ every event to the monitoring collector.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.answer import UniAskAnswer
 from repro.core.engine import UniAskEngine
+from repro.obs import spans
+from repro.obs.trace import RequestContext, Span, Trace
 from repro.pipeline.clock import SimulatedClock
 from repro.service.feedback import FeedbackStore, GranularFeedback
 from repro.service.monitoring import MetricsCollector
@@ -51,6 +53,51 @@ class QueryRecord:
     question: str
     answer: UniAskAnswer
     served_at: float
+    trace: Trace | None = None
+
+
+class StageLatencyModel:
+    """Deterministic per-stage latency attribution for traced requests.
+
+    When the backend serves a traced query, the request trace runs on a
+    private :class:`~repro.pipeline.clock.SimulatedClock` and this model is
+    installed as the trace's cost hook: as each leaf span closes, the clock
+    advances by a modeled duration derived from the span's recorded
+    input/output sizes.  Span durations therefore stay deterministic (no
+    wall-clock reads) while still reflecting where simulated time goes —
+    the LLM call dominates, exactly as in the deployed system.
+    """
+
+    def __init__(self, base_latency: float = 0.4, seconds_per_kilo_token: float = 1.1) -> None:
+        self._base_latency = base_latency
+        self._seconds_per_kilo_token = seconds_per_kilo_token
+
+    def __call__(self, span: Span) -> float:
+        """Modeled seconds spent in *span* (0.0 for aggregate spans)."""
+        attrs = span.attributes
+        name = span.name
+        if name == spans.STAGE_CONTENT_FILTER:
+            return 0.002
+        if name == spans.STAGE_EMBED_QUERY:
+            return 0.004
+        if name == spans.STAGE_FULLTEXT:
+            return 0.010 + 0.0001 * int(attrs.get("results", 0))
+        if name.startswith(spans.VECTOR_STAGE_PREFIX):
+            return 0.006 + 0.0002 * int(attrs.get("results", 0))
+        if name == spans.STAGE_FUSION:
+            return 0.001
+        if name == spans.STAGE_RERANK:
+            return 0.002 + 0.0005 * int(attrs.get("candidates", 0))
+        if name == spans.STAGE_PROMPT_BUILD:
+            return 0.0005
+        if name == spans.STAGE_LLM:
+            tokens = int(attrs.get("prompt_tokens", 0)) + int(attrs.get("completion_tokens", 0))
+            return self._base_latency + self._seconds_per_kilo_token * tokens / 1000.0
+        if name.startswith(spans.GUARDRAIL_STAGE_PREFIX):
+            return 0.001
+        if name == spans.STAGE_CITATIONS:
+            return 0.0005
+        return 0.0
 
 
 class BackendService:
@@ -65,6 +112,7 @@ class BackendService:
         seconds_per_kilo_token: float = 1.1,
         latency_jitter: float = 0.15,
         seed: int = 11,
+        tracing: bool = False,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -77,6 +125,8 @@ class BackendService:
         self._latency_jitter = latency_jitter
         self._rng = random.Random(seed)
         self._query_counter = 0
+        self._tracing = tracing
+        self._stage_model = StageLatencyModel(base_latency, seconds_per_kilo_token)
 
     # -- endpoints ------------------------------------------------------------
 
@@ -94,20 +144,39 @@ class BackendService:
         return self.metrics.snapshot(bucket_seconds=bucket_seconds)
 
     def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
-        """Serve one question for an authenticated session."""
+        """Serve one question for an authenticated session.
+
+        With ``tracing=True`` the request runs inside a traced
+        :class:`~repro.obs.trace.RequestContext` on a private simulated
+        clock: the response time is the traced per-stage total (jittered),
+        the trace rides on the stored :class:`QueryRecord`, and the
+        per-stage durations feed the dashboard's latency series.
+        """
         user_id = self._authenticate(token)
-        answer = self._engine.ask(question, filters=filters)
-        response_time = self._model_response_time(question, answer)
+        self._query_counter += 1
+        query_id = f"q-{self._query_counter:07d}"
+
+        trace: Trace | None = None
+        if self._tracing:
+            trace = Trace(
+                clock=SimulatedClock(start=self._clock.now()), cost=self._stage_model
+            )
+            ctx = RequestContext(trace=trace, request_id=query_id)
+            answer = self._engine.ask(question, filters=filters, ctx=ctx)
+            response_time = trace.total_duration * self._jitter()
+        else:
+            answer = self._engine.ask(question, filters=filters)
+            response_time = self._model_response_time(question, answer)
         self._clock.advance(response_time)
         answer = self._with_response_time(answer, response_time)
 
-        self._query_counter += 1
         record = QueryRecord(
-            query_id=f"q-{self._query_counter:07d}",
+            query_id=query_id,
             user_id=user_id,
             question=question,
             answer=answer,
             served_at=self._clock.now(),
+            trace=trace,
         )
         self._records[record.query_id] = record
         self.metrics.record_query(
@@ -115,6 +184,7 @@ class BackendService:
             user_id=user_id,
             outcome=answer.outcome,
             response_time=response_time,
+            stages=trace.stage_durations() if trace is not None else None,
         )
         return record
 
@@ -159,19 +229,12 @@ class BackendService:
         context_tokens = sum(count_tokens(chunk.record.content) for chunk in answer.context)
         total_tokens = count_tokens(question) + context_tokens + count_tokens(answer.raw_answer)
         latency = self._base_latency + self._seconds_per_kilo_token * total_tokens / 1000.0
-        jitter = 1.0 + self._latency_jitter * (2.0 * self._rng.random() - 1.0)
-        return latency * jitter
+        return latency * self._jitter()
+
+    def _jitter(self) -> float:
+        """One multiplicative jitter draw (±latency_jitter, uniform)."""
+        return 1.0 + self._latency_jitter * (2.0 * self._rng.random() - 1.0)
 
     @staticmethod
     def _with_response_time(answer: UniAskAnswer, response_time: float) -> UniAskAnswer:
-        return UniAskAnswer(
-            question=answer.question,
-            answer_text=answer.answer_text,
-            raw_answer=answer.raw_answer,
-            outcome=answer.outcome,
-            citations=answer.citations,
-            documents=answer.documents,
-            context=answer.context,
-            guardrail_report=answer.guardrail_report,
-            response_time=response_time,
-        )
+        return replace(answer, response_time=response_time)

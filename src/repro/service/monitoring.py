@@ -7,26 +7,48 @@ requests and triggered guardrails."
 
 :class:`MetricsCollector` is the log sink every service writes to;
 :class:`DashboardSnapshot` is the aggregated page, including per-interval
-time series for plotting.
+time series for plotting and — when the backend serves traced requests —
+per-stage latency percentiles keyed on the span taxonomy of
+:mod:`repro.obs.spans`.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.answer import OUTCOME_ANSWERED
 
 
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile of *values* by the nearest-rank method.
+
+    ``q`` is in [0, 100]; an empty list yields 0.0.
+    """
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be between 0 and 100")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
 @dataclass(frozen=True)
 class QueryEvent:
-    """One served query, as logged by the backend."""
+    """One served query, as logged by the backend.
+
+    ``stages`` carries the per-stage durations of a traced request as
+    ``(stage_name, seconds)`` pairs (empty for untraced requests).
+    """
 
     timestamp: float
     user_id: str
     outcome: str
     response_time: float
     failed: bool = False
+    stages: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -43,6 +65,11 @@ class DashboardSnapshot:
     queries_per_bucket: list[int] = field(default_factory=list)
     failures_per_bucket: list[int] = field(default_factory=list)
     response_time_per_bucket: list[float] = field(default_factory=list)
+    #: Per-stage latency series of traced requests: stage name → p50 / p95
+    #: seconds (empty when no traced request was served).
+    stage_p50: dict[str, float] = field(default_factory=dict)
+    stage_p95: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -59,8 +86,9 @@ class MetricsCollector:
         outcome: str,
         response_time: float,
         failed: bool = False,
+        stages: dict[str, float] | None = None,
     ) -> None:
-        """Log one served (or failed) query."""
+        """Log one served (or failed) query, with optional stage durations."""
         self._events.append(
             QueryEvent(
                 timestamp=timestamp,
@@ -68,6 +96,7 @@ class MetricsCollector:
                 outcome=outcome,
                 response_time=response_time,
                 failed=failed,
+                stages=tuple(stages.items()) if stages else (),
             )
         )
 
@@ -116,6 +145,14 @@ class MetricsCollector:
                 rt_sums[i] / rt_counts[i] if rt_counts[i] else 0.0 for i in range(buckets)
             ]
 
+        stage_samples: dict[str, list[float]] = {}
+        for event in self._events:
+            for stage, duration in event.stages:
+                stage_samples.setdefault(stage, []).append(duration)
+        stage_p50 = {stage: percentile(values, 50.0) for stage, values in stage_samples.items()}
+        stage_p95 = {stage: percentile(values, 95.0) for stage, values in stage_samples.items()}
+        stage_counts = {stage: len(values) for stage, values in stage_samples.items()}
+
         return DashboardSnapshot(
             users=len({event.user_id for event in self._events}),
             queries=len(self._events),
@@ -127,6 +164,9 @@ class MetricsCollector:
             queries_per_bucket=queries_per_bucket,
             failures_per_bucket=failures_per_bucket,
             response_time_per_bucket=rt_per_bucket,
+            stage_p50=stage_p50,
+            stage_p95=stage_p95,
+            stage_counts=stage_counts,
         )
 
 
@@ -146,4 +186,12 @@ def format_dashboard(snapshot: DashboardSnapshot) -> str:
     for outcome, count in sorted(snapshot.outcome_breakdown.items(), key=lambda p: -p[1]):
         marker = "·" if outcome == OUTCOME_ANSWERED else "!"
         lines.append(f"  {marker} {outcome}: {count}")
+    if snapshot.stage_p50:
+        lines.append("per-stage latency (p50 / p95):")
+        for stage in sorted(snapshot.stage_p50, key=lambda s: -snapshot.stage_p95[s]):
+            lines.append(
+                f"  {stage}: {snapshot.stage_p50[stage] * 1000.0:.1f}ms / "
+                f"{snapshot.stage_p95[stage] * 1000.0:.1f}ms "
+                f"(n={snapshot.stage_counts[stage]})"
+            )
     return "\n".join(lines)

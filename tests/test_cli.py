@@ -15,6 +15,16 @@ class TestCli:
         assert "❓" in out
         assert "Documenti trovati:" in out or "⚠" in out
 
+    def test_ask_command_with_trace(self, capsys):
+        code = main(
+            ["--topics", "25", "--seed", "3", "ask", "Come posso attivare la carta di credito?", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "total" in out
+        for stage in ("content_filter", "fulltext", "fusion", "rerank", "llm"):
+            assert stage in out
+
     def test_eval_command(self, capsys):
         code = main(["--topics", "25", "--seed", "3", "eval", "--questions", "20"])
         assert code == 0
