@@ -1,0 +1,150 @@
+"""Single-index vs sharded-cluster retrieval benchmark.
+
+Standalone script (not pytest-collected): builds one corpus, serves it
+both from a single :class:`~repro.search.index.SearchIndex` and from an
+N-shard cluster, times the retrieval path per query on each, checks that
+the top-10 rankings agree, and writes the measurements to a JSON report.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        --topics 16 --queries 8 --shards 2 --out BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import ClusterConfig  # noqa: E402
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.core.factory import build_uniask_system  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+
+OVERLAP_DEPTH = 10
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ranked = sorted(values)
+    rank = max(0, min(len(ranked) - 1, round(q / 100.0 * len(ranked)) - 1))
+    return ranked[rank]
+
+
+def _time_searches(searcher, questions: list[str]) -> tuple[list[float], list[list[str]]]:
+    """Per-query wall-clock retrieval latency and top chunk ids."""
+    latencies: list[float] = []
+    rankings: list[list[str]] = []
+    for question in questions:
+        started = time.perf_counter()
+        results = searcher.search(question)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        rankings.append([r.record.chunk_id for r in results[:OVERLAP_DEPTH]])
+    return latencies, rankings
+
+
+def _summary(latencies: list[float]) -> dict[str, float]:
+    return {
+        "mean_ms": statistics.fmean(latencies),
+        "p50_ms": _percentile(latencies, 50.0),
+        "p95_ms": _percentile(latencies, 95.0),
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=2, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.queries, seed=args.seed)
+        )
+    ]
+
+    print(f"building single-index deployment ({args.topics} topics)...", file=sys.stderr)
+    single = build_uniask_system(kb.store(), lexicon, seed=args.seed)
+    print(f"building {args.shards}-shard deployment...", file=sys.stderr)
+    sharded = build_uniask_system(
+        kb.store(),
+        lexicon,
+        config=UniAskConfig(cluster=ClusterConfig(shards=args.shards)),
+        seed=args.seed,
+    )
+
+    # Warmup: populate embedding caches so neither side pays them in-loop.
+    for searcher in (single.searcher, sharded.searcher):
+        searcher.search(questions[0])
+    sharded.cluster.take_scatter_report()
+
+    single_ms, single_top = _time_searches(single.searcher, questions)
+    sharded_ms, sharded_top = _time_searches(sharded.searcher, questions)
+
+    partial = 0
+    report = sharded.cluster.take_scatter_report()
+    if report is not None and report.partial:
+        partial += 1
+    overlaps = [
+        len(set(a) & set(b)) / max(1, len(a))
+        for a, b in zip(single_top, sharded_top)
+    ]
+
+    result = {
+        "config": {
+            "topics": args.topics,
+            "documents": len(kb.documents),
+            "chunks": len(single.index),
+            "queries": len(questions),
+            "shards": args.shards,
+            "seed": args.seed,
+        },
+        "single": _summary(single_ms),
+        "sharded": _summary(sharded_ms),
+        "top10_overlap_mean": statistics.fmean(overlaps),
+        "partial_results": partial,
+    }
+
+    print()
+    print("=" * 64)
+    print(f"CLUSTER BENCH — {len(questions)} queries over {len(single.index)} chunks")
+    print("=" * 64)
+    for label, summary in (("single", result["single"]), (f"{args.shards}-shard", result["sharded"])):
+        print(
+            f"{label:>10}: mean {summary['mean_ms']:.2f} ms"
+            f"  p50 {summary['p50_ms']:.2f} ms  p95 {summary['p95_ms']:.2f} ms"
+        )
+    print(f"top-{OVERLAP_DEPTH} overlap: {result['top10_overlap_mean']:.2%}")
+    print(f"partial results: {partial}")
+
+    if result["top10_overlap_mean"] < 0.8:
+        raise SystemExit("sanity check failed: sharded ranking diverged from single index")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=120, help="corpus size (topics)")
+    parser.add_argument("--queries", type=int, default=60, help="human questions to time")
+    parser.add_argument("--shards", type=int, default=3, help="shards in the clustered run")
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument("--out", default="BENCH_cluster.json", help="JSON report path")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must be at least 2 (the point is to compare)")
+
+    result = run(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

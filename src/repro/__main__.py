@@ -2,10 +2,14 @@
 
 Commands:
 
-* ``ask "<question>"`` — build a demo deployment and answer one question;
+* ``ask "<question>"`` — build a demo deployment and answer one question
+  (``--shards N`` serves it from a sharded cluster, ``--cluster-status``
+  prints the shard/replica health table);
 * ``demo`` — an interactive search box over a demo deployment;
 * ``eval`` — a compact UniAsk-vs-legacy evaluation (Table 1 style);
-* ``loadtest`` — the Figure 2 open-system load test.
+* ``loadtest`` — the Figure 2 open-system load test;
+* ``index`` — build the demo corpus index and persist it to a directory,
+  optionally sharded (``--shards N``).
 
 The demo deployment uses the synthetic banking KB; sizes and seeds are
 configurable via flags so the CLI stays deterministic by default.
@@ -22,16 +26,30 @@ from repro.corpus.vocabulary import build_banking_lexicon
 from repro.service.frontend import render_answer_page
 
 
-def _build_system(topics: int, seed: int) -> tuple[SyntheticKb, UniAskSystem]:
+def _build_system(
+    topics: int, seed: int, shards: int = 1, replicas: int = 2
+) -> tuple[SyntheticKb, UniAskSystem]:
     print(f"building demo deployment ({topics} topics, seed {seed})...", file=sys.stderr)
     kb = KbGenerator(KbGeneratorConfig(num_topics=topics, error_families=6, seed=seed)).generate()
-    system = build_uniask_system(kb.store(), build_banking_lexicon(), seed=seed)
-    print(f"indexed {len(system.index)} chunks.", file=sys.stderr)
+    config = None
+    if shards > 1:
+        from repro.cluster import ClusterConfig
+        from repro.core.config import UniAskConfig
+
+        config = UniAskConfig(cluster=ClusterConfig(shards=shards, replicas=replicas))
+    system = build_uniask_system(kb.store(), build_banking_lexicon(), config=config, seed=seed)
+    if shards > 1:
+        sizes = ", ".join(
+            f"shard {sid}: {len(system.index.shard_index(sid))}" for sid in system.index.shard_ids
+        )
+        print(f"indexed {len(system.index)} chunks over {shards} shards ({sizes}).", file=sys.stderr)
+    else:
+        print(f"indexed {len(system.index)} chunks.", file=sys.stderr)
     return kb, system
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
-    _, system = _build_system(args.topics, args.seed)
+    _, system = _build_system(args.topics, args.seed, shards=args.shards, replicas=args.replicas)
     if args.trace:
         from repro.obs.trace import RequestContext
 
@@ -43,6 +61,35 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     else:
         answer = system.engine.ask(args.question)
         print(render_answer_page(answer))
+    if answer.partial_results:
+        print("\n[degraded] partial results: some shards missed their deadline.")
+    if args.cluster_status:
+        if system.cluster is None:
+            print("\ncluster status: single-index deployment (no cluster).")
+        else:
+            from repro.cluster import format_cluster_status
+
+            print()
+            print(format_cluster_status(system.cluster.status()))
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    _, system = _build_system(args.topics, args.seed, shards=args.shards)
+    if system.cluster is not None:
+        from repro.cluster import save_cluster
+
+        save_cluster(system.index, args.out)
+        for sid in system.index.shard_ids:
+            shard = system.index.shard_index(sid)
+            print(f"shard {sid}: {shard.document_count} documents, {len(shard)} chunks")
+        print(f"saved {args.shards}-shard cluster to {args.out}")
+    else:
+        from repro.search.persistence import save_index
+
+        save_index(system.index, args.out)
+        print(f"{system.index.document_count} documents, {len(system.index)} chunks")
+        print(f"saved single index to {args.out}")
     return 0
 
 
@@ -111,6 +158,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the per-stage timing table of the request trace",
     )
+    ask.add_argument("--shards", type=int, default=1, help="serve from N index shards")
+    ask.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    ask.add_argument(
+        "--cluster-status",
+        action="store_true",
+        help="print the shard/replica health table after answering",
+    )
     ask.set_defaults(func=_cmd_ask)
 
     demo = commands.add_parser("demo", help="interactive search box")
@@ -124,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
     loadtest.add_argument("--minutes", type=int, default=60)
     loadtest.add_argument("--quota", type=float, default=1_045_000.0)
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    index = commands.add_parser("index", help="build and persist the demo index")
+    index.add_argument("--shards", type=int, default=1, help="partition into N shards")
+    index.add_argument("--out", required=True, help="output directory")
+    index.set_defaults(func=_cmd_index)
 
     args = parser.parse_args(argv)
     return args.func(args)

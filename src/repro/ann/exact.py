@@ -53,6 +53,9 @@ class ExactKnnIndex:
             self._matrix = np.stack(self._rows)
         distances = batch_cosine_distance(np.asarray(query, dtype=np.float64), self._matrix)
         k = min(k, len(self._ids))
-        nearest = np.argpartition(distances, k - 1)[:k]
-        nearest = nearest[np.argsort(distances[nearest], kind="stable")]
-        return [(self._ids[i], float(distances[i])) for i in nearest]
+        # Ties break on insertion id, which makes the ground truth fully
+        # deterministic and lets a sharded deployment merge per-shard
+        # results into exactly the ordering a single index would produce.
+        ids = np.asarray(self._ids)
+        order = np.lexsort((ids, distances))[:k]
+        return [(int(ids[i]), float(distances[i])) for i in order]

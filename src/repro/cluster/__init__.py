@@ -1,0 +1,48 @@
+"""Sharded, replicated query-serving cluster.
+
+The paper deploys UniAsk against one managed Azure AI Search index; this
+package scales that design out while preserving its semantics.  A
+consistent-hash :class:`ShardPlanner` partitions the corpus into per-shard
+:class:`~repro.search.index.SearchIndex` instances behind the
+:class:`ShardedSearchIndex` write facade; the :class:`ClusterSearcher`
+scatters each hybrid query to every shard (served by replica groups with
+deadlines, fail-fast and hedged retries), gathers and merges the per-shard
+rankings, and applies RRF + semantic reranking once on the union — so a
+healthy cluster ranks exactly like the paper's single index, and an
+unhealthy one degrades to partial results instead of failing.
+
+``ClusterConfig(shards=1)`` — the default — bypasses the package entirely:
+the factory wires the original single-index path unchanged.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.persistence import load_cluster, save_cluster
+from repro.cluster.planner import ShardPlanner
+from repro.cluster.replica import Replica, ReplicaGroup
+from repro.cluster.router import (
+    ClusterSearcher,
+    ClusterStatus,
+    ReplicaStatus,
+    ScatterReport,
+    ShardProbe,
+    ShardStatus,
+    format_cluster_status,
+)
+from repro.cluster.sharded_index import ShardedSearchIndex
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSearcher",
+    "ClusterStatus",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaStatus",
+    "ScatterReport",
+    "ShardPlanner",
+    "ShardProbe",
+    "ShardStatus",
+    "ShardedSearchIndex",
+    "format_cluster_status",
+    "load_cluster",
+    "save_cluster",
+]

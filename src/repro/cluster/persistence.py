@@ -1,0 +1,98 @@
+"""Cluster persistence.
+
+A sharded deployment restarts from disk exactly like the single-index one
+(:mod:`repro.search.persistence`): each shard is saved with ``save_index``
+into its own sub-directory, and a ``cluster.json`` manifest records the
+topology (shard ids, virtual-node count, pins) plus the global insertion
+ordinals that make merged rankings reproduce single-index tie order after
+a reload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster.planner import ShardPlanner
+from repro.cluster.sharded_index import ShardedSearchIndex
+from repro.embeddings.model import EmbeddingModel
+from repro.search.persistence import load_index, save_index
+
+_FORMAT_VERSION = 1
+
+_MANIFEST = "cluster.json"
+
+
+def _shard_directory(directory: Path, shard_id: int) -> Path:
+    return directory / f"shard-{shard_id:03d}"
+
+
+def save_cluster(index: ShardedSearchIndex, directory: str | Path) -> Path:
+    """Persist every shard of *index* plus the cluster manifest.
+
+    Returns the directory path.  Tombstoned chunks are not persisted
+    (``save_index`` acts as an implicit per-shard vacuum), so only live
+    chunks' ordinals enter the manifest.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    planner = index.planner
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "vnodes": planner.vnodes,
+        "shard_ids": list(planner.shard_ids),
+        "pins": planner.pins,
+        "next_ordinal": index.next_ordinal,
+        "ordinals": index.live_ordinals(),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, ensure_ascii=False))
+    for shard_id in planner.shard_ids:
+        save_index(index.shard_index(shard_id), _shard_directory(directory, shard_id))
+    return directory
+
+
+def load_cluster(
+    directory: str | Path,
+    embedder: EmbeddingModel,
+    ann_backend: str = "hnsw",
+    seed: int = 42,
+) -> ShardedSearchIndex:
+    """Load a persisted sharded index from *directory*.
+
+    As with :func:`repro.search.persistence.load_index`, the persisted
+    chunk vectors are inserted as-is — loading never re-embeds.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported cluster format version: {manifest.get('version')}")
+
+    planner = ShardPlanner(
+        shard_ids=manifest["shard_ids"],
+        vnodes=manifest["vnodes"],
+        pins={doc: int(shard) for doc, shard in manifest.get("pins", {}).items()},
+    )
+    shard_indexes = {
+        shard_id: load_index(
+            _shard_directory(directory, shard_id),
+            embedder=embedder,
+            ann_backend=ann_backend,
+            seed=seed,
+        )
+        for shard_id in planner.shard_ids
+    }
+    schema = next(iter(shard_indexes.values())).schema
+    index = ShardedSearchIndex(
+        embedder=embedder,
+        schema=schema,
+        ann_backend=ann_backend,
+        seed=seed,
+        planner=planner,
+        shard_indexes=shard_indexes,
+    )
+    index.restore_ordinals(
+        {chunk: int(ordinal) for chunk, ordinal in manifest["ordinals"].items()},
+        next_ordinal=int(manifest["next_ordinal"]),
+    )
+    return index

@@ -1,0 +1,473 @@
+"""Scatter-gather query router over a :class:`ShardedSearchIndex`.
+
+:class:`ClusterSearcher` is the clustered counterpart of
+:class:`~repro.search.hybrid.HybridSemanticSearch`: one call fans the
+full-text and vector legs of a hybrid query out to every shard, merges the
+per-shard rankings, fuses them with the same RRF, and applies the semantic
+reranker **once** on the merged candidate set — so with exact ANN and a
+cluster built by insertion, the final ranking is identical to what one
+big index would return (see :mod:`repro.cluster.sharded_index` for why).
+
+Each shard is served by a replica group with simulated, deterministic
+latency.  The router enforces a per-shard deadline, skips dead and
+marked-down replicas (fail-fast), sends a hedged retry to a sibling when
+the primary is slow, and — when a whole shard still misses the deadline —
+degrades to *partial results* instead of failing the query: the surviving
+shards' candidates are fused and returned, and the outcome is surfaced on
+the answer and in monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.replica import Replica, ReplicaGroup
+from repro.cluster.sharded_index import ShardedSearchIndex
+from repro.obs import spans
+from repro.obs.trace import RequestContext, null_context
+from repro.pipeline.clock import SimulatedClock
+from repro.search.fulltext import FullTextSearch, ScoringProfile
+from repro.search.fusion import reciprocal_rank_fusion
+from repro.search.hybrid import HybridSearchConfig
+from repro.search.reranker import SemanticReranker
+from repro.search.results import RetrievedChunk
+from repro.search.vector import VectorSearch
+
+
+@dataclass(frozen=True)
+class ShardProbe:
+    """The outcome of querying one shard for one request.
+
+    Attributes:
+        shard_id: the shard probed.
+        replica_id: the replica that served the request ("" on failure).
+        latency: simulated seconds until the shard answered (the deadline
+            when it did not).
+        ok: True when the shard answered within its deadline.
+        hedged: True when a hedged retry fired.
+        attempts: replicas contacted (0 when none were available).
+        timed_out: True when the deadline was missed.
+    """
+
+    shard_id: int
+    replica_id: str
+    latency: float
+    ok: bool
+    hedged: bool = False
+    attempts: int = 1
+    timed_out: bool = False
+
+
+@dataclass(frozen=True)
+class ScatterReport:
+    """Per-shard probe outcomes of one scatter-gather query."""
+
+    probes: tuple[ShardProbe, ...]
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one shard missed its deadline."""
+        return any(not probe.ok for probe in self.probes)
+
+    @property
+    def failed_shards(self) -> tuple[int, ...]:
+        """Ids of the shards that contributed no results."""
+        return tuple(probe.shard_id for probe in self.probes if not probe.ok)
+
+    @property
+    def hedged(self) -> bool:
+        """True when any shard needed a hedged retry."""
+        return any(probe.hedged for probe in self.probes)
+
+    @property
+    def max_latency(self) -> float:
+        """The gather barrier: the slowest successful shard (0.0 if none)."""
+        latencies = [probe.latency for probe in self.probes if probe.ok]
+        return max(latencies) if latencies else 0.0
+
+
+@dataclass(frozen=True)
+class ReplicaStatus:
+    """Point-in-time health of one replica."""
+
+    replica_id: str
+    alive: bool
+    slow_factor: float
+    marked_down: bool
+    served: int
+    timeouts: int
+    hedges: int
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Point-in-time view of one shard and its replica group."""
+
+    shard_id: int
+    documents: int
+    chunks: int
+    replicas: tuple[ReplicaStatus, ...]
+
+    @property
+    def available(self) -> bool:
+        """True when at least one replica can serve."""
+        return any(replica.alive and not replica.marked_down for replica in self.replicas)
+
+
+@dataclass(frozen=True)
+class ClusterStatus:
+    """Point-in-time view of the whole serving cluster."""
+
+    shards: tuple[ShardStatus, ...]
+
+    @property
+    def degraded(self) -> bool:
+        """True when some shard has no serving replica."""
+        return any(not shard.available for shard in self.shards)
+
+
+def format_cluster_status(status: ClusterStatus) -> str:
+    """Render a cluster status as the ``--cluster-status`` CLI table."""
+    lines = [f"{'shard':<8} {'docs':>6} {'chunks':>7}  replicas"]
+    lines.append("-" * len(lines[0]))
+    for shard in status.shards:
+        states = []
+        for replica in shard.replicas:
+            if not replica.alive:
+                state = "dead"
+            elif replica.marked_down:
+                state = "down"
+            elif replica.slow_factor > 1.0:
+                state = f"slow(x{replica.slow_factor:g})"
+            else:
+                state = "up"
+            states.append(
+                f"{replica.replica_id}={state}"
+                f" served={replica.served} timeouts={replica.timeouts} hedges={replica.hedges}"
+            )
+        lines.append(f"{shard.shard_id:<8} {shard.documents:>6} {shard.chunks:>7}  {'; '.join(states)}")
+    health = "DEGRADED" if status.degraded else "healthy"
+    lines.append(f"cluster: {len(status.shards)} shards, {health}")
+    return "\n".join(lines)
+
+
+class ClusterSearcher:
+    """Hybrid search scattered over every shard of a cluster.
+
+    Drop-in for :class:`HybridSemanticSearch` at the engine boundary: the
+    same ``search(query, filters, ctx)`` signature and the same
+    :class:`HybridSearchConfig` semantics, plus :meth:`take_scatter_report`
+    for callers that surface degradation.
+
+    Args:
+        index: the sharded corpus.
+        reranker: applied once to the merged candidate set (required
+            unless ``config.use_reranker`` is False).
+        config: retrieval parameters (paper defaults).
+        cluster_config: serving parameters (deadlines, replicas, hedging).
+        clock: the deployment's simulated clock; replica health windows
+            (mark-down cooldowns) are evaluated against it.
+        profile: scoring profile forwarded to each shard's text leg.
+    """
+
+    def __init__(
+        self,
+        index: ShardedSearchIndex,
+        reranker: SemanticReranker | None = None,
+        config: HybridSearchConfig | None = None,
+        cluster_config: ClusterConfig | None = None,
+        clock: SimulatedClock | None = None,
+        profile: ScoringProfile | None = None,
+    ) -> None:
+        self.config = config or HybridSearchConfig()
+        if self.config.use_reranker and reranker is None:
+            raise ValueError("a reranker is required unless use_reranker=False")
+        self.cluster_config = cluster_config or ClusterConfig()
+        self._index = index
+        self._reranker = reranker
+        self._clock = clock if clock is not None else SimulatedClock()
+        self._profile = profile
+        self._groups: dict[int, ReplicaGroup] = {}
+        self._fulltext: dict[int, FullTextSearch] = {}
+        self._vector: dict[int, VectorSearch] = {}
+        self._query_counter = 0
+        self._last_report: ScatterReport | None = None
+        self._sync_topology()
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def index(self) -> ShardedSearchIndex:
+        """The underlying sharded index."""
+        return self._index
+
+    def _sync_topology(self) -> None:
+        """Align replica groups and executors with the current shard set."""
+        current = set(self._index.shard_ids)
+        for shard_id in list(self._groups):
+            if shard_id not in current:
+                del self._groups[shard_id]
+                self._fulltext.pop(shard_id, None)
+                self._vector.pop(shard_id, None)
+        for shard_id in self._index.shard_ids:
+            if shard_id not in self._groups:
+                self._groups[shard_id] = ReplicaGroup.build(shard_id, self.cluster_config)
+                view = self._index.search_view(shard_id)
+                self._fulltext[shard_id] = FullTextSearch(view, profile=self._profile)
+                self._vector[shard_id] = VectorSearch(self._index.shard_index(shard_id))
+
+    def replicas(self, shard_id: int) -> list[Replica]:
+        """The replica group of *shard_id* (fault injection entry point)."""
+        self._sync_topology()
+        return list(self._groups[shard_id].replicas)
+
+    # -- serving -----------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
+    ) -> list[RetrievedChunk]:
+        """Scatter *query* to every shard, gather, fuse and rerank.
+
+        Shards that miss their deadline are dropped from the merge; call
+        :meth:`take_scatter_report` afterwards to learn whether (and
+        where) the result is partial.
+        """
+        ctx = ctx or null_context()
+        self._sync_topology()
+        config = self.config
+        self._query_counter += 1
+        turn = self._query_counter - 1
+
+        query_vector = None
+        if config.mode in ("hybrid", "vector"):
+            with ctx.trace.span(spans.STAGE_EMBED_QUERY, query_chars=len(query)):
+                query_vector = self._index.embedder.embed(query)
+
+        text_candidates: list[RetrievedChunk] = []
+        vector_candidates: dict[str, list[RetrievedChunk]] = {
+            name: [] for name in self._index.schema.vector_fields
+        }
+        probes: list[ShardProbe] = []
+        now = self._clock.now()
+        with ctx.trace.span(spans.STAGE_SCATTER, shards=self._index.num_shards) as scatter:
+            for shard_id in self._index.shard_ids:
+                probe = self._probe_shard(shard_id, query, turn, now)
+                probes.append(probe)
+                with ctx.trace.span(spans.shard_stage(shard_id)) as span:
+                    gathered = 0
+                    if probe.ok:
+                        # The shard legs run with a null context: in a real
+                        # deployment they execute remotely and in parallel,
+                        # so their latency is the replica's simulated
+                        # service time (charged at the gather barrier), not
+                        # a serial sum of local stage costs.
+                        if config.mode in ("hybrid", "text"):
+                            leg = self._fulltext[shard_id].search(
+                                query, n=config.text_n, filters=filters, ctx=None
+                            )
+                            text_candidates.extend(leg)
+                            gathered += len(leg)
+                        if query_vector is not None:
+                            legs = self._vector[shard_id].search_by_vector(
+                                query_vector, k=config.vector_k, filters=filters, ctx=None
+                            )
+                            for field_name, leg in legs.items():
+                                vector_candidates[field_name].extend(leg)
+                                gathered += len(leg)
+                    span.annotate(
+                        replica=probe.replica_id,
+                        ok=probe.ok,
+                        hedged=probe.hedged,
+                        attempts=probe.attempts,
+                        latency_ms=round(probe.latency * 1000.0, 3),
+                        results=gathered,
+                    )
+            scatter.set("failed", sum(1 for probe in probes if not probe.ok))
+        report = ScatterReport(probes=tuple(probes))
+        self._last_report = report
+        with ctx.trace.span(spans.STAGE_SCATTER_WAIT, wait=report.max_latency):
+            pass
+
+        rankings = self._merge(text_candidates, vector_candidates)
+        return self._fuse_and_rerank(query, rankings, ctx)
+
+    def take_scatter_report(self) -> ScatterReport | None:
+        """The report of the most recent :meth:`search`; clears it."""
+        report = self._last_report
+        self._last_report = None
+        return report
+
+    def _merge(
+        self,
+        text_candidates: list[RetrievedChunk],
+        vector_candidates: dict[str, list[RetrievedChunk]],
+    ) -> dict[str, list[RetrievedChunk]]:
+        """Merge per-shard leg results into single-index-equivalent rankings.
+
+        Scores are globally comparable (global BM25 statistics, one shared
+        embedding space), so merging is a sort; ties break on the global
+        insertion ordinal, reproducing the single index's internal-id tie
+        order.
+        """
+        config = self.config
+        ordinal = self._index.ordinal
+        rankings: dict[str, list[RetrievedChunk]] = {}
+        if config.mode in ("hybrid", "text"):
+            text_candidates.sort(key=lambda r: (-r.score, ordinal(r.record.chunk_id)))
+            rankings["text"] = text_candidates[: config.text_n]
+        if config.mode in ("hybrid", "vector"):
+            for field_name, candidates in vector_candidates.items():
+                candidates.sort(key=lambda r: (-r.score, ordinal(r.record.chunk_id)))
+                rankings[f"vector_{field_name}"] = candidates[: config.vector_k]
+        return rankings
+
+    def _fuse_and_rerank(
+        self,
+        query: str,
+        rankings: dict[str, list[RetrievedChunk]],
+        ctx: RequestContext,
+    ) -> list[RetrievedChunk]:
+        """The same fuse → rerank → truncate tail as HybridSemanticSearch."""
+        config = self.config
+        with ctx.trace.span(
+            spans.STAGE_FUSION,
+            sources=len(rankings),
+            candidates=sum(len(ranking) for ranking in rankings.values()),
+        ) as span:
+            fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
+            span.set("results", len(fused))
+        if config.use_reranker and self._reranker is not None:
+            fused = self._reranker.rerank(query, fused, ctx=ctx)
+        return fused[: config.final_n]
+
+    # -- replica selection -------------------------------------------------
+
+    def _probe_shard(self, shard_id: int, query: str, turn: int, now: float) -> ShardProbe:
+        """Pick replicas for one shard and decide whether it makes deadline.
+
+        The primary rotates round-robin per query.  Dead and marked-down
+        replicas are skipped up front (fail-fast).  When the primary has
+        not answered after ``hedge_latency`` a hedged retry goes to the
+        next candidate; the shard's latency is then the earlier of the two
+        responses.  A shard that still exceeds ``shard_deadline`` times
+        out: the query degrades to partial results, and the slow replicas'
+        health records take a consecutive-timeout hit (enough hits mark a
+        replica down for ``down_cooldown`` simulated seconds).
+        """
+        config = self.cluster_config
+        deadline = config.shard_deadline
+        hedge_at = config.hedge_latency
+        group = self._groups[shard_id]
+        candidates = [
+            replica
+            for replica in group.rotation(turn)
+            if replica.alive and not replica.marked_down(now)
+        ]
+        if not candidates:
+            return ShardProbe(
+                shard_id=shard_id,
+                replica_id="",
+                latency=deadline,
+                ok=False,
+                attempts=0,
+                timed_out=True,
+            )
+
+        primary = candidates[0]
+        primary_latency = primary.service_time(query)
+        if primary_latency <= hedge_at:
+            primary.record_success()
+            return ShardProbe(
+                shard_id=shard_id,
+                replica_id=primary.replica_id,
+                latency=primary_latency,
+                ok=True,
+            )
+
+        sibling = candidates[1] if len(candidates) > 1 else None
+        if sibling is None:
+            # Nobody to hedge to: the primary either makes the deadline
+            # alone or the shard degrades.
+            if primary_latency <= deadline:
+                primary.record_success()
+                return ShardProbe(
+                    shard_id=shard_id,
+                    replica_id=primary.replica_id,
+                    latency=primary_latency,
+                    ok=True,
+                )
+            primary.record_timeout(now, config)
+            return ShardProbe(
+                shard_id=shard_id,
+                replica_id="",
+                latency=deadline,
+                ok=False,
+                timed_out=True,
+            )
+
+        primary.record_hedge()
+        sibling_latency = hedge_at + sibling.service_time(query)
+        winner, winner_latency = (
+            (primary, primary_latency)
+            if primary_latency <= sibling_latency
+            else (sibling, sibling_latency)
+        )
+        if winner_latency <= deadline:
+            winner.record_success()
+            if primary_latency > deadline:
+                primary.record_timeout(now, config)
+            return ShardProbe(
+                shard_id=shard_id,
+                replica_id=winner.replica_id,
+                latency=winner_latency,
+                ok=True,
+                hedged=True,
+                attempts=2,
+            )
+        primary.record_timeout(now, config)
+        if sibling_latency > deadline:
+            sibling.record_timeout(now, config)
+        return ShardProbe(
+            shard_id=shard_id,
+            replica_id="",
+            latency=deadline,
+            ok=False,
+            hedged=True,
+            attempts=2,
+            timed_out=True,
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def status(self) -> ClusterStatus:
+        """A point-in-time snapshot of shard sizes and replica health."""
+        self._sync_topology()
+        now = self._clock.now()
+        shards = []
+        for shard_id in self._index.shard_ids:
+            shard = self._index.shard_index(shard_id)
+            group = self._groups[shard_id]
+            shards.append(
+                ShardStatus(
+                    shard_id=shard_id,
+                    documents=shard.document_count,
+                    chunks=len(shard),
+                    replicas=tuple(
+                        ReplicaStatus(
+                            replica_id=replica.replica_id,
+                            alive=replica.alive,
+                            slow_factor=replica.slow_factor,
+                            marked_down=replica.marked_down(now),
+                            served=replica.health.served,
+                            timeouts=replica.health.timeouts,
+                            hedges=replica.health.hedges,
+                        )
+                        for replica in group.replicas
+                    ),
+                )
+            )
+        return ClusterStatus(shards=tuple(shards))

@@ -1,0 +1,330 @@
+"""A corpus partitioned over several :class:`SearchIndex` shards.
+
+:class:`ShardedSearchIndex` presents the same write surface as a single
+:class:`~repro.search.index.SearchIndex` (``add_chunk`` / ``add_chunks`` /
+``delete_document`` / ``__len__`` / ``vacuum``), so the ingestion and
+indexing services drive it unchanged, while routing every document to the
+shard chosen by the :class:`~repro.cluster.planner.ShardPlanner`.
+
+Two pieces make scatter-gather retrieval rank *exactly* like one big index:
+
+* **Global collection statistics.**  BM25 scores depend on the document
+  count, per-term document frequencies and the average document length of
+  the collection.  Scored per shard with local statistics those numbers
+  diverge from the single-index scores, and rankings merged across shards
+  stop being comparable.  :class:`_GlobalStatsInverted` is a view over one
+  shard's postings that answers the statistics queries with cluster-wide
+  aggregates (summed as exact integers — a mean of per-shard means would
+  already differ in the last float bit), so every shard scores against the
+  same global numbers the single index would use.
+
+* **Global insertion ordinals.**  A single index breaks score ties by
+  insertion order of its internal ids.  The facade assigns every chunk a
+  monotonically increasing *ordinal* at ``add_chunk`` time; the router
+  merges per-shard rankings with ``(-score, ordinal)``, reproducing the
+  single-index tie order.  (After live resharding the per-shard local
+  order may no longer embed into the ordinal order, so exact tie
+  equivalence is guaranteed for clusters built by insertion, not for
+  arbitrarily migrated ones.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.cluster.planner import ShardPlanner
+from repro.embeddings.model import EmbeddingModel
+from repro.search.index import SearchIndex
+from repro.search.inverted import InvertedIndex
+from repro.search.schema import ChunkRecord, IndexSchema, uniask_schema
+from repro.text.analyzer import ItalianAnalyzer
+
+#: Ordinal reported for chunks the facade has never seen (sorts last).
+UNKNOWN_ORDINAL = 2**62
+
+
+class _GlobalStatsInverted:
+    """One shard's postings scored against cluster-wide BM25 statistics.
+
+    Postings, document lengths and query analysis are local to the shard;
+    ``len()``, ``document_frequency`` and ``average_length`` aggregate over
+    every shard, which is exactly the split a distributed BM25 needs: term
+    walks stay shard-local, collection statistics are global.
+    """
+
+    def __init__(self, cluster: "ShardedSearchIndex", field_name: str, local: InvertedIndex) -> None:
+        self._cluster = cluster
+        self._field_name = field_name
+        self._local = local
+
+    def _field_indexes(self) -> list[InvertedIndex]:
+        return [
+            self._cluster.shard_index(shard_id).inverted_index(self._field_name)
+            for shard_id in self._cluster.shard_ids
+        ]
+
+    # -- global collection statistics --------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self._field_indexes())
+
+    def document_frequency(self, term: str) -> int:
+        return sum(index.document_frequency(term) for index in self._field_indexes())
+
+    @property
+    def average_length(self) -> float:
+        indexes = self._field_indexes()
+        documents = sum(len(index) for index in indexes)
+        if documents == 0:
+            return 0.0
+        return sum(index.total_length for index in indexes) / documents
+
+    # -- shard-local postings ----------------------------------------------
+
+    def postings(self, term: str) -> dict[int, int]:
+        return self._local.postings(term)
+
+    def document_length(self, doc_id: int) -> int:
+        return self._local.document_length(doc_id)
+
+    def analyze_query(self, query: str) -> list[str]:
+        return self._local.analyze_query(query)
+
+
+class _ShardSearchView:
+    """A :class:`SearchIndex` facade over one shard for the query executors.
+
+    Identical to the shard's own index except that ``inverted_index``
+    returns the global-statistics view, so a ``FullTextSearch`` built on
+    this view produces BM25 scores bit-identical to a single global index.
+    """
+
+    def __init__(self, cluster: "ShardedSearchIndex", shard_id: int) -> None:
+        self._cluster = cluster
+        self._shard_id = shard_id
+        self._shard = cluster.shard_index(shard_id)
+        self.schema = self._shard.schema
+        self.embedder = self._shard.embedder
+
+    @property
+    def shard_id(self) -> int:
+        """The shard this view reads from."""
+        return self._shard_id
+
+    def inverted_index(self, field_name: str) -> _GlobalStatsInverted:
+        return _GlobalStatsInverted(
+            self._cluster, field_name, self._shard.inverted_index(field_name)
+        )
+
+    def is_live(self, internal: int) -> bool:
+        return self._shard.is_live(internal)
+
+    def matches_filters(self, internal: int, filters: dict[str, str] | None) -> bool:
+        return self._shard.matches_filters(internal, filters)
+
+    def record(self, internal: int) -> ChunkRecord:
+        return self._shard.record(internal)
+
+    def vector_search(
+        self, field_name: str, query_vector: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        return self._shard.vector_search(field_name, query_vector, k)
+
+
+class ShardedSearchIndex:
+    """N per-shard :class:`SearchIndex` instances behind one write surface.
+
+    Args:
+        embedder: embedding model shared by every shard.
+        schema: field definitions; defaults to the UniAsk production schema.
+        num_shards: shards to create (ignored when *planner* or
+            *shard_indexes* is given).
+        planner: reuse an existing placement ring (restores a persisted
+            cluster); defaults to a fresh ``num_shards``-shard ring.
+        shard_indexes: pre-built ``shard_id -> SearchIndex`` map (the load
+            path); must cover exactly the planner's shard ids.
+        Remaining arguments mirror :class:`SearchIndex` and are applied to
+        every shard (existing and future).
+    """
+
+    def __init__(
+        self,
+        embedder: EmbeddingModel,
+        schema: IndexSchema | None = None,
+        num_shards: int = 2,
+        ann_backend: str = "hnsw",
+        hnsw_m: int = 16,
+        hnsw_ef_construction: int = 100,
+        hnsw_ef_search: int = 80,
+        seed: int = 42,
+        analyzer: ItalianAnalyzer | None = None,
+        planner: ShardPlanner | None = None,
+        vnodes: int = 64,
+        shard_indexes: dict[int, SearchIndex] | None = None,
+    ) -> None:
+        self.schema = schema or uniask_schema()
+        self.embedder = embedder
+        self._index_kwargs = dict(
+            ann_backend=ann_backend,
+            hnsw_m=hnsw_m,
+            hnsw_ef_construction=hnsw_ef_construction,
+            hnsw_ef_search=hnsw_ef_search,
+            seed=seed,
+            analyzer=analyzer,
+        )
+        if planner is not None:
+            self._planner = planner
+        elif shard_indexes is not None:
+            self._planner = ShardPlanner(shard_ids=sorted(shard_indexes), vnodes=vnodes)
+        else:
+            self._planner = ShardPlanner(num_shards=num_shards, vnodes=vnodes)
+
+        if shard_indexes is not None:
+            if set(shard_indexes) != set(self._planner.shard_ids):
+                raise ValueError("shard_indexes must cover exactly the planner's shards")
+            self._shards = dict(shard_indexes)
+        else:
+            self._shards = {
+                shard_id: self._new_shard_index() for shard_id in self._planner.shard_ids
+            }
+
+        self._ordinals: dict[str, int] = {}
+        self._next_ordinal = 0
+
+    def _new_shard_index(self) -> SearchIndex:
+        return SearchIndex(self.embedder, schema=self.schema, **self._index_kwargs)
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def planner(self) -> ShardPlanner:
+        """The document-placement ring."""
+        return self._planner
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """All shard ids, in creation order."""
+        return self._planner.shard_ids
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return self._planner.num_shards
+
+    def shard_index(self, shard_id: int) -> SearchIndex:
+        """The :class:`SearchIndex` of shard *shard_id*."""
+        return self._shards[shard_id]
+
+    def search_view(self, shard_id: int) -> _ShardSearchView:
+        """A query-executor facade of *shard_id* with global BM25 stats."""
+        return _ShardSearchView(self, shard_id)
+
+    def add_shard(self) -> int:
+        """Grow the ring by one shard and migrate the documents it now owns."""
+        shard_id = self._planner.add_shard()
+        self._shards[shard_id] = self._new_shard_index()
+        self._migrate()
+        return shard_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Drain *shard_id*'s documents to the survivors and drop the shard."""
+        if shard_id not in self._shards:
+            raise KeyError(f"unknown shard {shard_id}")
+        self._planner.remove_shard(shard_id)
+        doomed = self._shards.pop(shard_id)
+        self._migrate(extra_sources={shard_id: doomed})
+
+    def _migrate(self, extra_sources: dict[int, SearchIndex] | None = None) -> int:
+        """Re-place documents whose ring owner changed; returns chunks moved.
+
+        Moved chunks keep their global ordinal, so merged rankings remain
+        stable for the unmoved majority of the corpus.
+        """
+        sources = dict(self._shards)
+        sources.update(extra_sources or {})
+        moved_chunks = 0
+        for source_id, source in sources.items():
+            stale: dict[str, list[ChunkRecord]] = {}
+            for internal in source.live_internals():
+                record = source.record(internal)
+                if self._planner.assign(record.doc_id) != source_id:
+                    stale.setdefault(record.doc_id, []).append(record)
+            for doc_id, records in stale.items():
+                target = self._shards[self._planner.assign(doc_id)]
+                source.delete_document(doc_id)
+                # Keep a shard's local insertion order aligned with the
+                # global ordinals as far as possible.
+                for record in sorted(records, key=lambda r: self.ordinal(r.chunk_id)):
+                    target.add_chunk(record)
+                    moved_chunks += 1
+        return moved_chunks
+
+    # -- sizing ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    @property
+    def document_count(self) -> int:
+        """Number of live source documents across all shards."""
+        return sum(shard.document_count for shard in self._shards.values())
+
+    # -- writes ------------------------------------------------------------
+
+    def add_chunk(self, record: ChunkRecord, vectors: dict[str, np.ndarray] | None = None) -> int:
+        """Index one chunk on its planner-assigned shard.
+
+        Returns the chunk's shard-local internal id.  Also stamps the
+        chunk's global insertion ordinal (re-adding an existing chunk id
+        stamps a fresh one, mirroring the fresh internal id a single index
+        would assign).
+        """
+        shard_id = self._planner.assign(record.doc_id)
+        internal = self._shards[shard_id].add_chunk(record, vectors=vectors)
+        self._ordinals[record.chunk_id] = self._next_ordinal
+        self._next_ordinal += 1
+        return internal
+
+    def add_chunks(self, records: Iterable[ChunkRecord]) -> list[int]:
+        """Index many chunks; returns their shard-local internal ids."""
+        return [self.add_chunk(record) for record in records]
+
+    def delete_document(self, doc_id: str) -> int:
+        """Tombstone every chunk of *doc_id* on its shard."""
+        return self._shards[self._planner.assign(doc_id)].delete_document(doc_id)
+
+    def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
+        """Vacuum every shard; True when any shard rebuilt its graphs."""
+        rebuilt = False
+        for shard in self._shards.values():
+            rebuilt = shard.vacuum(max_tombstone_ratio) or rebuilt
+        return rebuilt
+
+    # -- global ordering ---------------------------------------------------
+
+    def ordinal(self, chunk_id: str) -> int:
+        """Global insertion ordinal of *chunk_id* (unknown chunks sort last)."""
+        return self._ordinals.get(chunk_id, UNKNOWN_ORDINAL)
+
+    def live_ordinals(self) -> dict[str, int]:
+        """``chunk_id -> ordinal`` for every live chunk (persistence)."""
+        live: dict[str, int] = {}
+        for shard in self._shards.values():
+            for internal in shard.live_internals():
+                chunk_id = shard.record(internal).chunk_id
+                live[chunk_id] = self._ordinals.get(chunk_id, UNKNOWN_ORDINAL)
+        return live
+
+    @property
+    def next_ordinal(self) -> int:
+        """The ordinal the next added chunk will receive."""
+        return self._next_ordinal
+
+    def restore_ordinals(self, ordinals: dict[str, int], next_ordinal: int) -> None:
+        """Overwrite the ordinal table (the persistence load path)."""
+        if ordinals and next_ordinal <= max(ordinals.values()):
+            raise ValueError("next_ordinal must exceed every restored ordinal")
+        self._ordinals = dict(ordinals)
+        self._next_ordinal = next_ordinal

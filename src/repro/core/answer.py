@@ -61,6 +61,10 @@ class UniAskAnswer:
         response_time: simulated seconds spent serving the query.
         trace: the per-stage request trace (None unless the caller asked
             for tracing via a :class:`~repro.obs.trace.RequestContext`).
+        partial_results: True when the query was served by a degraded
+            cluster — at least one shard missed its deadline, so
+            ``documents`` covers only the shards that answered (single-index
+            deployments never set this).
     """
 
     question: str
@@ -73,6 +77,7 @@ class UniAskAnswer:
     guardrail_report: GuardrailReport | None = None
     response_time: float = 0.0
     trace: Trace | None = None
+    partial_results: bool = False
 
     @property
     def answered(self) -> bool:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
 from repro.search.hybrid import HybridSearchConfig
 
@@ -29,5 +30,6 @@ class UniAskConfig:
 
     retrieval: HybridSearchConfig = field(default_factory=HybridSearchConfig)
     generation: GenerationConfig = field(default_factory=GenerationConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

@@ -70,11 +70,22 @@ class UniAskEngine:
         self._llm = llm
         self._guardrails = guardrails or GuardrailPipeline()
         self._content_filter = content_filter or ContentFilter()
+        self._last_scatter = None
 
     @property
     def searcher(self) -> HybridSemanticSearch:
-        """The retrieval module."""
+        """The retrieval module (a ClusterSearcher in sharded deployments)."""
         return self._searcher
+
+    @property
+    def last_scatter_report(self):
+        """The cluster scatter report of the most recent :meth:`ask`.
+
+        None for single-index deployments, and until the first question.
+        Kept until the next ask so the service layer can feed per-shard
+        probe outcomes to monitoring after the answer returns.
+        """
+        return self._last_scatter
 
     def ask(
         self,
@@ -90,9 +101,12 @@ class UniAskEngine:
         """
         ctx = ctx or null_context()
         trace = ctx.trace
+        self._last_scatter = None
         with trace.span(spans.STAGE_ASK, question_chars=len(question)) as root:
             answer = self._ask_staged(question, filters, ctx)
             root.set("outcome", answer.outcome)
+        if self._last_scatter is not None and self._last_scatter.partial:
+            answer = replace(answer, partial_results=True)
         if trace.enabled:
             answer = replace(answer, trace=trace)
         return answer
@@ -173,10 +187,22 @@ class UniAskEngine:
     def _retrieve(
         self, question: str, filters: dict[str, str] | None, ctx: RequestContext
     ) -> list[RetrievedChunk]:
-        """Stage 2: hybrid retrieval with semantic reranking."""
+        """Stage 2: hybrid retrieval with semantic reranking.
+
+        Clustered searchers additionally report per-shard probe outcomes;
+        a degraded scatter (some shard missed its deadline) marks the final
+        answer as partial instead of failing the request.
+        """
         with ctx.trace.span(spans.STAGE_RETRIEVAL) as span:
             documents = self._searcher.search(question, filters=filters, ctx=ctx)
             span.set("results", len(documents))
+            take_report = getattr(self._searcher, "take_scatter_report", None)
+            if take_report is not None:
+                report = take_report()
+                self._last_scatter = report
+                if report is not None:
+                    span.set("partial", report.partial)
+                    span.set("shards", len(report.probes))
         return documents
 
     def _generate(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.router import ClusterSearcher
+from repro.cluster.sharded_index import ShardedSearchIndex
 from repro.core.config import UniAskConfig
 from repro.core.engine import UniAskEngine
 from repro.embeddings.cache import CachingEmbedder
@@ -37,11 +39,18 @@ from repro.search.schema import uniask_schema
 
 @dataclass
 class UniAskSystem:
-    """A fully wired deployment with handles to every component."""
+    """A fully wired deployment with handles to every component.
+
+    ``index`` is a :class:`SearchIndex` in single-index deployments and a
+    :class:`~repro.cluster.sharded_index.ShardedSearchIndex` when
+    ``config.cluster.shards > 1`` (both expose the same write surface);
+    ``cluster`` holds the scatter-gather router in the sharded case and is
+    None otherwise.
+    """
 
     engine: UniAskEngine
-    searcher: HybridSemanticSearch
-    index: SearchIndex
+    searcher: HybridSemanticSearch | ClusterSearcher
+    index: SearchIndex | ShardedSearchIndex
     store: KnowledgeBaseStore
     clock: SimulatedClock
     queue: MessageQueue
@@ -50,6 +59,7 @@ class UniAskSystem:
     llm: SimulatedChatLLM
     embedder: CachingEmbedder
     lexicon: ConceptLexicon
+    cluster: ClusterSearcher | None = None
     config: UniAskConfig = field(default_factory=UniAskConfig)
 
     def refresh(self) -> None:
@@ -109,10 +119,18 @@ def build_uniask_system(
         SyntheticAdaEmbedder(lexicon, dim=embedding_dim, seed=seed, analyzer=form_analyzer)
     )
     schema = uniask_schema(include_llm_keywords=keyword_variant != "none")
-    index = SearchIndex(
-        embedder=embedder, schema=schema, ann_backend=ann_backend, seed=seed,
-        analyzer=index_analyzer,
-    )
+    clustered = config.cluster.shards > 1
+    if clustered:
+        index = ShardedSearchIndex(
+            embedder=embedder, schema=schema, num_shards=config.cluster.shards,
+            ann_backend=ann_backend, seed=seed, analyzer=index_analyzer,
+            vnodes=config.cluster.vnodes,
+        )
+    else:
+        index = SearchIndex(
+            embedder=embedder, schema=schema, ann_backend=ann_backend, seed=seed,
+            analyzer=index_analyzer,
+        )
 
     llm = SimulatedChatLLM(lexicon, seed=seed, language=language)
     enricher = MetadataEnricher(llm, keyword_variant=keyword_variant)
@@ -120,7 +138,16 @@ def build_uniask_system(
     indexing = IndexingService(store, queue, index, enricher=enricher)
 
     reranker = SemanticReranker(lexicon, analyzer=index_analyzer)
-    searcher = HybridSemanticSearch(index, reranker=reranker, config=config.retrieval)
+    if clustered:
+        searcher = ClusterSearcher(
+            index,
+            reranker=reranker,
+            config=config.retrieval,
+            cluster_config=config.cluster,
+            clock=clock,
+        )
+    else:
+        searcher = HybridSemanticSearch(index, reranker=reranker, config=config.retrieval)
 
     guardrails = GuardrailPipeline(
         [CitationGuardrail(), RougeGuardrail(config.rouge_threshold), ClarificationGuardrail()]
@@ -145,6 +172,7 @@ def build_uniask_system(
         llm=llm,
         embedder=embedder,
         lexicon=lexicon,
+        cluster=searcher if clustered else None,
         config=config,
     )
     if ingest_now:

@@ -26,6 +26,25 @@ Multi-query retrieval (MQ1) additionally records one ``subquery`` span per
 generated query (attribute ``cached=True`` when a duplicate query reused
 the per-query ranking already recorded in the trace) and a final top-level
 ``fusion`` span.
+
+Clustered retrieval (``repro.cluster``) replaces the per-index search
+stages with a scatter-gather block under ``retrieval``::
+
+    retrieval
+      embed_query
+      scatter
+        shard_0
+        shard_1
+        ...
+      scatter_wait
+      fusion
+      rerank
+
+Each ``shard_<i>`` span is a leaf carrying the replica that served the
+shard, the simulated replica latency, and whether a hedged retry fired;
+``scatter_wait`` models the barrier of the parallel fan-out (its cost is
+the *maximum* replica latency, not the sum, because shards are queried
+concurrently in a real deployment).
 """
 
 from __future__ import annotations
@@ -72,10 +91,24 @@ GUARDRAIL_STAGE_PREFIX = "guardrail_"
 #: Citation resolution of the accepted answer.
 STAGE_CITATIONS = "citations"
 
+#: Scatter of the query legs across all shards (parent of the shard spans).
+STAGE_SCATTER = "scatter"
+
+#: Prefix of the per-shard scatter spans (``shard_0`` …).
+SHARD_STAGE_PREFIX = "shard_"
+
+#: The gather barrier: waiting for the slowest successful shard replica.
+STAGE_SCATTER_WAIT = "scatter_wait"
+
 
 def vector_stage(field_name: str) -> str:
     """Span name of the ANN search over *field_name*."""
     return f"{VECTOR_STAGE_PREFIX}{field_name}"
+
+
+def shard_stage(shard_id: int | str) -> str:
+    """Span name of the scatter leg sent to shard *shard_id*."""
+    return f"{SHARD_STAGE_PREFIX}{shard_id}"
 
 
 def guardrail_stage(guardrail_name: str) -> str:

@@ -36,6 +36,16 @@ class InvertedIndex:
         return len(self._postings)
 
     @property
+    def total_length(self) -> int:
+        """Summed analyzed length of all indexed documents.
+
+        Exposed (as an exact integer) so that distributed deployments can
+        aggregate collection statistics across shards without the rounding
+        error a mean-of-means would introduce.
+        """
+        return self._total_length
+
+    @property
     def average_length(self) -> float:
         """Mean analyzed length of indexed documents (0 when empty)."""
         if not self._doc_lengths:

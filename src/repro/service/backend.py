@@ -56,6 +56,13 @@ class QueryRecord:
     trace: Trace | None = None
 
 
+#: Modeled seconds charged to any leaf span without a dedicated branch
+#: below.  A tiny but non-zero floor: every real stage costs *something*,
+#: and a silent 0.0 for a newly added span name would under-report that
+#: stage on the dashboard forever.
+DEFAULT_LEAF_COST = 0.0005
+
+
 class StageLatencyModel:
     """Deterministic per-stage latency attribution for traced requests.
 
@@ -66,6 +73,12 @@ class StageLatencyModel:
     input/output sizes.  Span durations therefore stay deterministic (no
     wall-clock reads) while still reflecting where simulated time goes —
     the LLM call dominates, exactly as in the deployed system.
+
+    Clustered retrieval models a *parallel* fan-out: each ``shard_<i>``
+    leaf costs only its dispatch overhead, and the gather barrier is
+    charged once on ``scatter_wait`` as the maximum replica latency
+    (carried on the span's ``wait`` attribute) — not the serial sum of the
+    per-shard latencies.
     """
 
     def __init__(self, base_latency: float = 0.4, seconds_per_kilo_token: float = 1.1) -> None:
@@ -88,6 +101,8 @@ class StageLatencyModel:
             return 0.001
         if name == spans.STAGE_RERANK:
             return 0.002 + 0.0005 * int(attrs.get("candidates", 0))
+        if name == spans.STAGE_SUBQUERY:
+            return DEFAULT_LEAF_COST
         if name == spans.STAGE_PROMPT_BUILD:
             return 0.0005
         if name == spans.STAGE_LLM:
@@ -97,7 +112,13 @@ class StageLatencyModel:
             return 0.001
         if name == spans.STAGE_CITATIONS:
             return 0.0005
-        return 0.0
+        if name.startswith(spans.SHARD_STAGE_PREFIX):
+            return 0.0005  # dispatch only; shards are queried in parallel
+        if name == spans.STAGE_SCATTER_WAIT:
+            return 0.0005 + float(attrs.get("wait", 0.0))
+        # Aggregate spans cost nothing themselves; any other *leaf* span is
+        # work and gets the default floor.
+        return DEFAULT_LEAF_COST if span.is_leaf else 0.0
 
 
 class BackendService:
@@ -124,6 +145,9 @@ class BackendService:
         self._seconds_per_kilo_token = seconds_per_kilo_token
         self._latency_jitter = latency_jitter
         self._rng = random.Random(seed)
+        # Separate stream for session tokens so that issuing a login never
+        # shifts the latency-jitter draw sequence of served queries.
+        self._token_rng = random.Random(seed ^ 0xA5A5_5A5A)
         self._query_counter = 0
         self._tracing = tracing
         self._stage_model = StageLatencyModel(base_latency, seconds_per_kilo_token)
@@ -131,10 +155,17 @@ class BackendService:
     # -- endpoints ------------------------------------------------------------
 
     def login(self, user_id: str, role: str = ROLE_EMPLOYEE) -> str:
-        """Authenticate *user_id* with *role*; returns a session token."""
+        """Authenticate *user_id* with *role*; returns a session token.
+
+        Tokens are 128-bit random hex, never derived from the user id or
+        the session count: a guessable token (``session-<user>-<n>``)
+        would let anyone who knows a colleague's id hijack their session.
+        The draw comes from a dedicated seeded stream, so simulations stay
+        reproducible without weakening the token space.
+        """
         if role not in (ROLE_EMPLOYEE, ROLE_OPS):
             raise ValueError(f"unknown role {role!r}")
-        token = f"session-{user_id}-{len(self._sessions)}"
+        token = f"session-{self._token_rng.getrandbits(128):032x}"
         self._sessions[token] = (user_id, role)
         return token
 
@@ -142,6 +173,16 @@ class BackendService:
         """The monitoring dashboard — operations role only (least privilege)."""
         self._authorize(token, ROLE_OPS)
         return self.metrics.snapshot(bucket_seconds=bucket_seconds)
+
+    def cluster_status(self, token: str):
+        """Shard sizes and replica health — operations role only.
+
+        Returns a :class:`~repro.cluster.router.ClusterStatus`, or None
+        when the deployment serves from a single index.
+        """
+        self._authorize(token, ROLE_OPS)
+        status = getattr(self._engine.searcher, "status", None)
+        return status() if status is not None else None
 
     def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
         """Serve one question for an authenticated session.
@@ -185,7 +226,19 @@ class BackendService:
             outcome=answer.outcome,
             response_time=response_time,
             stages=trace.stage_durations() if trace is not None else None,
+            partial=answer.partial_results,
         )
+        scatter = self._engine.last_scatter_report
+        if scatter is not None:
+            for probe in scatter.probes:
+                self.metrics.record_shard_probe(
+                    timestamp=record.served_at,
+                    shard_id=probe.shard_id,
+                    replica_id=probe.replica_id,
+                    latency=probe.latency,
+                    ok=probe.ok,
+                    hedged=probe.hedged,
+                )
         return record
 
     def feedback(self, token: str, feedback: GranularFeedback) -> None:

@@ -122,6 +122,125 @@ def run_load_test(config: LoadTestConfig | None = None) -> LoadTestReport:
     )
 
 
+@dataclass(frozen=True)
+class ClusterLoadTestConfig:
+    """A fault-injecting load scenario against a sharded retrieval cluster.
+
+    Replays the same ramping open-system arrival process as the Figure 2
+    LLM test, but against a :class:`~repro.cluster.router.ClusterSearcher`,
+    optionally killing (and later reviving) the replicas of one shard
+    mid-run to measure graceful degradation instead of throughput.
+    """
+
+    duration_seconds: float = 120.0
+    initial_rate: float = 0.5  # queries per second at t=0
+    target_rate: float = 2.0  # queries per second at t=duration
+    kill_at: float | None = None  # simulated second to kill replicas (None: never)
+    kill_shard: int = 0
+    kill_all_replicas: bool = True  # False kills only the first replica
+    revive_at: float | None = None  # simulated second to revive them (None: never)
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.initial_rate < 0 or self.target_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if self.kill_at is not None and self.kill_at < 0:
+            raise ValueError("kill_at must be non-negative")
+        if (
+            self.revive_at is not None
+            and self.kill_at is not None
+            and self.revive_at < self.kill_at
+        ):
+            raise ValueError("revive_at must not precede kill_at")
+
+
+@dataclass(frozen=True)
+class ClusterLoadTestReport:
+    """Degradation report of one cluster load scenario."""
+
+    total_queries: int
+    partial_queries: int
+    hedged_queries: int
+    shard_latency_p95: float
+    partial_per_minute: list[int] = field(default_factory=list)
+
+    @property
+    def partial_rate(self) -> float:
+        """Partial / total."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.partial_queries / self.total_queries
+
+
+def run_cluster_load_test(
+    searcher,
+    clock,
+    queries: list[str],
+    config: ClusterLoadTestConfig | None = None,
+) -> ClusterLoadTestReport:
+    """Drive *searcher* through an arrival process with fault injection.
+
+    *queries* are cycled through the arrival instants; *clock* must be the
+    same simulated clock the searcher reads (replica mark-down windows are
+    evaluated against it).  Killed shards degrade queries to partial
+    results — they never raise — and the report counts how many queries
+    were affected while the shard was down.
+    """
+    from repro.service.monitoring import percentile
+
+    config = config or ClusterLoadTestConfig()
+    if not queries:
+        raise ValueError("at least one query is required")
+
+    arrivals = arrival_times(
+        LoadTestConfig(
+            duration_seconds=config.duration_seconds,
+            initial_rate=config.initial_rate,
+            target_rate=config.target_rate,
+        )
+    )
+    minutes = int(math.ceil(config.duration_seconds / 60.0))
+    partial_per_minute = [0] * minutes
+
+    killed: list = []
+    total = 0
+    partial = 0
+    hedged = 0
+    shard_latencies: list[float] = []
+    for i, t in enumerate(arrivals):
+        clock.advance_to(t)
+        if config.kill_at is not None and t >= config.kill_at and not killed:
+            replicas = searcher.replicas(config.kill_shard)
+            doomed = replicas if config.kill_all_replicas else replicas[:1]
+            for replica in doomed:
+                replica.kill()
+            killed = doomed
+        if config.revive_at is not None and killed and t >= config.revive_at:
+            for replica in killed:
+                replica.revive()
+            killed = []
+
+        searcher.search(queries[i % len(queries)])
+        report = searcher.take_scatter_report()
+        total += 1
+        if report is not None:
+            shard_latencies.extend(probe.latency for probe in report.probes)
+            if report.hedged:
+                hedged += 1
+            if report.partial:
+                partial += 1
+                partial_per_minute[min(int(t // 60.0), minutes - 1)] += 1
+
+    return ClusterLoadTestReport(
+        total_queries=total,
+        partial_queries=partial,
+        hedged_queries=hedged,
+        shard_latency_p95=percentile(shard_latencies, 95.0),
+        partial_per_minute=partial_per_minute,
+    )
+
+
 def recommended_token_rate_limit(
     report: LoadTestReport, config: LoadTestConfig, target_failure_rate: float = 0.01
 ) -> float:

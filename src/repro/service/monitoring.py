@@ -41,6 +41,8 @@ class QueryEvent:
 
     ``stages`` carries the per-stage durations of a traced request as
     ``(stage_name, seconds)`` pairs (empty for untraced requests).
+    ``partial`` marks a query served by a degraded cluster (some shard
+    missed its deadline and was dropped from the merge).
     """
 
     timestamp: float
@@ -49,6 +51,19 @@ class QueryEvent:
     response_time: float
     failed: bool = False
     stages: tuple[tuple[str, float], ...] = ()
+    partial: bool = False
+
+
+@dataclass(frozen=True)
+class ShardProbeEvent:
+    """One shard probe of a scatter-gather query, as logged by the backend."""
+
+    timestamp: float
+    shard_id: int
+    replica_id: str
+    latency: float
+    ok: bool
+    hedged: bool = False
 
 
 @dataclass(frozen=True)
@@ -70,6 +85,17 @@ class DashboardSnapshot:
     stage_p50: dict[str, float] = field(default_factory=dict)
     stage_p95: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    #: Cluster serving health (empty for single-index deployments):
+    #: queries answered from a degraded cluster, hedged shard probes,
+    #: per-shard latency percentiles keyed ``shard-<id>``, and success
+    #: fractions per shard and per replica.
+    partial_results: int = 0
+    hedged_requests: int = 0
+    shard_p50: dict[str, float] = field(default_factory=dict)
+    shard_p95: dict[str, float] = field(default_factory=dict)
+    shard_counts: dict[str, int] = field(default_factory=dict)
+    shard_health: dict[str, float] = field(default_factory=dict)
+    replica_health: dict[str, float] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -77,6 +103,7 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self._events: list[QueryEvent] = []
+        self._shard_probes: list[ShardProbeEvent] = []
         self._feedback_count = 0
 
     def record_query(
@@ -87,6 +114,7 @@ class MetricsCollector:
         response_time: float,
         failed: bool = False,
         stages: dict[str, float] | None = None,
+        partial: bool = False,
     ) -> None:
         """Log one served (or failed) query, with optional stage durations."""
         self._events.append(
@@ -97,6 +125,28 @@ class MetricsCollector:
                 response_time=response_time,
                 failed=failed,
                 stages=tuple(stages.items()) if stages else (),
+                partial=partial,
+            )
+        )
+
+    def record_shard_probe(
+        self,
+        timestamp: float,
+        shard_id: int,
+        replica_id: str,
+        latency: float,
+        ok: bool,
+        hedged: bool = False,
+    ) -> None:
+        """Log one shard probe of a scatter-gather query."""
+        self._shard_probes.append(
+            ShardProbeEvent(
+                timestamp=timestamp,
+                shard_id=shard_id,
+                replica_id=replica_id,
+                latency=latency,
+                ok=ok,
+                hedged=hedged,
             )
         )
 
@@ -108,6 +158,11 @@ class MetricsCollector:
     def events(self) -> list[QueryEvent]:
         """All logged query events."""
         return list(self._events)
+
+    @property
+    def shard_probes(self) -> list[ShardProbeEvent]:
+        """All logged shard probes."""
+        return list(self._shard_probes)
 
     def snapshot(self, bucket_seconds: float = 60.0) -> DashboardSnapshot:
         """Aggregate everything logged so far into one dashboard page."""
@@ -153,6 +208,16 @@ class MetricsCollector:
         stage_p95 = {stage: percentile(values, 95.0) for stage, values in stage_samples.items()}
         stage_counts = {stage: len(values) for stage, values in stage_samples.items()}
 
+        shard_samples: dict[str, list[float]] = {}
+        shard_outcomes: dict[str, list[bool]] = {}
+        replica_outcomes: dict[str, list[bool]] = {}
+        for probe in self._shard_probes:
+            key = f"shard-{probe.shard_id}"
+            shard_samples.setdefault(key, []).append(probe.latency)
+            shard_outcomes.setdefault(key, []).append(probe.ok)
+            if probe.replica_id:
+                replica_outcomes.setdefault(probe.replica_id, []).append(probe.ok)
+
         return DashboardSnapshot(
             users=len({event.user_id for event in self._events}),
             queries=len(self._events),
@@ -167,6 +232,17 @@ class MetricsCollector:
             stage_p50=stage_p50,
             stage_p95=stage_p95,
             stage_counts=stage_counts,
+            partial_results=sum(1 for event in self._events if event.partial),
+            hedged_requests=sum(1 for probe in self._shard_probes if probe.hedged),
+            shard_p50={key: percentile(values, 50.0) for key, values in shard_samples.items()},
+            shard_p95={key: percentile(values, 95.0) for key, values in shard_samples.items()},
+            shard_counts={key: len(values) for key, values in shard_samples.items()},
+            shard_health={
+                key: sum(outcomes) / len(outcomes) for key, outcomes in shard_outcomes.items()
+            },
+            replica_health={
+                key: sum(outcomes) / len(outcomes) for key, outcomes in replica_outcomes.items()
+            },
         )
 
 
@@ -181,8 +257,11 @@ def format_dashboard(snapshot: DashboardSnapshot) -> str:
         f"avg response time:    {snapshot.average_response_time:.2f}s",
         f"failed requests:      {snapshot.failed_requests}",
         f"guardrails triggered: {snapshot.guardrails_triggered}",
-        "outcomes:",
     ]
+    if snapshot.shard_counts:
+        lines.append(f"partial results:      {snapshot.partial_results}")
+        lines.append(f"hedged shard probes:  {snapshot.hedged_requests}")
+    lines.append("outcomes:")
     for outcome, count in sorted(snapshot.outcome_breakdown.items(), key=lambda p: -p[1]):
         marker = "·" if outcome == OUTCOME_ANSWERED else "!"
         lines.append(f"  {marker} {outcome}: {count}")
@@ -194,4 +273,17 @@ def format_dashboard(snapshot: DashboardSnapshot) -> str:
                 f"{snapshot.stage_p95[stage] * 1000.0:.1f}ms "
                 f"(n={snapshot.stage_counts[stage]})"
             )
+    if snapshot.shard_counts:
+        lines.append("per-shard latency (p50 / p95) and health:")
+        for shard in sorted(snapshot.shard_counts):
+            lines.append(
+                f"  {shard}: {snapshot.shard_p50[shard] * 1000.0:.1f}ms / "
+                f"{snapshot.shard_p95[shard] * 1000.0:.1f}ms "
+                f"ok={snapshot.shard_health[shard] * 100.0:.0f}% "
+                f"(n={snapshot.shard_counts[shard]})"
+            )
+        if snapshot.replica_health:
+            lines.append("replica health:")
+            for replica in sorted(snapshot.replica_health):
+                lines.append(f"  {replica}: ok={snapshot.replica_health[replica] * 100.0:.0f}%")
     return "\n".join(lines)

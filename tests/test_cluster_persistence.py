@@ -1,0 +1,151 @@
+"""Save/load roundtrip tests for sharded deployments."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterSearcher, ShardedSearchIndex, load_cluster, save_cluster
+from repro.embeddings.model import SyntheticAdaEmbedder
+from repro.search.hybrid import HybridSearchConfig
+from repro.search.schema import ChunkRecord
+
+QUERIES = (
+    "bonifico per l'estero",
+    "carta di credito bloccata",
+    "quadratura di cassa serale",
+)
+
+
+def _record(doc: str, content: str) -> ChunkRecord:
+    return ChunkRecord(
+        chunk_id=f"{doc}#0",
+        doc_id=doc,
+        title=f"Titolo {doc}",
+        content=content,
+        domain="governance",
+        keywords=("tag1", "tag2"),
+    )
+
+
+def _corpus(n: int = 12) -> list[ChunkRecord]:
+    themes = (
+        "contenuto sul bonifico estero",
+        "contenuto sulla carta di credito",
+        "contenuto sulla quadratura di cassa",
+        "contenuto sul mutuo ipotecario",
+    )
+    return [
+        _record(f"kb-doc-{i:03d}", f"{themes[i % len(themes)]} variante {i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def embedder() -> SyntheticAdaEmbedder:
+    return SyntheticAdaEmbedder(None, dim=32, seed=9)
+
+
+@pytest.fixture()
+def populated(embedder) -> ShardedSearchIndex:
+    index = ShardedSearchIndex(embedder=embedder, num_shards=3, ann_backend="exact", seed=9)
+    index.add_chunks(_corpus())
+    return index
+
+
+def _reload(populated, directory, embedder, ann_backend="exact"):
+    save_cluster(populated, directory)
+    return load_cluster(directory, embedder, ann_backend=ann_backend, seed=9)
+
+
+def _searcher(index: ShardedSearchIndex) -> ClusterSearcher:
+    return ClusterSearcher(index, config=HybridSearchConfig(use_reranker=False))
+
+
+class TestClusterRoundtrip:
+    def test_roundtrip_preserves_shards_and_records(self, populated, embedder, tmp_path):
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        assert len(loaded) == len(populated)
+        assert loaded.shard_ids == populated.shard_ids
+        for shard_id in populated.shard_ids:
+            original = populated.shard_index(shard_id)
+            restored = loaded.shard_index(shard_id)
+            assert {original.record(i).chunk_id for i in original.live_internals()} == {
+                restored.record(i).chunk_id for i in restored.live_internals()
+            }
+
+    def test_search_results_identical_after_reload(self, populated, embedder, tmp_path):
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        before, after = _searcher(populated), _searcher(loaded)
+        for query in QUERIES:
+            a = before.search(query)
+            b = after.search(query)
+            assert [r.record.chunk_id for r in a] == [r.record.chunk_id for r in b]
+            assert [r.score for r in a] == [r.score for r in b]
+
+    def test_ordinals_survive_the_roundtrip(self, populated, embedder, tmp_path):
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        assert loaded.live_ordinals() == populated.live_ordinals()
+        assert loaded.next_ordinal == populated.next_ordinal
+
+    def test_manifest_restores_planner_topology(self, populated, embedder, tmp_path):
+        new_shard = populated.add_shard()
+        populated.planner.pin("kb-doc-000", new_shard)
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        assert loaded.shard_ids == populated.shard_ids
+        assert loaded.planner.vnodes == populated.planner.vnodes
+        assert loaded.planner.pins == {"kb-doc-000": new_shard}
+        docs = [f"kb-doc-{i:03d}" for i in range(40)]
+        assert [loaded.planner.assign(d) for d in docs] == [
+            populated.planner.assign(d) for d in docs
+        ]
+
+    def test_save_drops_tombstones(self, populated, embedder, tmp_path):
+        victim = "kb-doc-001"
+        shard_id = populated.planner.assign(victim)
+        populated.delete_document(victim)
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        assert len(loaded) == len(populated)  # __len__ counts live chunks only
+        restored = loaded.shard_index(shard_id)
+        assert restored.tombstone_ratio == 0.0
+        assert all(
+            restored.record(i).doc_id != victim for i in restored.live_internals()
+        )
+        assert f"{victim}#0" not in loaded.live_ordinals()
+
+    def test_new_writes_after_reload_route_and_order_correctly(
+        self, populated, embedder, tmp_path
+    ):
+        loaded = _reload(populated, tmp_path / "cluster", embedder)
+        record = _record("kb-doc-999", "contenuto nuovo sul fido di conto")
+        loaded.add_chunk(record)
+        expected_shard = loaded.planner.assign("kb-doc-999")
+        shard = loaded.shard_index(expected_shard)
+        assert any(
+            shard.record(i).chunk_id == record.chunk_id for i in shard.live_internals()
+        )
+        # Insertion ordinals keep growing monotonically past the reload.
+        assert loaded.ordinal(record.chunk_id) == populated.next_ordinal
+
+    def test_hnsw_backend_roundtrip(self, embedder, tmp_path):
+        index = ShardedSearchIndex(embedder=embedder, num_shards=2, ann_backend="hnsw", seed=9)
+        index.add_chunks(_corpus(8))
+        loaded = _reload(index, tmp_path / "cluster", embedder, ann_backend="hnsw")
+        results = _searcher(loaded).search("bonifico estero")
+        assert results
+        assert len(loaded) == 8
+
+    def test_unsupported_manifest_version_rejected(self, populated, embedder, tmp_path):
+        directory = save_cluster(populated, tmp_path / "cluster")
+        manifest = json.loads((directory / "cluster.json").read_text())
+        manifest["version"] = 99
+        (directory / "cluster.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_cluster(directory, embedder, seed=9)
+
+    def test_load_never_reembeds(self, populated, tmp_path):
+        save_cluster(populated, tmp_path / "cluster")
+        fresh = SyntheticAdaEmbedder(None, dim=32, seed=9)
+        load_cluster(tmp_path / "cluster", fresh, ann_backend="exact", seed=9)
+        assert fresh.calls == 0

@@ -1,0 +1,243 @@
+"""Tests for scatter-gather routing: equivalence, degradation, health.
+
+The headline property: a healthy sharded cluster (exact ANN backend, built
+by insertion) ranks **identically** to a single index over the same corpus
+— same chunk order, bit-identical scores.  The rest covers the
+availability machinery: deadlines, fail-fast on dead/marked-down replicas,
+hedged retries, partial-results degradation and the trace shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSearcher
+from repro.core.config import UniAskConfig
+from repro.core.factory import build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.obs import spans
+from repro.obs.trace import RequestContext
+from repro.search.hybrid import HybridSemanticSearch
+
+EQUIVALENCE_QUERIES = 12
+
+
+@pytest.fixture(scope="module")
+def exact_single(small_kb, lexicon):
+    """Single-index deployment on the exact ANN backend (ground truth)."""
+    return build_uniask_system(small_kb.store(), lexicon, seed=3, ann_backend="exact")
+
+
+@pytest.fixture(scope="module")
+def exact_sharded(small_kb, lexicon):
+    """Three-shard, two-replica deployment on the exact ANN backend."""
+    config = UniAskConfig(cluster=ClusterConfig(shards=3, replicas=2))
+    return build_uniask_system(
+        small_kb.store(), lexicon, config=config, seed=3, ann_backend="exact"
+    )
+
+
+def _tiny_cluster(lexicon, shards=2, replicas=2, **cluster_kwargs):
+    """A small fresh deployment for mutation (fault-injection) tests."""
+    kb = KbGenerator(KbGeneratorConfig(num_topics=10, error_families=1, seed=11)).generate()
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=shards, replicas=replicas, **cluster_kwargs)
+    )
+    return build_uniask_system(kb.store(), lexicon, config=config, seed=3)
+
+
+class TestSingleIndexEquivalence:
+    def test_sharded_ranking_matches_single_index(
+        self, exact_single, exact_sharded, human_queries
+    ):
+        """Union-of-shards hybrid retrieval == single-index retrieval."""
+        for query in human_queries[:EQUIVALENCE_QUERIES]:
+            single = exact_single.searcher.search(query.text)
+            sharded = exact_sharded.searcher.search(query.text)
+            assert [r.record.chunk_id for r in single] == [
+                r.record.chunk_id for r in sharded
+            ], query.text
+            # Global BM25 statistics and a shared embedding space make the
+            # merged scores bit-identical, not merely close.
+            assert [r.score for r in single] == [r.score for r in sharded]
+
+    def test_text_and_vector_modes_also_match(self, small_kb, lexicon, human_queries):
+        for mode in ("text", "vector"):
+            retrieval = UniAskConfig().retrieval
+            retrieval = type(retrieval)(mode=mode, use_reranker=False)
+            single = build_uniask_system(
+                small_kb.store(), lexicon,
+                config=UniAskConfig(retrieval=retrieval),
+                seed=3, ann_backend="exact",
+            )
+            sharded = build_uniask_system(
+                small_kb.store(), lexicon,
+                config=UniAskConfig(retrieval=retrieval, cluster=ClusterConfig(shards=2)),
+                seed=3, ann_backend="exact",
+            )
+            for query in human_queries[:4]:
+                a = single.searcher.search(query.text)
+                b = sharded.searcher.search(query.text)
+                assert [r.record.chunk_id for r in a] == [r.record.chunk_id for r in b]
+
+    def test_shards_one_wires_the_single_index_path(self, small_kb, lexicon):
+        system = build_uniask_system(
+            small_kb.store(), lexicon,
+            config=UniAskConfig(cluster=ClusterConfig(shards=1)),
+            seed=3,
+        )
+        assert isinstance(system.searcher, HybridSemanticSearch)
+        assert system.cluster is None
+
+    def test_sharded_deployment_exposes_cluster_handle(self, exact_sharded):
+        assert isinstance(exact_sharded.cluster, ClusterSearcher)
+        assert exact_sharded.cluster is exact_sharded.searcher
+        assert exact_sharded.index.num_shards == 3
+
+
+class TestGracefulDegradation:
+    def test_dead_shard_degrades_to_partial_results(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        for replica in system.cluster.replicas(0):
+            replica.kill()
+        answer = system.engine.ask("come sbloccare la carta di credito")
+        assert answer.partial_results
+        report = system.engine.last_scatter_report
+        assert report.partial
+        assert report.failed_shards == (0,)
+        # The surviving shard still contributes documents.
+        healthy = [p for p in report.probes if p.ok]
+        assert len(healthy) == 1
+
+    def test_single_replica_shard_dies_without_raising(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=1)
+        system.cluster.replicas(1)[0].kill()
+        answer = system.engine.ask("errore bonifico istantaneo")
+        assert answer.partial_results
+        assert system.engine.last_scatter_report.failed_shards == (1,)
+
+    def test_healthy_cluster_is_never_partial(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        for question in ("limiti prelievo bancomat", "apertura conto online"):
+            answer = system.engine.ask(question)
+            assert not answer.partial_results
+            assert not system.engine.last_scatter_report.partial
+
+    def test_report_is_consumed_per_request(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2)
+        system.engine.ask("carta di credito")
+        first = system.engine.last_scatter_report
+        assert first is not None
+        assert system.cluster.take_scatter_report() is None  # engine already took it
+        system.engine.ask("bonifico")
+        assert system.engine.last_scatter_report is not first
+
+
+class TestHedgingAndHealth:
+    def test_slow_primary_triggers_hedged_retry(self, lexicon):
+        # x3 puts the primary between the hedge trigger (15ms) and the
+        # deadline (30ms): the sibling answers first via the hedge.
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        searcher = system.cluster
+        searcher.replicas(0)[0].degrade(3.0)
+        hedged = 0
+        for i in range(4):
+            searcher.search(f"carta di credito {i}")
+            report = searcher.take_scatter_report()
+            assert not report.partial
+            hedged += sum(1 for p in report.probes if p.hedged)
+        assert hedged > 0
+        assert any(r.health.hedges > 0 for r in searcher.replicas(0))
+
+    def test_all_replicas_slow_misses_deadline(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        for replica in system.cluster.replicas(0):
+            replica.degrade(10.0)  # ~80ms >> 30ms deadline
+        system.cluster.search("carta di credito")
+        report = system.cluster.take_scatter_report()
+        assert report.partial
+        assert all(r.health.timeouts > 0 for r in system.cluster.replicas(0))
+
+    def test_repeated_timeouts_mark_replicas_down_then_recover(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2, down_after=2, down_cooldown=60.0)
+        searcher = system.cluster
+        for replica in searcher.replicas(0):
+            replica.degrade(10.0)
+        for i in range(4):
+            searcher.search(f"query {i}")
+        now = system.clock.now()
+        assert all(r.marked_down(now) for r in searcher.replicas(0))
+
+        # While marked down the router fails fast: nobody is even contacted.
+        searcher.search("query durante il cooldown")
+        report = searcher.take_scatter_report()
+        assert report.partial
+        assert report.probes[0].attempts == 0
+
+        # Past the cooldown (and back to speed) the shard serves again.
+        for replica in searcher.replicas(0):
+            replica.slow_factor = 1.0
+        system.clock.advance(120.0)
+        searcher.search("query dopo il cooldown")
+        assert not searcher.take_scatter_report().partial
+
+    def test_revive_clears_fault_state(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=1)
+        replica = system.cluster.replicas(0)[0]
+        replica.kill()
+        system.cluster.search("query")
+        assert system.cluster.take_scatter_report().partial
+        replica.revive()
+        system.cluster.search("query")
+        assert not system.cluster.take_scatter_report().partial
+
+    def test_status_reports_shard_sizes_and_health(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        system.cluster.replicas(1)[0].kill()
+        status = system.cluster.status()
+        assert len(status.shards) == 2
+        assert sum(s.chunks for s in status.shards) == len(system.index)
+        assert status.shards[0].available
+        assert status.shards[1].available  # one replica still up
+        assert not status.degraded
+        system.cluster.replicas(1)[1].kill()
+        assert system.cluster.status().degraded
+
+
+class TestClusterTraceShape:
+    def test_scatter_spans_nest_under_retrieval(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=2)
+        ctx = RequestContext.traced(clock=system.clock)
+        system.engine.ask("come sbloccare la carta di credito", ctx=ctx)
+        trace = ctx.trace
+        names = trace.span_names()
+        assert spans.STAGE_SCATTER in names
+        assert spans.STAGE_SCATTER_WAIT in names
+        assert spans.shard_stage(0) in names and spans.shard_stage(1) in names
+        assert spans.STAGE_FUSION in names and spans.STAGE_RERANK in names
+        scatter = trace.find(spans.STAGE_SCATTER)
+        assert scatter.parent_name == spans.STAGE_RETRIEVAL
+        for shard_id in (0, 1):
+            shard_span = trace.find(spans.shard_stage(shard_id))
+            assert shard_span.parent_name == spans.STAGE_SCATTER
+            assert shard_span.is_leaf
+            assert shard_span.attributes["ok"] is True
+            assert shard_span.attributes["replica"]
+        wait = trace.find(spans.STAGE_SCATTER_WAIT)
+        assert wait.attributes["wait"] == pytest.approx(
+            system.engine.last_scatter_report.max_latency
+        )
+        # The legacy per-index search spans are replaced by the scatter.
+        assert spans.STAGE_FULLTEXT not in names
+
+    def test_failed_shard_marked_in_trace(self, lexicon):
+        system = _tiny_cluster(lexicon, shards=2, replicas=1)
+        for replica in system.cluster.replicas(0):
+            replica.kill()
+        ctx = RequestContext.traced(clock=system.clock)
+        system.engine.ask("bonifico istantaneo", ctx=ctx)
+        shard_span = ctx.trace.find(spans.shard_stage(0))
+        assert shard_span.attributes["ok"] is False
+        assert shard_span.attributes["results"] == 0
+        retrieval = ctx.trace.find(spans.STAGE_RETRIEVAL)
+        assert retrieval.attributes["partial"] is True

@@ -1,0 +1,190 @@
+"""Service-layer integration of the sharded cluster.
+
+Covers the factory wiring, the backend endpoints (probes into the
+dashboard, the ops-only ``cluster_status``), the hardened session tokens,
+the fault-injecting cluster load test, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.__main__ import main
+from repro.cluster import ClusterConfig, ClusterStatus
+from repro.core.config import UniAskConfig
+from repro.core.factory import build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.service.backend import AuthorizationError, BackendService, ROLE_OPS
+from repro.service.loadtest import ClusterLoadTestConfig, run_cluster_load_test
+from repro.service.monitoring import format_dashboard
+
+TOKEN_PATTERN = re.compile(r"session-[0-9a-f]{32,}")
+
+
+def _cluster_system(lexicon, shards=2, replicas=2):
+    kb = KbGenerator(KbGeneratorConfig(num_topics=10, error_families=1, seed=11)).generate()
+    config = UniAskConfig(cluster=ClusterConfig(shards=shards, replicas=replicas))
+    return build_uniask_system(kb.store(), lexicon, config=config, seed=3)
+
+
+class TestSessionTokens:
+    def test_token_is_unguessable_hex(self, system):
+        backend = BackendService(system.engine, system.clock, seed=7)
+        token = backend.login("mario.rossi")
+        assert TOKEN_PATTERN.fullmatch(token)
+
+    def test_token_never_embeds_the_user_id(self, system):
+        backend = BackendService(system.engine, system.clock, seed=7)
+        token = backend.login("mario.rossi")
+        assert "mario" not in token
+        assert "rossi" not in token
+
+    def test_tokens_are_distinct_per_login(self, system):
+        backend = BackendService(system.engine, system.clock, seed=7)
+        tokens = {backend.login(f"user-{i}") for i in range(50)}
+        assert len(tokens) == 50
+
+    def test_token_stream_is_deterministic_per_seed(self, system):
+        a = BackendService(system.engine, system.clock, seed=7)
+        b = BackendService(system.engine, system.clock, seed=7)
+        assert [a.login("u") for _ in range(5)] == [b.login("u") for _ in range(5)]
+        c = BackendService(system.engine, system.clock, seed=8)
+        assert c.login("u") != BackendService(system.engine, system.clock, seed=7).login("u")
+
+
+class TestClusterBackend:
+    @pytest.fixture()
+    def deployment(self, lexicon):
+        system = _cluster_system(lexicon)
+        backend = BackendService(system.engine, system.clock, seed=7)
+        return system, backend
+
+    def test_query_records_shard_probes(self, deployment):
+        system, backend = deployment
+        token = backend.login("user-1")
+        record = backend.query(token, "come sbloccare la carta di credito")
+        assert not record.answer.partial_results
+        probes = backend.metrics.shard_probes
+        assert {p.shard_id for p in probes} == {0, 1}
+        assert all(p.ok for p in probes)
+
+    def test_dead_shard_surfaces_in_dashboard(self, deployment):
+        system, backend = deployment
+        token = backend.login("user-1")
+        for replica in system.cluster.replicas(0):
+            replica.kill()
+        record = backend.query(token, "errore bonifico istantaneo")
+        assert record.answer.partial_results
+        snapshot = backend.metrics.snapshot()
+        assert snapshot.partial_results == 1
+        assert snapshot.shard_health["shard-0"] < 1.0
+        assert snapshot.shard_health["shard-1"] == 1.0
+        rendered = format_dashboard(snapshot)
+        assert "partial results:" in rendered
+        assert "per-shard latency" in rendered
+
+    def test_dashboard_reports_per_shard_latency_and_replicas(self, deployment):
+        system, backend = deployment
+        token = backend.login("user-1")
+        for question in ("limiti prelievo bancomat", "apertura conto online"):
+            backend.query(token, question)
+        snapshot = backend.metrics.snapshot()
+        assert set(snapshot.shard_counts) == {"shard-0", "shard-1"}
+        assert all(snapshot.shard_p95[k] >= snapshot.shard_p50[k] > 0 for k in snapshot.shard_counts)
+        assert set(snapshot.replica_health) == {
+            replica.replica_id for sid in (0, 1) for replica in system.cluster.replicas(sid)
+        }
+
+    def test_cluster_status_endpoint_is_ops_only(self, deployment):
+        system, backend = deployment
+        employee = backend.login("user-1")
+        with pytest.raises(AuthorizationError):
+            backend.cluster_status(employee)
+        ops = backend.login("sre-1", role=ROLE_OPS)
+        status = backend.cluster_status(ops)
+        assert isinstance(status, ClusterStatus)
+        assert len(status.shards) == 2
+
+    def test_cluster_status_is_none_on_single_index(self, system):
+        backend = BackendService(system.engine, system.clock, seed=7)
+        ops = backend.login("sre-1", role=ROLE_OPS)
+        assert backend.cluster_status(ops) is None
+
+
+class TestClusterLoadTest:
+    def test_mid_run_kill_degrades_then_recovers(self, lexicon):
+        system = _cluster_system(lexicon)
+        report = run_cluster_load_test(
+            system.cluster,
+            system.clock,
+            ["carta di credito", "bonifico estero", "quadratura di cassa"],
+            ClusterLoadTestConfig(
+                duration_seconds=120.0,
+                kill_at=20.0,
+                revive_at=80.0,
+            ),
+        )
+        assert report.total_queries > 0
+        assert 0 < report.partial_queries < report.total_queries
+        assert 0.0 < report.partial_rate < 1.0
+        assert report.shard_latency_p95 > 0.0
+        # Degradation is confined to the kill window.
+        assert sum(report.partial_per_minute) == report.partial_queries
+
+    def test_healthy_run_never_degrades(self, lexicon):
+        system = _cluster_system(lexicon)
+        report = run_cluster_load_test(
+            system.cluster,
+            system.clock,
+            ["carta di credito"],
+            ClusterLoadTestConfig(duration_seconds=30.0),
+        )
+        assert report.total_queries > 0
+        assert report.partial_queries == 0
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterLoadTestConfig(kill_at=50.0, revive_at=10.0)
+
+
+class TestClusterCli:
+    def test_ask_with_shards_and_status(self, capsys):
+        code = main(
+            [
+                "--topics", "12", "--seed", "3",
+                "ask", "Come posso attivare la carta di credito?",
+                "--shards", "2", "--cluster-status",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 shards" in out
+        assert "s0/r0" in out
+
+    def test_ask_status_on_single_index(self, capsys):
+        code = main(
+            ["--topics", "12", "--seed", "3", "ask", "carta di credito", "--cluster-status"]
+        )
+        assert code == 0
+        assert "single-index deployment" in capsys.readouterr().out
+
+    def test_index_command_persists_a_cluster(self, capsys, tmp_path):
+        out_dir = tmp_path / "cluster"
+        code = main(
+            ["--topics", "12", "--seed", "3", "index", "--shards", "2", "--out", str(out_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saved 2-shard cluster" in out
+        assert (out_dir / "cluster.json").exists()
+        assert (out_dir / "shard-000").is_dir()
+        assert (out_dir / "shard-001").is_dir()
+
+    def test_index_command_persists_a_single_index(self, capsys, tmp_path):
+        out_dir = tmp_path / "idx"
+        code = main(["--topics", "12", "--seed", "3", "index", "--out", str(out_dir)])
+        assert code == 0
+        assert "saved single index" in capsys.readouterr().out
+        assert (out_dir / "records.jsonl").exists() or any(out_dir.iterdir())

@@ -1,0 +1,80 @@
+"""Latency-model coverage of the span taxonomy.
+
+Every stage name the tracer can emit must have a modeled, non-zero cost as
+a leaf span: a silently unmodeled stage would show up as "free" on the
+dashboard and the traced response times would drift from the served ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import spans
+from repro.obs.trace import Span
+from repro.service.backend import DEFAULT_LEAF_COST, StageLatencyModel
+
+#: Every fixed stage-name constant exported by the span taxonomy.
+STAGE_CONSTANTS = sorted(
+    value
+    for name, value in vars(spans).items()
+    if name.startswith("STAGE_") and isinstance(value, str)
+)
+
+#: Representative dynamically named stages (one per prefix family).
+DYNAMIC_STAGES = [
+    spans.vector_stage("content"),
+    spans.guardrail_stage("groundedness"),
+    spans.shard_stage(3),
+]
+
+
+def _leaf(name: str, **attributes: object) -> Span:
+    return Span(name=name, start=0.0, end=None, attributes=dict(attributes))
+
+
+def _aggregate(name: str) -> Span:
+    span = Span(name=name, start=0.0)
+    span.child_count = 2
+    return span
+
+
+@pytest.fixture()
+def model() -> StageLatencyModel:
+    return StageLatencyModel()
+
+
+class TestStageCostCoverage:
+    @pytest.mark.parametrize("name", STAGE_CONSTANTS + DYNAMIC_STAGES)
+    def test_every_stage_has_a_positive_leaf_cost(self, model, name):
+        assert model(_leaf(name)) > 0.0, f"stage {name!r} is unmodeled"
+
+    @pytest.mark.parametrize("name", STAGE_CONSTANTS + DYNAMIC_STAGES)
+    def test_aggregate_spans_cost_nothing_extra(self, model, name):
+        # Cost hooks only charge leaves with no dedicated branch; stages
+        # with explicit branches keep their cost even when they aggregate
+        # (their children are instrumentation, not separately costed work).
+        cost = model(_aggregate(name))
+        assert cost >= 0.0
+
+    def test_unknown_aggregate_costs_zero(self, model):
+        assert model(_aggregate("some_future_stage")) == 0.0
+
+    def test_unknown_leaf_gets_the_default_floor(self, model):
+        assert model(_leaf("some_future_stage")) == DEFAULT_LEAF_COST
+        assert DEFAULT_LEAF_COST > 0.0
+
+    def test_scatter_wait_charges_the_gather_barrier(self, model):
+        idle = model(_leaf(spans.STAGE_SCATTER_WAIT, wait=0.0))
+        waited = model(_leaf(spans.STAGE_SCATTER_WAIT, wait=0.021))
+        assert waited == pytest.approx(idle + 0.021)
+
+    def test_shard_leaves_cost_dispatch_only(self, model):
+        # Parallel fan-out: the per-shard latency is charged once on the
+        # scatter_wait barrier, not per shard leaf.
+        cost = model(_leaf(spans.shard_stage(0), latency_ms=25.0, results=50))
+        assert cost < 0.005
+
+    def test_llm_cost_scales_with_token_volume(self, model):
+        small = model(_leaf(spans.STAGE_LLM, prompt_tokens=100, completion_tokens=50))
+        large = model(_leaf(spans.STAGE_LLM, prompt_tokens=4000, completion_tokens=800))
+        assert large > small > 0.0
