@@ -1,0 +1,208 @@
+"""Telemetry overhead benchmark: instrumented vs uninstrumented engine.
+
+Standalone script (not pytest-collected).  Two measurements:
+
+1. **Engine overhead** — builds the same deployment twice, once with the
+   telemetry layer at default settings (enabled) and once with
+   ``TelemetryConfig(enabled=False)`` (every instrument is the shared
+   no-op), runs the identical query stream through both, and compares
+   throughput.  The instrumented engine must stay within ``--max-overhead``
+   (default 5%) of the uninstrumented one — instruments are dict hits plus
+   float adds, so the hot path barely notices them.
+
+2. **Percentile micro-benchmark** — demonstrates the
+   :class:`~repro.service.monitoring._SampleSeries` win: computing p50+p95
+   over a growing series by re-sorting on every call (the old
+   ``percentile()`` behaviour) vs sorting once per snapshot and reusing the
+   order.  At 10k+ events the cached sort is expected to win by well over
+   an order of magnitude per snapshot.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py \
+        --topics 12 --queries 12 --events 10000 --out BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.core.factory import build_uniask_system  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+from repro.obs.telemetry import TelemetryConfig  # noqa: E402
+from repro.service.monitoring import _SampleSeries, percentile, percentile_of_sorted  # noqa: E402
+
+
+def _serve_all(system, questions: list[str]) -> float:
+    """Seconds of wall clock to answer every question once."""
+    started = time.perf_counter()
+    for question in questions:
+        system.engine.ask(question)
+    return time.perf_counter() - started
+
+
+def bench_engine_overhead(args: argparse.Namespace) -> dict:
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=2, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.queries, seed=args.seed)
+        )
+    ]
+
+    def build(enabled: bool):
+        return build_uniask_system(
+            kb.store(),
+            lexicon,
+            config=UniAskConfig(telemetry=TelemetryConfig(enabled=enabled)),
+            seed=args.seed,
+        )
+
+    print("building instrumented + uninstrumented deployments...", file=sys.stderr)
+    instrumented = build(True)
+    bare = build(False)
+
+    # Warmup both (embedding caches, LLM paths), then best-of-N medians so a
+    # stray scheduler hiccup on either side doesn't decide the verdict.
+    _serve_all(instrumented, questions[:2])
+    _serve_all(bare, questions[:2])
+    instrumented_runs = [_serve_all(instrumented, questions) for _ in range(args.repeats)]
+    bare_runs = [_serve_all(bare, questions) for _ in range(args.repeats)]
+    instrumented_s = statistics.median(instrumented_runs)
+    bare_s = statistics.median(bare_runs)
+    overhead = instrumented_s / bare_s - 1.0
+
+    return {
+        "queries": len(questions),
+        "repeats": args.repeats,
+        "instrumented_s": instrumented_s,
+        "uninstrumented_s": bare_s,
+        "overhead_fraction": overhead,
+        "qps_instrumented": len(questions) / instrumented_s,
+        "qps_uninstrumented": len(questions) / bare_s,
+    }
+
+
+def bench_percentile(events: int, snapshots: int = 20) -> dict:
+    """Old re-sort-per-call percentile vs the cached sorted series."""
+    rng = random.Random(4242)
+    samples = [rng.random() * 5.0 for _ in range(events)]
+
+    # Old behaviour: every percentile call sorts the full list again
+    # (two calls per snapshot: p50 and p95).
+    naive: list[float] = []
+    started = time.perf_counter()
+    for _ in range(snapshots):
+        naive.append(len(samples) + 1)  # keep the loop honest
+        percentile(samples, 50.0)
+        percentile(samples, 95.0)
+    naive_s = time.perf_counter() - started
+
+    # New behaviour: the series caches its sorted view; with no appends
+    # between snapshots the sort happens exactly once overall.
+    series = _SampleSeries()
+    for value in samples:
+        series.append(value)
+    started = time.perf_counter()
+    for _ in range(snapshots):
+        ordered = series.sorted_values
+        percentile_of_sorted(ordered, 50.0)
+        percentile_of_sorted(ordered, 95.0)
+    cached_s = time.perf_counter() - started
+
+    # Both paths must agree exactly.
+    assert percentile(samples, 95.0) == percentile_of_sorted(series.sorted_values, 95.0)
+    return {
+        "events": events,
+        "snapshots": snapshots,
+        "naive_resort_s": naive_s,
+        "cached_sort_s": cached_s,
+        "speedup": naive_s / cached_s if cached_s > 0 else float("inf"),
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    engine = bench_engine_overhead(args)
+    pct = bench_percentile(args.events)
+
+    result = {
+        "config": {
+            "topics": args.topics,
+            "queries": args.queries,
+            "seed": args.seed,
+            "max_overhead": args.max_overhead,
+        },
+        "engine": engine,
+        "percentile": pct,
+    }
+
+    print()
+    print("=" * 64)
+    print(f"TELEMETRY BENCH — {engine['queries']} queries, best of {args.repeats}")
+    print("=" * 64)
+    print(
+        f"uninstrumented: {engine['uninstrumented_s']:.3f}s "
+        f"({engine['qps_uninstrumented']:.1f} q/s)"
+    )
+    print(
+        f"instrumented  : {engine['instrumented_s']:.3f}s "
+        f"({engine['qps_instrumented']:.1f} q/s)"
+    )
+    print(f"overhead      : {engine['overhead_fraction']:+.2%} (limit {args.max_overhead:.0%})")
+    print(
+        f"percentile    : naive re-sort {pct['naive_resort_s'] * 1000.0:.1f} ms vs "
+        f"cached {pct['cached_sort_s'] * 1000.0:.1f} ms over {pct['snapshots']} snapshots "
+        f"at {pct['events']} events ({pct['speedup']:.0f}x)"
+    )
+
+    if engine["overhead_fraction"] > args.max_overhead:
+        raise SystemExit(
+            f"telemetry overhead {engine['overhead_fraction']:.2%} exceeds "
+            f"the {args.max_overhead:.0%} budget"
+        )
+    if pct["speedup"] < 2.0:
+        raise SystemExit(
+            f"cached percentile only {pct['speedup']:.1f}x faster than naive re-sort "
+            "— the sorted-series cache regressed"
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=60, help="corpus size (topics)")
+    parser.add_argument("--queries", type=int, default=40, help="questions per timed run")
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per side (median)")
+    parser.add_argument("--events", type=int, default=10_000, help="percentile sample count")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="maximum tolerated instrumented/uninstrumented slowdown",
+    )
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument("--out", default="BENCH_telemetry.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,10 +4,15 @@ Commands:
 
 * ``ask "<question>"`` — build a demo deployment and answer one question
   (``--shards N`` serves it from a sharded cluster, ``--cluster-status``
-  prints the shard/replica health table);
+  prints the shard/replica health table, ``--metrics`` dumps the
+  Prometheus exposition of the deployment's telemetry registry);
 * ``demo`` — an interactive search box over a demo deployment;
 * ``eval`` — a compact UniAsk-vs-legacy evaluation (Table 1 style);
 * ``loadtest`` — the Figure 2 open-system load test;
+* ``metrics`` — serve a traced query stream through the backend and print
+  the operational surface: ``/metrics`` exposition with exemplars,
+  ``/healthz``/``/readyz`` probes, SLO burn-rate alerts, and optionally
+  the JSONL audit log (``--audit PATH``);
 * ``index`` — build the demo corpus index and persist it to a directory,
   optionally sharded (``--shards N``).
 
@@ -71,6 +76,9 @@ def _cmd_ask(args: argparse.Namespace) -> int:
 
             print()
             print(format_cluster_status(system.cluster.status()))
+    if args.metrics:
+        print()
+        print(system.telemetry.render_metrics(), end="")
     return 0
 
 
@@ -144,6 +152,45 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service.backend import BackendService, ROLE_OPS
+
+    _, system = _build_system(args.topics, args.seed, shards=args.shards, replicas=args.replicas)
+    backend = BackendService(system.engine, system.clock, tracing=True)
+    token = backend.login("cli-user")
+    questions = [
+        "come sbloccare la carta di credito",
+        "bonifico estero commissioni",
+        "limiti prelievo bancomat",
+        "apertura conto online",
+        "quadratura di cassa",
+    ]
+    for i in range(args.queries):
+        backend.query(token, questions[i % len(questions)])
+    ops_token = backend.login("cli-ops", role=ROLE_OPS)
+
+    print(f"# served {args.queries} traced queries\n", file=sys.stderr)
+    print(backend.metrics_text(ops_token), end="")
+    print()
+    print(f"healthz: {backend.healthz()}")
+    print(f"readyz:  {backend.readyz()}")
+    alerts = backend.slo_status(ops_token)
+    if alerts:
+        for alert in alerts:
+            print(f"SLO ALERT [{alert.severity}] {alert.rule}: {alert.message}")
+    else:
+        print("SLO burn rates: all objectives within budget")
+    sampler = backend.telemetry.sampler
+    print(
+        f"trace sampler: {len(sampler)} retained of {sampler.offered} offered "
+        f"(head={sampler.head_sampled}, tail={sampler.tail_sampled})"
+    )
+    if args.audit:
+        path = backend.telemetry.audit.dump(args.audit)
+        print(f"audit log: {len(backend.telemetry.audit)} entries written to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -165,6 +212,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the shard/replica health table after answering",
     )
+    ask.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus exposition of the telemetry registry",
+    )
     ask.set_defaults(func=_cmd_ask)
 
     demo = commands.add_parser("demo", help="interactive search box")
@@ -178,6 +230,13 @@ def main(argv: list[str] | None = None) -> int:
     loadtest.add_argument("--minutes", type=int, default=60)
     loadtest.add_argument("--quota", type=float, default=1_045_000.0)
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    metrics = commands.add_parser("metrics", help="telemetry surface of a demo backend")
+    metrics.add_argument("--queries", type=int, default=8, help="traced queries to serve")
+    metrics.add_argument("--shards", type=int, default=1, help="serve from N index shards")
+    metrics.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    metrics.add_argument("--audit", default="", help="write the JSONL audit log to this path")
+    metrics.set_defaults(func=_cmd_metrics)
 
     index = commands.add_parser("index", help="build and persist the demo index")
     index.add_argument("--shards", type=int, default=1, help="partition into N shards")

@@ -25,6 +25,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.replica import Replica, ReplicaGroup
 from repro.cluster.sharded_index import ShardedSearchIndex
 from repro.obs import spans
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import RequestContext, null_context
 from repro.pipeline.clock import SimulatedClock
 from repro.search.fulltext import FullTextSearch, ScoringProfile
@@ -179,6 +180,7 @@ class ClusterSearcher:
         cluster_config: ClusterConfig | None = None,
         clock: SimulatedClock | None = None,
         profile: ScoringProfile | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or HybridSearchConfig()
         if self.config.use_reranker and reranker is None:
@@ -188,6 +190,19 @@ class ClusterSearcher:
         self._reranker = reranker
         self._clock = clock if clock is not None else SimulatedClock()
         self._profile = profile
+        registry = registry or NULL_REGISTRY
+        self._m_probes = registry.counter(
+            "uniask_shard_probes_total",
+            "Shard probes of scatter-gather queries, by shard and outcome.",
+            ("shard", "outcome"),
+        )
+        self._m_hedges = registry.counter(
+            "uniask_hedged_probes_total", "Shard probes that fired a hedged retry."
+        )
+        self._m_partial = registry.counter(
+            "uniask_partial_scatters_total",
+            "Queries degraded to partial results (some shard missed its deadline).",
+        )
         self._groups: dict[int, ReplicaGroup] = {}
         self._fulltext: dict[int, FullTextSearch] = {}
         self._vector: dict[int, VectorSearch] = {}
@@ -289,6 +304,12 @@ class ClusterSearcher:
             scatter.set("failed", sum(1 for probe in probes if not probe.ok))
         report = ScatterReport(probes=tuple(probes))
         self._last_report = report
+        for probe in probes:
+            self._m_probes.labels(str(probe.shard_id), "ok" if probe.ok else "timeout").inc()
+            if probe.hedged:
+                self._m_hedges.inc()
+        if report.partial:
+            self._m_partial.inc()
         with ctx.trace.span(spans.STAGE_SCATTER_WAIT, wait=report.max_latency):
             pass
 

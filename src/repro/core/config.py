@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
+from repro.obs.telemetry import TelemetryConfig
 from repro.search.hybrid import HybridSearchConfig
 
 
@@ -31,5 +32,6 @@ class UniAskConfig:
     retrieval: HybridSearchConfig = field(default_factory=HybridSearchConfig)
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

@@ -37,6 +37,7 @@ from repro.llm.base import ChatCompletionClient, ChatResponse, traced_complete
 from repro.llm.content_filter import ContentFilter, ContentFilterResult
 from repro.llm.prompts import build_answer_prompt, context_from_results
 from repro.obs import spans
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import RequestContext, null_context
 from repro.search.hybrid import HybridSemanticSearch
 from repro.search.results import RetrievedChunk
@@ -64,6 +65,7 @@ class UniAskEngine:
         guardrails: GuardrailPipeline | None = None,
         content_filter: ContentFilter | None = None,
         config: UniAskConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config or UniAskConfig()
         self._searcher = searcher
@@ -71,6 +73,16 @@ class UniAskEngine:
         self._guardrails = guardrails or GuardrailPipeline()
         self._content_filter = content_filter or ContentFilter()
         self._last_scatter = None
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_requests = registry.counter(
+            "uniask_requests_total", "Engine requests, by pipeline outcome.", ("outcome",)
+        )
+        self._m_retrieved = registry.histogram(
+            "uniask_retrieval_chunks",
+            "Chunks returned by the retrieval module per request.",
+            buckets=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0),
+        )
 
     @property
     def searcher(self) -> HybridSemanticSearch:
@@ -105,6 +117,7 @@ class UniAskEngine:
         with trace.span(spans.STAGE_ASK, question_chars=len(question)) as root:
             answer = self._ask_staged(question, filters, ctx)
             root.set("outcome", answer.outcome)
+        self._m_requests.labels(answer.outcome).inc()
         if self._last_scatter is not None and self._last_scatter.partial:
             answer = replace(answer, partial_results=True)
         if trace.enabled:
@@ -196,6 +209,7 @@ class UniAskEngine:
         with ctx.trace.span(spans.STAGE_RETRIEVAL) as span:
             documents = self._searcher.search(question, filters=filters, ctx=ctx)
             span.set("results", len(documents))
+            self._m_retrieved.observe(float(len(documents)))
             take_report = getattr(self._searcher, "take_scatter_report", None)
             if take_report is not None:
                 report = take_report()

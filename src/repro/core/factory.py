@@ -25,6 +25,7 @@ from repro.guardrails.citation import CitationGuardrail
 from repro.guardrails.clarification import ClarificationGuardrail
 from repro.llm.content_filter import ContentFilter
 from repro.llm.simulated import SimulatedChatLLM
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.clock import SimulatedClock
 from repro.pipeline.enrichment import MetadataEnricher
 from repro.pipeline.indexing import IndexingService
@@ -61,6 +62,7 @@ class UniAskSystem:
     lexicon: ConceptLexicon
     cluster: ClusterSearcher | None = None
     config: UniAskConfig = field(default_factory=UniAskConfig)
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def refresh(self) -> None:
         """One operational cycle: run due ingestion polls, drain the queue."""
@@ -100,6 +102,8 @@ def build_uniask_system(
     config = config or UniAskConfig()
     clock = SimulatedClock()
     queue = MessageQueue()
+    telemetry = Telemetry(config.telemetry, clock=clock)
+    registry = telemetry.registry
 
     from repro.text.analyzer import ItalianAnalyzer
 
@@ -132,7 +136,7 @@ def build_uniask_system(
             analyzer=index_analyzer,
         )
 
-    llm = SimulatedChatLLM(lexicon, seed=seed, language=language)
+    llm = SimulatedChatLLM(lexicon, seed=seed, language=language, registry=registry)
     enricher = MetadataEnricher(llm, keyword_variant=keyword_variant)
     ingestion = IngestionService(store, queue, clock)
     indexing = IndexingService(store, queue, index, enricher=enricher)
@@ -145,12 +149,16 @@ def build_uniask_system(
             config=config.retrieval,
             cluster_config=config.cluster,
             clock=clock,
+            registry=registry,
         )
     else:
-        searcher = HybridSemanticSearch(index, reranker=reranker, config=config.retrieval)
+        searcher = HybridSemanticSearch(
+            index, reranker=reranker, config=config.retrieval, registry=registry
+        )
 
     guardrails = GuardrailPipeline(
-        [CitationGuardrail(), RougeGuardrail(config.rouge_threshold), ClarificationGuardrail()]
+        [CitationGuardrail(), RougeGuardrail(config.rouge_threshold), ClarificationGuardrail()],
+        registry=registry,
     )
     engine = UniAskEngine(
         searcher=searcher,
@@ -158,6 +166,7 @@ def build_uniask_system(
         guardrails=guardrails,
         content_filter=ContentFilter(),
         config=config,
+        telemetry=telemetry,
     )
 
     system = UniAskSystem(
@@ -174,6 +183,7 @@ def build_uniask_system(
         lexicon=lexicon,
         cluster=searcher if clustered else None,
         config=config,
+        telemetry=telemetry,
     )
     if ingest_now:
         system.refresh()

@@ -55,10 +55,18 @@ class GuardrailReport:
 class GuardrailPipeline:
     """Ordered execution of answer guardrails with first-failure semantics."""
 
-    def __init__(self, guardrails: list[Guardrail] | None = None) -> None:
+    def __init__(self, guardrails: list[Guardrail] | None = None, registry=None) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
         if guardrails is None:
             guardrails = [CitationGuardrail(), RougeGuardrail(), ClarificationGuardrail()]
         self._guardrails = guardrails
+        registry = registry or NULL_REGISTRY
+        self._m_checks = registry.counter(
+            "uniask_guardrail_checks_total",
+            "Guardrail checks run, by guardrail and result.",
+            ("guardrail", "result"),
+        )
 
     @property
     def guardrail_names(self) -> tuple[str, ...]:
@@ -82,6 +90,9 @@ class GuardrailPipeline:
                 span.set("passed", verdict.passed)
                 if verdict.score is not None:
                     span.set("score", round(verdict.score, 4))
+            self._m_checks.labels(
+                guardrail.name, "passed" if verdict.passed else "fired"
+            ).inc()
             verdicts.append(verdict)
             if not verdict.passed:
                 message = (

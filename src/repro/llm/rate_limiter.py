@@ -34,7 +34,11 @@ class TokenBucketRateLimiter:
             matching Azure's behaviour of allowing short bursts.
     """
 
-    def __init__(self, tokens_per_minute: float, burst_tokens: float | None = None) -> None:
+    def __init__(
+        self, tokens_per_minute: float, burst_tokens: float | None = None, registry=None
+    ) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
         if tokens_per_minute <= 0:
             raise ValueError("tokens_per_minute must be positive")
         self._rate_per_second = tokens_per_minute / 60.0
@@ -45,6 +49,12 @@ class TokenBucketRateLimiter:
         self._last_time = 0.0
         self.admitted = 0
         self.rejected = 0
+        registry = registry or NULL_REGISTRY
+        self._m_decisions = registry.counter(
+            "uniask_llm_ratelimit_total",
+            "Rate-limiter admission decisions, by outcome.",
+            ("decision",),
+        )
 
     @property
     def capacity(self) -> float:
@@ -68,8 +78,10 @@ class TokenBucketRateLimiter:
         if tokens <= self._available:
             self._available -= tokens
             self.admitted += 1
+            self._m_decisions.labels("allowed").inc()
             return RateLimitDecision(allowed=True, available_tokens=self._available)
         self.rejected += 1
+        self._m_decisions.labels("rejected").inc()
         return RateLimitDecision(allowed=False, available_tokens=self._available)
 
     def _refill(self, now: float) -> None:

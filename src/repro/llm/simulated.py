@@ -136,9 +136,19 @@ class SimulatedChatLLM:
         p_clarification: float = 0.002,
         temperature_failure_scale: float = 1.0,
         language: str = "it",
+        registry=None,
     ) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
         if language not in _LANGUAGE_PACKS:
             raise ValueError(f"unsupported language {language!r}")
+        registry = registry or NULL_REGISTRY
+        self._m_completions = registry.counter(
+            "uniask_llm_completions_total", "Chat completions served by the LLM."
+        )
+        self._m_tokens = registry.counter(
+            "uniask_llm_tokens_total", "Tokens processed by the LLM, by kind.", ("kind",)
+        )
         self._pack = _LANGUAGE_PACKS[language]
         self._lexicon = lexicon
         self._seed = seed
@@ -190,6 +200,9 @@ class SimulatedChatLLM:
             prompt_tokens=prompt_tokens,
             completion_tokens=self._counter.count(content),
         )
+        self._m_completions.inc()
+        self._m_tokens.labels("prompt").inc(usage.prompt_tokens)
+        self._m_tokens.labels("completion").inc(usage.completion_tokens)
         return ChatResponse(content=content, usage=usage)
 
     # -- RAG answering -------------------------------------------------------

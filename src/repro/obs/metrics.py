@@ -1,0 +1,453 @@
+"""Typed metrics registry: counters, gauges and histograms with labels.
+
+The Section 9 dashboard "directly queries the logs of the various
+microservices"; underneath such a page a production service keeps *typed
+metric instruments* — monotonic :class:`Counter`\\ s, point-in-time
+:class:`Gauge`\\ s and fixed-bucket :class:`Histogram`\\ s — that a scraper
+reads in one pass.  This module is that substrate:
+
+* a :class:`MetricsRegistry` owns every instrument by name (idempotent
+  registration, so independently constructed components share the same
+  counter when wired with the same registry);
+* instruments carry **label sets** (``labels("answered")`` returns a child
+  holding one float cell), pre-resolvable in ``__init__`` so the hot path
+  is a dict hit plus an add;
+* histograms use **fixed exponential buckets** and keep one *exemplar* per
+  bucket — the trace id of the slowest sample that landed in it — so a
+  latency spike on the dashboard points at a concrete retained trace (see
+  :mod:`repro.obs.sampling`);
+* :func:`render_prometheus` serialises the whole registry in the
+  Prometheus text exposition format (exemplars in OpenMetrics style),
+  deterministically (sorted metric names, sorted label sets).
+
+Instrumentation must never perturb the system under observation: no
+instrument reads a clock or an RNG, so a fully instrumented deployment is
+byte-identical in its outputs to an uninstrumented one.  The shared
+:data:`NULL_REGISTRY` makes the whole layer a no-op for components built
+without telemetry.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "exponential_buckets",
+    "render_prometheus",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """*count* upper bounds growing geometrically from *start* (``+Inf`` implicit)."""
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be positive")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default latency buckets: 5 ms to ~20 s in doublings — wide enough for the
+#: sub-millisecond retrieval stages and the seconds-long LLM calls alike.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(0.005, 2.0, 12)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats via repr."""
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(label_names: tuple[str, ...], label_values: tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Instrument:
+    """Shared parent machinery: child cells keyed on the label-value tuple."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.label_names:
+            # Label-less instruments act as their own (only) child.
+            self._children[()] = self
+
+    def labels(self, *label_values: object):
+        """The child cell for *label_values* (created on first use)."""
+        key = tuple(str(value) for value in label_values)
+        child = self._children.get(key)
+        if child is None:
+            if len(key) != len(self.label_names):
+                raise ValueError(
+                    f"{self.name}: expected {len(self.label_names)} label values, got {len(key)}"
+                )
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def children(self) -> dict[tuple[str, ...], object]:
+        """Label values → child cell, in first-use order."""
+        return dict(self._children)
+
+
+class _CounterChild:
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Counter(_Instrument, _CounterChild):
+    """A monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", label_names: tuple[str, ...] = ()) -> None:
+        _CounterChild.__init__(self)
+        _Instrument.__init__(self, name, help, label_names)
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def total(self) -> float:
+        """Sum over all label sets."""
+        return sum(child.value for child in self._children.values())
+
+
+class _GaugeChild:
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Instrument, _GaugeChild):
+    """A value that can go up and down (queue depth, live replicas, …)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", label_names: tuple[str, ...] = ()) -> None:
+        _GaugeChild.__init__(self)
+        _Instrument.__init__(self, name, help, label_names)
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+
+class _HistogramChild:
+    """Per-bucket counts, sum, count, and one exemplar per bucket.
+
+    The exemplar of a bucket is the ``(value, trace_id)`` of the **slowest**
+    sample observed in it, so every bucket of a latency histogram links to
+    the concrete trace that best explains it.
+    """
+
+    __slots__ = ("_bounds", "counts", "sum", "count", "exemplars")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.exemplars: list[tuple[float, str] | None] = [None] * (len(bounds) + 1)
+
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        index = bisect_left(self._bounds, value)
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+        if trace_id:
+            exemplar = self.exemplars[index]
+            if exemplar is None or value > exemplar[0]:
+                self.exemplars[index] = (value, trace_id)
+
+    def drop_exemplars(self, trace_id: str) -> None:
+        for index, exemplar in enumerate(self.exemplars):
+            if exemplar is not None and exemplar[1] == trace_id:
+                self.exemplars[index] = None
+
+
+class Histogram(_Instrument, _HistogramChild):
+    """Fixed-bucket distribution with exemplar linkage.
+
+    Buckets are upper bounds (``+Inf`` implicit), fixed at construction;
+    :data:`DEFAULT_LATENCY_BUCKETS` (exponential) when omitted.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        self.bounds = bounds
+        _HistogramChild.__init__(self, bounds)
+        _Instrument.__init__(self, name, help, label_names)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def drop_all_exemplars(self, trace_id: str) -> None:
+        """Remove every exemplar referencing *trace_id* (trace evicted)."""
+        for child in self._children.values():
+            child.drop_exemplars(trace_id)
+
+
+class MetricsRegistry:
+    """Owns every instrument of one deployment, keyed by metric name.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing instrument (and raises if the kind or label names differ, the
+    usual copy-paste bug).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help: str = "", label_names: tuple[str, ...] = ()) -> Counter:
+        """Get or create the counter *name*."""
+        return self._register(Counter, name, help, tuple(label_names))
+
+    def gauge(self, name: str, help: str = "", label_names: tuple[str, ...] = ()) -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._register(Gauge, name, help, tuple(label_names))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get or create the histogram *name*."""
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(name, help, tuple(label_names), buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        self._check(existing, Histogram, name, tuple(label_names))
+        if buckets is not None and tuple(buckets) != existing.bounds:
+            raise ValueError(f"metric {name!r} re-registered with different buckets")
+        return existing
+
+    def _register(self, cls, name: str, help: str, label_names: tuple[str, ...]):
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = cls(name, help, label_names)
+            self._metrics[name] = metric
+            return metric
+        self._check(existing, cls, name, label_names)
+        return existing
+
+    @staticmethod
+    def _check(existing, cls, name: str, label_names: tuple[str, ...]) -> None:
+        if type(existing) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        if existing.label_names != label_names:
+            raise ValueError(f"metric {name!r} re-registered with different labels")
+
+    def attach(self, metric: _Instrument) -> _Instrument:
+        """Expose an externally **owned** instrument under its name.
+
+        Unlike :meth:`counter` & co. (idempotent sharing), ``attach``
+        replaces any existing registration: the caller owns the instrument
+        and its zeroed state.  Used by components that must keep private
+        counts (one dashboard collector per service) while still appearing
+        in the deployment's exposition — the latest attached owner wins.
+        """
+        self._metrics[metric.name] = metric
+        return metric
+
+    def get(self, name: str) -> _Instrument | None:
+        """The instrument registered as *name* (None when absent)."""
+        return self._metrics.get(name)
+
+    def collect(self) -> list[_Instrument]:
+        """Every instrument, sorted by name (the exposition order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def histograms(self) -> list[Histogram]:
+        """Every histogram in the registry."""
+        return [m for m in self._metrics.values() if isinstance(m, Histogram)]
+
+    def drop_exemplars(self, trace_id: str) -> None:
+        """Remove every exemplar referencing *trace_id* from all histograms.
+
+        Called by the trace sampler when it evicts a retained trace, so an
+        exemplar never dangles: every exposed trace id resolves to a trace
+        that can actually be fetched.
+        """
+        for histogram in self.histograms():
+            histogram.drop_all_exemplars(trace_id)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of the whole registry."""
+        return render_prometheus(self)
+
+
+class _NullChild:
+    """One shared sink for every disabled instrument."""
+
+    __slots__ = ()
+
+    def labels(self, *label_values: object) -> "_NullChild":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_CHILD = _NullChild()
+
+
+class NullRegistry(MetricsRegistry):
+    """A disabled registry: every instrument is the shared no-op child."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", label_names: tuple[str, ...] = ()):  # type: ignore[override]
+        return _NULL_CHILD
+
+    def gauge(self, name: str, help: str = "", label_names: tuple[str, ...] = ()):  # type: ignore[override]
+        return _NULL_CHILD
+
+    def histogram(self, name: str, help: str = "", label_names=(), buckets=None):  # type: ignore[override]
+        return _NULL_CHILD
+
+    def attach(self, metric: _Instrument) -> _Instrument:  # type: ignore[override]
+        return metric
+
+
+#: Shared disabled registry — the zero-cost default of every component.
+NULL_REGISTRY = NullRegistry()
+
+
+def _render_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Serialise *registry* in the Prometheus text format.
+
+    Output is deterministic: metrics sort by name, children by label
+    values.  Histogram buckets are cumulative with an implicit ``+Inf``;
+    bucket exemplars render in OpenMetrics style
+    (``… # {trace_id="q-0000004"} 2.31``).
+    """
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        children = sorted(metric.children.items())
+        if isinstance(metric, Histogram):
+            for label_values, child in children:
+                cumulative = 0
+                for index, bound in enumerate(metric.bounds):
+                    cumulative += child.counts[index]
+                    suffix = _label_suffix(
+                        metric.label_names + ("le",), label_values + (_render_bound(bound),)
+                    )
+                    line = f"{metric.name}_bucket{suffix} {cumulative}"
+                    exemplar = child.exemplars[index]
+                    if exemplar is not None:
+                        value, trace_id = exemplar
+                        line += f' # {{trace_id="{_escape_label(trace_id)}"}} {_format_value(value)}'
+                    lines.append(line)
+                cumulative += child.counts[-1]
+                suffix = _label_suffix(metric.label_names + ("le",), label_values + ("+Inf",))
+                line = f"{metric.name}_bucket{suffix} {cumulative}"
+                exemplar = child.exemplars[-1]
+                if exemplar is not None:
+                    value, trace_id = exemplar
+                    line += f' # {{trace_id="{_escape_label(trace_id)}"}} {_format_value(value)}'
+                lines.append(line)
+                base = _label_suffix(metric.label_names, label_values)
+                lines.append(f"{metric.name}_sum{base} {_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{base} {child.count}")
+        else:
+            for label_values, child in children:
+                suffix = _label_suffix(metric.label_names, label_values)
+                lines.append(f"{metric.name}{suffix} {_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

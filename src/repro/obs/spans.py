@@ -45,6 +45,14 @@ shard, the simulated replica latency, and whether a hedged retry fired;
 ``scatter_wait`` models the barrier of the parallel fan-out (its cost is
 the *maximum* replica latency, not the sum, because shards are queried
 concurrently in a real deployment).
+
+Stage names also key the telemetry layer: the backend observes each leaf
+stage's duration into the ``uniask_stage_seconds{stage=<name>}`` histogram
+of the metrics registry, and when the request's trace is retained by the
+sampler the histogram bucket keeps the request id as an **exemplar** — the
+trace id of the slowest sample in that bucket — so a per-stage latency
+spike in the ``/metrics`` exposition links back to a concrete retained
+trace (see :mod:`repro.obs.metrics` and :mod:`repro.obs.sampling`).
 """
 
 from __future__ import annotations

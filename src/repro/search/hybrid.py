@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs import spans
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import RequestContext, null_context
 from repro.search.fulltext import FullTextSearch, ScoringProfile
 from repro.search.fusion import DEFAULT_RRF_CONSTANT, reciprocal_rank_fusion
@@ -58,6 +59,7 @@ class HybridSemanticSearch:
         reranker: SemanticReranker | None = None,
         config: HybridSearchConfig | None = None,
         profile: ScoringProfile | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or HybridSearchConfig()
         if self.config.use_reranker and reranker is None:
@@ -66,6 +68,15 @@ class HybridSemanticSearch:
         self._reranker = reranker
         self._fulltext = FullTextSearch(index, profile=profile)
         self._vector = VectorSearch(index)
+        registry = registry or NULL_REGISTRY
+        self._m_searches = registry.counter(
+            "uniask_searches_total", "Hybrid retrievals served, by mode.", ("mode",)
+        )
+        self._m_fused = registry.histogram(
+            "uniask_fusion_candidates",
+            "Candidates entering RRF fusion per retrieval.",
+            buckets=(10.0, 25.0, 50.0, 100.0, 200.0),
+        )
 
     @property
     def index(self) -> SearchIndex:
@@ -81,6 +92,7 @@ class HybridSemanticSearch:
         """Retrieve the final ranking of chunks for *query*."""
         ctx = ctx or null_context()
         config = self.config
+        self._m_searches.labels(config.mode).inc()
         rankings: dict[str, list[RetrievedChunk]] = {}
 
         if config.mode in ("hybrid", "text"):
@@ -167,10 +179,12 @@ class HybridSemanticSearch:
     ) -> list[RetrievedChunk]:
         """The shared fuse → rerank → truncate tail of every entry point."""
         config = self.config
+        candidates = sum(len(ranking) for ranking in rankings.values())
+        self._m_fused.observe(float(candidates))
         with ctx.trace.span(
             spans.STAGE_FUSION,
             sources=len(rankings),
-            candidates=sum(len(ranking) for ranking in rankings.values()),
+            candidates=candidates,
         ) as span:
             fused = reciprocal_rank_fusion(rankings, c=config.rrf_c, top_n=config.final_n)
             span.set("results", len(fused))

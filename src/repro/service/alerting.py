@@ -6,6 +6,14 @@ evaluate a :class:`~repro.service.monitoring.DashboardSnapshot` and fire
 when an operational threshold is crossed: failed-request spikes, guardrail
 rate drift (the Phase 1 release-1 bug would have tripped this), latency
 degradation, or traffic drops.
+
+Alongside the threshold rules, :func:`evaluate_slo_alerts` runs the
+multi-window burn-rate evaluation of :mod:`repro.obs.slo` over the raw
+query log: :func:`default_slos` declares the three service objectives
+(availability, latency, guardrail pass rate) together with the predicate
+that classifies each :class:`~repro.service.monitoring.QueryEvent` as good
+or bad, and every fired :class:`~repro.obs.slo.BurnRateAlert` is adapted
+into the same :class:`Alert` shape the threshold rules emit.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.service.monitoring import DashboardSnapshot
+from repro.obs.slo import DEFAULT_BURN_WINDOWS, SLO, BurnWindow, SloSample, evaluate_burn_rates
+from repro.service.monitoring import DashboardSnapshot, QueryEvent
 
 #: Severities, in escalation order.
 SEVERITY_WARNING = "warning"
@@ -108,4 +117,78 @@ def evaluate_alerts(
         alert = rule.evaluate(snapshot)
         if alert is not None:
             fired.append(alert)
+    return fired
+
+
+@dataclass(frozen=True)
+class ServiceSlo:
+    """One service SLO plus the predicate classifying a query event as good."""
+
+    slo: SLO
+    good: Callable[[QueryEvent], bool]
+
+
+def default_slos(latency_threshold: float = 5.0) -> list[ServiceSlo]:
+    """The three service objectives and their event classifiers.
+
+    * **availability** (99%): the request did not fail outright.
+    * **latency** (95% under *latency_threshold* seconds): served fast
+      enough — failed requests also count against it (a timeout is slow).
+    * **guardrail pass rate** (85%): the answer was not invalidated by a
+      guardrail; calibrated from Table 5, where a healthy system blocks
+      well under 15% of answers.
+    """
+    return [
+        ServiceSlo(
+            slo=SLO(
+                "availability", 0.99, "99% of requests complete without failing"
+            ),
+            good=lambda event: not event.failed,
+        ),
+        ServiceSlo(
+            slo=SLO(
+                "latency",
+                0.95,
+                f"95% of requests served within {latency_threshold:g}s",
+            ),
+            good=lambda event: (not event.failed)
+            and event.response_time <= latency_threshold,
+        ),
+        ServiceSlo(
+            slo=SLO(
+                "guardrail_pass_rate",
+                0.85,
+                "85% of generated answers survive the guardrail pipeline",
+            ),
+            good=lambda event: not event.outcome.startswith("guardrail_"),
+        ),
+    ]
+
+
+def evaluate_slo_alerts(
+    events: list[QueryEvent],
+    now: float,
+    slos: list[ServiceSlo] | None = None,
+    windows: tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS,
+) -> list[Alert]:
+    """Run the multi-window burn-rate check of every SLO over the query log.
+
+    Each fired :class:`~repro.obs.slo.BurnRateAlert` maps to an
+    :class:`Alert` named ``slo_<name>``, so SLO alerts and threshold alerts
+    share one downstream shape (routing, display, tests).
+    """
+    fired: list[Alert] = []
+    for service_slo in slos if slos is not None else default_slos():
+        samples = [
+            SloSample(timestamp=event.timestamp, good=service_slo.good(event))
+            for event in events
+        ]
+        for burn_alert in evaluate_burn_rates(service_slo.slo, samples, now, windows):
+            fired.append(
+                Alert(
+                    rule=f"slo_{burn_alert.slo}",
+                    severity=burn_alert.severity,
+                    message=burn_alert.message,
+                )
+            )
     return fired

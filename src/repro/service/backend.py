@@ -9,6 +9,17 @@ The in-process equivalent exposes the same three endpoints — ``login``,
 ``query``, ``feedback`` — enforces session authentication, models response
 time (retrieval + LLM latency as a function of token volume), and writes
 every event to the monitoring collector.
+
+On top of the user-facing endpoints sits a single **ops-route table**
+(:attr:`BackendService.OPS_ROUTES`): the dashboard, the cluster status, the
+Prometheus ``/metrics`` exposition and the SLO status all dispatch through
+one :meth:`BackendService.ops` entry point with exactly one authorization
+check, while the ``/healthz`` and ``/readyz`` probes are deliberately
+unauthenticated (a load balancer holds no session token).  Every served
+request is also appended to the telemetry audit log — request id, user,
+outcome, stage durations, shard probes, guardrail verdicts — and offered to
+the trace sampler, which decides whether the full trace is retained and
+linked from the latency histograms as an exemplar.
 """
 
 from __future__ import annotations
@@ -19,6 +30,8 @@ from dataclasses import dataclass, replace
 from repro.core.answer import UniAskAnswer
 from repro.core.engine import UniAskEngine
 from repro.obs import spans
+from repro.obs.audit import AuditLogger, NULL_AUDIT
+from repro.obs.telemetry import Telemetry
 from repro.obs.trace import RequestContext, Span, Trace
 from repro.pipeline.clock import SimulatedClock
 from repro.service.feedback import FeedbackStore, GranularFeedback
@@ -79,11 +92,25 @@ class StageLatencyModel:
     charged once on ``scatter_wait`` as the maximum replica latency
     (carried on the span's ``wait`` attribute) — not the serial sum of the
     per-shard latencies.
+
+    A leaf span whose name matches no modeled branch silently gets
+    :data:`DEFAULT_LEAF_COST` — correct as a floor, but it usually means a
+    new pipeline stage was added without a latency branch here.  The first
+    time each unknown name falls through, the model emits a WARNING-level
+    entry (``unknown_stage_cost``) on the audit log so the gap is visible
+    exactly once instead of never.
     """
 
-    def __init__(self, base_latency: float = 0.4, seconds_per_kilo_token: float = 1.1) -> None:
+    def __init__(
+        self,
+        base_latency: float = 0.4,
+        seconds_per_kilo_token: float = 1.1,
+        audit: AuditLogger | None = None,
+    ) -> None:
         self._base_latency = base_latency
         self._seconds_per_kilo_token = seconds_per_kilo_token
+        self._audit = audit if audit is not None else NULL_AUDIT
+        self._warned_stages: set[str] = set()
 
     def __call__(self, span: Span) -> float:
         """Modeled seconds spent in *span* (0.0 for aggregate spans)."""
@@ -118,11 +145,43 @@ class StageLatencyModel:
             return 0.0005 + float(attrs.get("wait", 0.0))
         # Aggregate spans cost nothing themselves; any other *leaf* span is
         # work and gets the default floor.
-        return DEFAULT_LEAF_COST if span.is_leaf else 0.0
+        if span.is_leaf:
+            if name not in self._warned_stages:
+                self._warned_stages.add(name)
+                self._audit.warning(
+                    "unknown_stage_cost",
+                    stage=name,
+                    modeled_seconds=DEFAULT_LEAF_COST,
+                    hint="add a latency branch to StageLatencyModel",
+                )
+            return DEFAULT_LEAF_COST
+        return 0.0
 
 
 class BackendService:
-    """The REST layer of UniAsk, in process."""
+    """The REST layer of UniAsk, in process.
+
+    Args:
+        telemetry: the deployment's telemetry plane (registry + trace
+            sampler + audit log).  Defaults to the engine's own telemetry
+            when the engine carries an enabled one (the factory wires it
+            that way), else a fresh default-config :class:`Telemetry` on
+            the service clock.
+    """
+
+    #: route name → (handler attribute, requires the ops role).  All
+    #: authorization for operational endpoints happens in :meth:`ops`,
+    #: driven by this table — exactly one check, no per-endpoint copies.
+    #: ``healthz``/``readyz`` are unauthenticated by design: liveness and
+    #: readiness are probed by load balancers, which hold no session.
+    OPS_ROUTES: dict[str, tuple[str, bool]] = {
+        "dashboard": ("_ops_dashboard", True),
+        "cluster_status": ("_ops_cluster_status", True),
+        "metrics": ("_ops_metrics", True),
+        "slo": ("_ops_slo", True),
+        "healthz": ("_ops_healthz", False),
+        "readyz": ("_ops_readyz", False),
+    }
 
     def __init__(
         self,
@@ -134,10 +193,18 @@ class BackendService:
         latency_jitter: float = 0.15,
         seed: int = 11,
         tracing: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._engine = engine
         self._clock = clock
-        self.metrics = metrics or MetricsCollector()
+        if telemetry is None:
+            engine_telemetry = getattr(engine, "telemetry", None)
+            if engine_telemetry is not None and engine_telemetry.enabled:
+                telemetry = engine_telemetry
+            else:
+                telemetry = Telemetry(clock=clock)
+        self.telemetry = telemetry
+        self.metrics = metrics or MetricsCollector(registry=telemetry.registry)
         self.feedback_store = FeedbackStore()
         self._sessions: dict[str, tuple[str, str]] = {}  # token -> (user_id, role)
         self._records: dict[str, QueryRecord] = {}
@@ -150,7 +217,9 @@ class BackendService:
         self._token_rng = random.Random(seed ^ 0xA5A5_5A5A)
         self._query_counter = 0
         self._tracing = tracing
-        self._stage_model = StageLatencyModel(base_latency, seconds_per_kilo_token)
+        self._stage_model = StageLatencyModel(
+            base_latency, seconds_per_kilo_token, audit=telemetry.audit
+        )
 
     # -- endpoints ------------------------------------------------------------
 
@@ -169,10 +238,24 @@ class BackendService:
         self._sessions[token] = (user_id, role)
         return token
 
+    def ops(self, route: str, token: str = "", **params):
+        """Dispatch one operational endpoint through the route table.
+
+        The single authorization check of the ops surface lives here:
+        routes flagged as privileged require an ops-role session, probe
+        routes run unauthenticated.  Unknown routes raise ``KeyError``.
+        """
+        try:
+            handler_name, requires_ops = self.OPS_ROUTES[route]
+        except KeyError:
+            raise KeyError(f"unknown ops route {route!r}") from None
+        if requires_ops:
+            self._authorize(token, ROLE_OPS)
+        return getattr(self, handler_name)(**params)
+
     def dashboard(self, token: str, bucket_seconds: float = 60.0):
         """The monitoring dashboard — operations role only (least privilege)."""
-        self._authorize(token, ROLE_OPS)
-        return self.metrics.snapshot(bucket_seconds=bucket_seconds)
+        return self.ops("dashboard", token, bucket_seconds=bucket_seconds)
 
     def cluster_status(self, token: str):
         """Shard sizes and replica health — operations role only.
@@ -180,9 +263,29 @@ class BackendService:
         Returns a :class:`~repro.cluster.router.ClusterStatus`, or None
         when the deployment serves from a single index.
         """
-        self._authorize(token, ROLE_OPS)
-        status = getattr(self._engine.searcher, "status", None)
-        return status() if status is not None else None
+        return self.ops("cluster_status", token)
+
+    def metrics_text(self, token: str) -> str:
+        """The Prometheus text exposition — operations role only."""
+        return self.ops("metrics", token)
+
+    def slo_status(self, token: str):
+        """Burn-rate evaluation of the service SLOs — operations role only."""
+        return self.ops("slo", token)
+
+    def healthz(self) -> dict:
+        """Liveness probe (unauthenticated): the process is up."""
+        return self.ops("healthz")
+
+    def readyz(self) -> dict:
+        """Readiness probe (unauthenticated): the service can take traffic.
+
+        Cluster-aware: a sharded deployment is ready only while every
+        shard still has a live, serving replica — a degraded cluster keeps
+        answering (partial results) but reports not-ready so the balancer
+        can drain it.
+        """
+        return self.ops("readyz")
 
     def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
         """Serve one question for an authenticated session.
@@ -220,15 +323,21 @@ class BackendService:
             trace=trace,
         )
         self._records[record.query_id] = record
+        sampled = False
+        stages = trace.stage_durations() if trace is not None else None
+        if trace is not None:
+            sampled = self.telemetry.sampler.offer(query_id, trace, trace.total_duration)
         self.metrics.record_query(
             timestamp=record.served_at,
             user_id=user_id,
             outcome=answer.outcome,
             response_time=response_time,
-            stages=trace.stage_durations() if trace is not None else None,
+            stages=stages,
             partial=answer.partial_results,
+            trace_id=query_id if sampled else "",
         )
         scatter = self._engine.last_scatter_report
+        probe_log: list[dict] = []
         if scatter is not None:
             for probe in scatter.probes:
                 self.metrics.record_shard_probe(
@@ -239,15 +348,43 @@ class BackendService:
                     ok=probe.ok,
                     hedged=probe.hedged,
                 )
+                probe_log.append(
+                    {
+                        "shard": probe.shard_id,
+                        "replica": probe.replica_id,
+                        "latency": probe.latency,
+                        "ok": probe.ok,
+                        "hedged": probe.hedged,
+                    }
+                )
+        report = answer.guardrail_report
+        self.telemetry.audit.info(
+            "request",
+            request_id=query_id,
+            user=user_id,
+            outcome=answer.outcome,
+            response_time=response_time,
+            partial=answer.partial_results,
+            sampled=sampled,
+            stages=stages or {},
+            shard_probes=probe_log,
+            guardrails=[
+                {"guardrail": verdict.guardrail, "passed": verdict.passed}
+                for verdict in (report.verdicts if report is not None else ())
+            ],
+        )
         return record
 
     def feedback(self, token: str, feedback: GranularFeedback) -> None:
         """Store one feedback form for a previously served query."""
-        self._authenticate(token)
+        user_id = self._authenticate(token)
         if feedback.query_id not in self._records:
             raise KeyError(f"unknown query id {feedback.query_id}")
         self.feedback_store.add(feedback)
         self.metrics.record_feedback()
+        self.telemetry.audit.info(
+            "feedback", request_id=feedback.query_id, user=user_id
+        )
 
     # -- accessors ----------------------------------------------------------------
 
@@ -259,6 +396,38 @@ class BackendService:
     def served_queries(self) -> int:
         """Number of queries served so far."""
         return self._query_counter
+
+    # -- ops handlers (dispatched through the route table) --------------------
+
+    def _ops_dashboard(self, bucket_seconds: float = 60.0):
+        return self.metrics.snapshot(bucket_seconds=bucket_seconds)
+
+    def _ops_cluster_status(self):
+        status = getattr(self._engine.searcher, "status", None)
+        return status() if status is not None else None
+
+    def _ops_metrics(self) -> str:
+        return self.telemetry.render_metrics()
+
+    def _ops_slo(self):
+        from repro.service.alerting import evaluate_slo_alerts
+
+        return evaluate_slo_alerts(self.metrics.events, now=self._clock.now())
+
+    def _ops_healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "time": self._clock.now(),
+            "served_queries": self._query_counter,
+        }
+
+    def _ops_readyz(self) -> dict:
+        status_fn = getattr(self._engine.searcher, "status", None)
+        if status_fn is None:
+            return {"ready": True, "mode": "single-index", "shards": {}}
+        status = status_fn()
+        shards = {f"shard-{shard.shard_id}": shard.available for shard in status.shards}
+        return {"ready": not status.degraded, "mode": "cluster", "shards": shards}
 
     # -- internals ------------------------------------------------------------------
 

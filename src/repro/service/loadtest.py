@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.llm.rate_limiter import TokenBucketRateLimiter
+from repro.obs.audit import AuditLogger, read_audit_log
 
 
 @dataclass(frozen=True)
@@ -178,6 +180,7 @@ def run_cluster_load_test(
     clock,
     queries: list[str],
     config: ClusterLoadTestConfig | None = None,
+    audit: AuditLogger | None = None,
 ) -> ClusterLoadTestReport:
     """Drive *searcher* through an arrival process with fault injection.
 
@@ -186,12 +189,20 @@ def run_cluster_load_test(
     evaluated against it).  Killed shards degrade queries to partial
     results — they never raise — and the report counts how many queries
     were affected while the shard was down.
+
+    When an enabled *audit* logger is supplied, the run writes one
+    ``cluster_load_scenario`` header plus one ``cluster_query`` entry per
+    arrival, then **replays its own log** through
+    :func:`replay_cluster_report` and asserts the replayed report equals
+    the live one — proving the JSONL log alone carries the full result
+    (raises ``RuntimeError`` otherwise).
     """
     from repro.service.monitoring import percentile
 
     config = config or ClusterLoadTestConfig()
     if not queries:
         raise ValueError("at least one query is required")
+    audit = audit if audit is not None and audit.enabled else None
 
     arrivals = arrival_times(
         LoadTestConfig(
@@ -202,6 +213,19 @@ def run_cluster_load_test(
     )
     minutes = int(math.ceil(config.duration_seconds / 60.0))
     partial_per_minute = [0] * minutes
+
+    if audit is not None:
+        audit.info(
+            "cluster_load_scenario",
+            duration_seconds=config.duration_seconds,
+            initial_rate=config.initial_rate,
+            target_rate=config.target_rate,
+            kill_at=config.kill_at,
+            kill_shard=config.kill_shard,
+            kill_all_replicas=config.kill_all_replicas,
+            revive_at=config.revive_at,
+            arrivals=len(arrivals),
+        )
 
     killed: list = []
     total = 0
@@ -224,14 +248,92 @@ def run_cluster_load_test(
         searcher.search(queries[i % len(queries)])
         report = searcher.take_scatter_report()
         total += 1
+        is_partial = False
+        is_hedged = False
+        probes: list[dict] = []
         if report is not None:
             shard_latencies.extend(probe.latency for probe in report.probes)
-            if report.hedged:
+            is_hedged = report.hedged
+            is_partial = report.partial
+            if is_hedged:
                 hedged += 1
-            if report.partial:
+            if is_partial:
                 partial += 1
                 partial_per_minute[min(int(t // 60.0), minutes - 1)] += 1
+            probes = [
+                {
+                    "shard": probe.shard_id,
+                    "replica": probe.replica_id,
+                    "latency": probe.latency,
+                    "ok": probe.ok,
+                    "hedged": probe.hedged,
+                }
+                for probe in report.probes
+            ]
+        if audit is not None:
+            audit.info(
+                "cluster_query",
+                seq=i,
+                arrival=t,
+                partial=is_partial,
+                hedged=is_hedged,
+                probes=probes,
+            )
 
+    result = ClusterLoadTestReport(
+        total_queries=total,
+        partial_queries=partial,
+        hedged_queries=hedged,
+        shard_latency_p95=percentile(shard_latencies, 95.0),
+        partial_per_minute=partial_per_minute,
+    )
+    if audit is not None:
+        # Round-trip through the canonical serialisation, not the in-memory
+        # dicts: the guarantee is that the *file* reproduces the report.
+        replayed = replay_cluster_report(read_audit_log(audit.lines()))
+        if replayed != result:
+            raise RuntimeError(
+                "audit-log replay diverged from the live report: "
+                f"{replayed} != {result}"
+            )
+    return result
+
+
+def replay_cluster_report(entries: Iterable[dict]) -> ClusterLoadTestReport:
+    """Rebuild a :class:`ClusterLoadTestReport` from audit-log entries alone.
+
+    Expects one ``cluster_load_scenario`` header followed by the run's
+    ``cluster_query`` entries (other events are ignored).  JSON round-trips
+    floats exactly, so the replayed report — including the latency p95 —
+    is equal, not merely close, to the live one.
+    """
+    scenario: dict | None = None
+    total = 0
+    partial = 0
+    hedged = 0
+    shard_latencies: list[float] = []
+    partial_per_minute: list[int] = []
+    from repro.service.monitoring import percentile
+
+    for entry in entries:
+        event = entry.get("event")
+        if event == "cluster_load_scenario":
+            scenario = entry
+            minutes = int(math.ceil(float(entry["duration_seconds"]) / 60.0))
+            partial_per_minute = [0] * minutes
+        elif event == "cluster_query":
+            if scenario is None:
+                raise ValueError("cluster_query entry before the scenario header")
+            total += 1
+            shard_latencies.extend(probe["latency"] for probe in entry["probes"])
+            if entry["hedged"]:
+                hedged += 1
+            if entry["partial"]:
+                partial += 1
+                minutes = len(partial_per_minute)
+                partial_per_minute[min(int(entry["arrival"] // 60.0), minutes - 1)] += 1
+    if scenario is None:
+        raise ValueError("no cluster_load_scenario header in the audit log")
     return ClusterLoadTestReport(
         total_queries=total,
         partial_queries=partial,

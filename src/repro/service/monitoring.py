@@ -10,29 +10,80 @@ requests and triggered guardrails."
 time series for plotting and — when the backend serves traced requests —
 per-stage latency percentiles keyed on the span taxonomy of
 :mod:`repro.obs.spans`.
+
+The collector is built on a typed
+:class:`~repro.obs.metrics.MetricsRegistry`: the headline numbers (queries
+by outcome, failures, feedbacks, distinct users, response-time totals,
+partial results, hedged probes) live in registry instruments — the same
+ones the ``/metrics`` exposition scrapes — and the snapshot reads them
+back, so the dashboard page and the exposition can never disagree.  Raw
+events are still retained for the per-bucket series and the exact
+nearest-rank percentiles; their sorted order is cached per series and
+reused across percentiles and snapshots instead of re-sorting on every
+call (see :class:`_SampleSeries`).
 """
 
 from __future__ import annotations
 
 import math
-from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.answer import OUTCOME_ANSWERED
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 
-def percentile(values: list[float], q: float) -> float:
-    """The *q*-th percentile of *values* by the nearest-rank method.
+def percentile_of_sorted(ordered: list[float], q: float) -> float:
+    """The *q*-th percentile of an already **sorted** list (nearest rank).
 
     ``q`` is in [0, 100]; an empty list yields 0.0.
     """
     if not (0.0 <= q <= 100.0):
         raise ValueError("q must be between 0 and 100")
-    if not values:
+    if not ordered:
         return 0.0
-    ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile of *values* by the nearest-rank method.
+
+    Sorts a copy on every call — fine for one-off use; callers computing
+    several percentiles over the same (growing) series should keep a
+    :class:`_SampleSeries` and use :func:`percentile_of_sorted` instead.
+    """
+    return percentile_of_sorted(sorted(values), q)
+
+
+class _SampleSeries:
+    """An append-only sample list with a lazily cached sorted view.
+
+    ``sorted_values`` sorts at most once per batch of appends: the cache is
+    invalidated on append and every percentile of the same snapshot (and
+    every later snapshot without new samples) reuses it.  At dashboard
+    scale (tens of thousands of events, two percentiles per stage per
+    snapshot) this is the difference between one sort and one sort per
+    percentile call — measured by ``benchmarks/bench_telemetry.py``.
+    """
+
+    __slots__ = ("values", "_sorted")
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def append(self, value: float) -> None:
+        self.values.append(value)
+        self._sorted = None
+
+    @property
+    def sorted_values(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        return self._sorted
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 @dataclass(frozen=True)
@@ -98,13 +149,86 @@ class DashboardSnapshot:
     replica_health: dict[str, float] = field(default_factory=dict)
 
 
-class MetricsCollector:
-    """Aggregates query events and feedback counts for the dashboard."""
+#: Buckets of the backend response-time histogram (seconds): the traced
+#: totals sit between ~0.5 s (apologies) and ~10 s (long generations).
+RESPONSE_TIME_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
 
-    def __init__(self) -> None:
+#: Buckets of the per-stage duration histograms (seconds): stages range
+#: from sub-millisecond fusion to multi-second LLM calls.
+STAGE_SECONDS_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384)
+
+
+class MetricsCollector:
+    """Aggregates query events and feedback counts for the dashboard.
+
+    Args:
+        registry: the deployment's metrics registry; the collector's
+            headline instruments (``uniask_queries_total`` & co.) are
+            **owned** by this collector and attached there, so the
+            ``/metrics`` exposition includes them while each collector
+            starts from zero (a fresh service never inherits another's
+            counts — the latest attached collector wins the exposition).
+            Defaults to a private registry so standalone collectors keep
+            working.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        registry = self.registry
         self._events: list[QueryEvent] = []
         self._shard_probes: list[ShardProbeEvent] = []
-        self._feedback_count = 0
+        self._user_ids: set[str] = set()
+        self._stage_series: dict[str, _SampleSeries] = {}
+        self._shard_series: dict[str, _SampleSeries] = {}
+        self._shard_ok: dict[str, list[bool]] = {}
+        self._replica_ok: dict[str, list[bool]] = {}
+
+        self._m_queries = registry.attach(
+            Counter(
+                "uniask_queries_total",
+                "Queries served by the backend, by outcome.",
+                ("outcome",),
+            )
+        )
+        self._m_failed = registry.attach(
+            Counter("uniask_failed_requests_total", "Requests that failed outright.")
+        )
+        self._m_feedback = registry.attach(
+            Counter("uniask_feedback_total", "Feedback forms submitted.")
+        )
+        self._m_users = registry.attach(Gauge("uniask_users", "Distinct users seen so far."))
+        self._m_partial = registry.attach(
+            Counter("uniask_partial_results_total", "Queries served from a degraded cluster.")
+        )
+        self._m_hedged = registry.attach(
+            Counter(
+                "uniask_hedged_shard_probes_total",
+                "Shard probes that needed a hedged retry.",
+            )
+        )
+        self._m_response = registry.attach(
+            Histogram(
+                "uniask_response_seconds",
+                "End-to-end response time of served (non-failed) queries.",
+                buckets=RESPONSE_TIME_BUCKETS,
+            )
+        )
+        self._m_stage = registry.attach(
+            Histogram(
+                "uniask_stage_seconds",
+                "Leaf-stage durations of traced requests, by span name.",
+                ("stage",),
+                buckets=STAGE_SECONDS_BUCKETS,
+            )
+        )
+        self._m_shard_latency = registry.attach(
+            Histogram(
+                "uniask_shard_probe_seconds",
+                "Replica latency of shard probes, by shard.",
+                ("shard",),
+                buckets=STAGE_SECONDS_BUCKETS,
+            )
+        )
 
     def record_query(
         self,
@@ -115,8 +239,15 @@ class MetricsCollector:
         failed: bool = False,
         stages: dict[str, float] | None = None,
         partial: bool = False,
+        trace_id: str = "",
     ) -> None:
-        """Log one served (or failed) query, with optional stage durations."""
+        """Log one served (or failed) query, with optional stage durations.
+
+        ``trace_id`` links the observation to a retained trace: when set,
+        the response-time and per-stage histograms record it as the bucket
+        exemplar (only pass ids the trace sampler actually retained, so
+        every exposed exemplar resolves).
+        """
         self._events.append(
             QueryEvent(
                 timestamp=timestamp,
@@ -128,6 +259,23 @@ class MetricsCollector:
                 partial=partial,
             )
         )
+        self._m_queries.labels(outcome).inc()
+        self._user_ids.add(user_id)
+        self._m_users.set(float(len(self._user_ids)))
+        exemplar = trace_id or None
+        if failed:
+            self._m_failed.inc()
+        else:
+            self._m_response.observe(response_time, trace_id=exemplar)
+        if partial:
+            self._m_partial.inc()
+        if stages:
+            for stage, duration in stages.items():
+                series = self._stage_series.get(stage)
+                if series is None:
+                    series = self._stage_series[stage] = _SampleSeries()
+                series.append(duration)
+                self._m_stage.labels(stage).observe(duration, trace_id=exemplar)
 
     def record_shard_probe(
         self,
@@ -149,10 +297,21 @@ class MetricsCollector:
                 hedged=hedged,
             )
         )
+        key = f"shard-{shard_id}"
+        series = self._shard_series.get(key)
+        if series is None:
+            series = self._shard_series[key] = _SampleSeries()
+        series.append(latency)
+        self._shard_ok.setdefault(key, []).append(ok)
+        if replica_id:
+            self._replica_ok.setdefault(replica_id, []).append(ok)
+        if hedged:
+            self._m_hedged.inc()
+        self._m_shard_latency.labels(key).observe(latency)
 
     def record_feedback(self) -> None:
         """Count one submitted feedback form."""
-        self._feedback_count += 1
+        self._m_feedback.inc()
 
     @property
     def events(self) -> list[QueryEvent]:
@@ -168,15 +327,18 @@ class MetricsCollector:
         """Aggregate everything logged so far into one dashboard page."""
         if bucket_seconds <= 0:
             raise ValueError("bucket_seconds must be positive")
-        outcomes = Counter(event.outcome for event in self._events)
+        outcome_breakdown = {
+            labels[0]: int(child.value)
+            for labels, child in self._m_queries.children.items()
+            if labels  # skip the parent's label-less self-cell
+        }
         guardrails = sum(
-            count for outcome, count in outcomes.items() if outcome.startswith("guardrail_")
+            count for outcome, count in outcome_breakdown.items()
+            if outcome.startswith("guardrail_")
         )
-        failed = sum(1 for event in self._events if event.failed)
-        served = [event for event in self._events if not event.failed]
-        average_rt = (
-            sum(event.response_time for event in served) / len(served) if served else 0.0
-        )
+        failed = int(self._m_failed.value)
+        served = self._m_response.count
+        average_rt = self._m_response.sum / served if served else 0.0
 
         queries_per_bucket: list[int] = []
         failures_per_bucket: list[int] = []
@@ -200,48 +362,48 @@ class MetricsCollector:
                 rt_sums[i] / rt_counts[i] if rt_counts[i] else 0.0 for i in range(buckets)
             ]
 
-        stage_samples: dict[str, list[float]] = {}
-        for event in self._events:
-            for stage, duration in event.stages:
-                stage_samples.setdefault(stage, []).append(duration)
-        stage_p50 = {stage: percentile(values, 50.0) for stage, values in stage_samples.items()}
-        stage_p95 = {stage: percentile(values, 95.0) for stage, values in stage_samples.items()}
-        stage_counts = {stage: len(values) for stage, values in stage_samples.items()}
+        stage_p50 = {}
+        stage_p95 = {}
+        stage_counts = {}
+        for stage, series in self._stage_series.items():
+            ordered = series.sorted_values  # one sort, reused by both percentiles
+            stage_p50[stage] = percentile_of_sorted(ordered, 50.0)
+            stage_p95[stage] = percentile_of_sorted(ordered, 95.0)
+            stage_counts[stage] = len(series)
 
-        shard_samples: dict[str, list[float]] = {}
-        shard_outcomes: dict[str, list[bool]] = {}
-        replica_outcomes: dict[str, list[bool]] = {}
-        for probe in self._shard_probes:
-            key = f"shard-{probe.shard_id}"
-            shard_samples.setdefault(key, []).append(probe.latency)
-            shard_outcomes.setdefault(key, []).append(probe.ok)
-            if probe.replica_id:
-                replica_outcomes.setdefault(probe.replica_id, []).append(probe.ok)
+        shard_p50 = {}
+        shard_p95 = {}
+        shard_counts = {}
+        for key, series in self._shard_series.items():
+            ordered = series.sorted_values
+            shard_p50[key] = percentile_of_sorted(ordered, 50.0)
+            shard_p95[key] = percentile_of_sorted(ordered, 95.0)
+            shard_counts[key] = len(series)
 
         return DashboardSnapshot(
-            users=len({event.user_id for event in self._events}),
-            queries=len(self._events),
-            feedbacks=self._feedback_count,
+            users=int(self._m_users.value),
+            queries=int(self._m_queries.total()),
+            feedbacks=int(self._m_feedback.value),
             average_response_time=average_rt,
             failed_requests=failed,
             guardrails_triggered=guardrails,
-            outcome_breakdown=dict(outcomes),
+            outcome_breakdown=outcome_breakdown,
             queries_per_bucket=queries_per_bucket,
             failures_per_bucket=failures_per_bucket,
             response_time_per_bucket=rt_per_bucket,
             stage_p50=stage_p50,
             stage_p95=stage_p95,
             stage_counts=stage_counts,
-            partial_results=sum(1 for event in self._events if event.partial),
-            hedged_requests=sum(1 for probe in self._shard_probes if probe.hedged),
-            shard_p50={key: percentile(values, 50.0) for key, values in shard_samples.items()},
-            shard_p95={key: percentile(values, 95.0) for key, values in shard_samples.items()},
-            shard_counts={key: len(values) for key, values in shard_samples.items()},
+            partial_results=int(self._m_partial.value),
+            hedged_requests=int(self._m_hedged.value),
+            shard_p50=shard_p50,
+            shard_p95=shard_p95,
+            shard_counts=shard_counts,
             shard_health={
-                key: sum(outcomes) / len(outcomes) for key, outcomes in shard_outcomes.items()
+                key: sum(outcomes) / len(outcomes) for key, outcomes in self._shard_ok.items()
             },
             replica_health={
-                key: sum(outcomes) / len(outcomes) for key, outcomes in replica_outcomes.items()
+                key: sum(outcomes) / len(outcomes) for key, outcomes in self._replica_ok.items()
             },
         )
 

@@ -1,0 +1,137 @@
+"""Tests for the structured audit log and its replay reader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.audit import (
+    AuditLogger,
+    LEVEL_WARNING,
+    NULL_AUDIT,
+    read_audit_log,
+    serialize_entry,
+)
+from repro.pipeline.clock import SimulatedClock
+
+
+class TestSerialisation:
+    def test_canonical_form(self):
+        line = serialize_entry({"b": 2, "a": 1, "text": "è"})
+        assert line == '{"a":1,"b":2,"text":"è"}'
+
+    def test_float_round_trip_is_exact(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        line = serialize_entry({"v": value})
+        assert json.loads(line)["v"] == value
+
+
+class TestAuditLogger:
+    def test_entries_carry_level_event_and_ts(self):
+        clock = SimulatedClock()
+        clock.advance(12.5)
+        audit = AuditLogger(clock=clock)
+        entry = audit.info("request", request_id="q-1")
+        assert entry == {"level": "INFO", "event": "request", "ts": 12.5, "request_id": "q-1"}
+
+    def test_clockless_logger_omits_ts(self):
+        audit = AuditLogger()
+        assert "ts" not in audit.info("request")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            AuditLogger().log("DEBUG", "x")
+
+    def test_find_and_len(self):
+        audit = AuditLogger()
+        audit.info("request", request_id="q-1")
+        audit.warning("unknown_stage_cost", stage="weird")
+        audit.info("request", request_id="q-2")
+        assert len(audit) == 3
+        assert [e["request_id"] for e in audit.find("request")] == ["q-1", "q-2"]
+        assert audit.find("unknown_stage_cost")[0]["level"] == LEVEL_WARNING
+
+    def test_lines_round_trip_through_reader(self):
+        audit = AuditLogger()
+        audit.info("request", request_id="q-1", latency=1.25)
+        audit.info("request", request_id="q-2", nested={"a": [1, 2]})
+        assert list(read_audit_log(audit.lines())) == audit.entries
+
+    def test_streaming_file_sink_and_dump(self, tmp_path):
+        sink = tmp_path / "live.jsonl"
+        audit = AuditLogger(path=sink)
+        audit.info("request", request_id="q-1")
+        audit.info("request", request_id="q-2")
+        assert list(read_audit_log(sink)) == audit.entries
+        dumped = audit.dump(tmp_path / "dump.jsonl")
+        assert dumped.read_text(encoding="utf-8") == sink.read_text(encoding="utf-8")
+
+    def test_same_run_same_bytes(self):
+        def run() -> list[str]:
+            clock = SimulatedClock()
+            audit = AuditLogger(clock=clock)
+            for i in range(5):
+                clock.advance(0.5)
+                audit.info("request", request_id=f"q-{i}", latency=0.1 * i)
+            return audit.lines()
+
+        assert run() == run()
+
+    def test_reader_rejects_malformed_lines(self):
+        with pytest.raises(json.JSONDecodeError):
+            list(read_audit_log(['{"ok":1}', "not json"]))
+
+    def test_reader_skips_blank_lines(self):
+        assert list(read_audit_log(['{"a":1}', "", "  "])) == [{"a": 1}]
+
+    def test_null_audit_records_nothing(self):
+        assert NULL_AUDIT.info("request", request_id="q-1") == {}
+        assert len(NULL_AUDIT) == 0
+        assert not NULL_AUDIT.enabled
+
+
+class TestStageLatencyModelWarning:
+    """Satellite: the stage-cost fallback logs a WARNING exactly once."""
+
+    @staticmethod
+    def _leaf_span(name: str):
+        from repro.obs.trace import Trace
+
+        trace = Trace(clock=SimulatedClock())
+        with trace.span(name):
+            pass
+        return trace.spans[0]
+
+    def test_unknown_leaf_warns_once_per_name(self):
+        from repro.service.backend import DEFAULT_LEAF_COST, StageLatencyModel
+
+        audit = AuditLogger()
+        model = StageLatencyModel(audit=audit)
+        span = self._leaf_span("experimental_stage")
+        assert model(span) == DEFAULT_LEAF_COST
+        assert model(span) == DEFAULT_LEAF_COST
+        warnings = audit.find("unknown_stage_cost")
+        assert len(warnings) == 1
+        assert warnings[0]["level"] == LEVEL_WARNING
+        assert warnings[0]["stage"] == "experimental_stage"
+        assert warnings[0]["modeled_seconds"] == DEFAULT_LEAF_COST
+
+    def test_each_unknown_name_warns_independently(self):
+        from repro.service.backend import StageLatencyModel
+
+        audit = AuditLogger()
+        model = StageLatencyModel(audit=audit)
+        model(self._leaf_span("stage_a"))
+        model(self._leaf_span("stage_b"))
+        assert {w["stage"] for w in audit.find("unknown_stage_cost")} == {"stage_a", "stage_b"}
+
+    def test_known_stages_do_not_warn(self):
+        from repro.obs import spans
+        from repro.service.backend import StageLatencyModel
+
+        audit = AuditLogger()
+        model = StageLatencyModel(audit=audit)
+        model(self._leaf_span(spans.STAGE_FUSION))
+        model(self._leaf_span(spans.STAGE_EMBED_QUERY))
+        assert audit.find("unknown_stage_cost") == []

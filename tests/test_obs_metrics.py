@@ -1,0 +1,221 @@
+"""Tests for the typed metrics registry and the Prometheus exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    exponential_buckets,
+    render_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        counter = Counter("uniask_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("uniask_things_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_counter_labels_are_independent_cells(self):
+        counter = Counter("uniask_outcomes_total", label_names=("outcome",))
+        counter.labels("answered").inc()
+        counter.labels("answered").inc()
+        counter.labels("failed").inc()
+        assert counter.labels("answered").value == 2
+        assert counter.labels("failed").value == 1
+        assert counter.total() == 3
+
+    def test_label_child_is_cached(self):
+        counter = Counter("uniask_outcomes_total", label_names=("outcome",))
+        assert counter.labels("a") is counter.labels("a")
+
+    def test_label_arity_enforced(self):
+        counter = Counter("uniask_outcomes_total", label_names=("a", "b"))
+        with pytest.raises(ValueError):
+            counter.labels("only-one")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("ok_name", label_names=("bad-label",))
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("uniask_depth")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 4.0
+
+    def test_histogram_buckets_and_sum(self):
+        hist = Histogram("uniask_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # one per bucket + one in +Inf
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(14.0)
+
+    def test_histogram_boundary_is_inclusive(self):
+        # Prometheus buckets are upper-inclusive: le="1.0" contains 1.0.
+        hist = Histogram("uniask_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("uniask_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("uniask_seconds", buckets=(1.0, 1.0))
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        assert len(DEFAULT_LATENCY_BUCKETS) == 12
+
+    def test_exemplar_keeps_slowest_sample_per_bucket(self):
+        hist = Histogram("uniask_seconds", buckets=(1.0, 10.0))
+        hist.observe(2.0, trace_id="t-slow-ish")
+        hist.observe(5.0, trace_id="t-slowest")
+        hist.observe(3.0, trace_id="t-middle")
+        assert hist.exemplars[1] == (5.0, "t-slowest")
+        # A bucket no sample with a trace id landed in has no exemplar.
+        assert hist.exemplars[0] is None
+
+    def test_drop_exemplars(self):
+        hist = Histogram("uniask_seconds", buckets=(1.0,), label_names=("stage",))
+        hist.labels("llm").observe(5.0, trace_id="t-1")
+        hist.drop_all_exemplars("t-1")
+        assert hist.labels("llm").exemplars == [None, None]
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("uniask_a_total", "help", ("x",))
+        second = registry.counter("uniask_a_total", "help", ("x",))
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("uniask_a")
+        with pytest.raises(ValueError):
+            registry.gauge("uniask_a")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("uniask_a", label_names=("x",))
+        with pytest.raises(ValueError):
+            registry.counter("uniask_a", label_names=("y",))
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("uniask_h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("uniask_h", buckets=(1.0, 3.0))
+        # Omitting buckets on re-registration accepts the existing ones.
+        assert registry.histogram("uniask_h") is registry.get("uniask_h")
+
+    def test_attach_replaces_owned_instrument(self):
+        registry = MetricsRegistry()
+        old = registry.attach(Counter("uniask_owned_total"))
+        old.inc(5)
+        fresh = registry.attach(Counter("uniask_owned_total"))
+        assert registry.get("uniask_owned_total") is fresh
+        assert fresh.value == 0
+        assert old.value == 5  # the previous owner's counts are untouched
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("uniask_z")
+        registry.counter("uniask_a")
+        assert [m.name for m in registry.collect()] == ["uniask_a", "uniask_z"]
+
+    def test_registry_drop_exemplars_spans_all_histograms(self):
+        registry = MetricsRegistry()
+        h1 = registry.histogram("uniask_h1", buckets=(1.0,))
+        h2 = registry.histogram("uniask_h2", buckets=(1.0,))
+        h1.observe(0.5, trace_id="t-9")
+        h2.observe(2.0, trace_id="t-9")
+        registry.drop_exemplars("t-9")
+        assert h1.exemplars == [None, None]
+        assert h2.exemplars == [None, None]
+
+    def test_null_registry_is_total_noop(self):
+        counter = NULL_REGISTRY.counter("uniask_x", "h", ("a",))
+        counter.labels("v").inc()
+        counter.inc(10)
+        hist = NULL_REGISTRY.histogram("uniask_y")
+        hist.observe(1.0, trace_id="t")
+        assert counter.value == 0.0
+        assert not NULL_REGISTRY.enabled
+        assert render_prometheus(NULL_REGISTRY) == ""
+
+
+class TestRenderPrometheus:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("uniask_q_total", "Queries.", ("outcome",))
+        counter.labels("answered").inc(3)
+        counter.labels("failed").inc()
+        text = render_prometheus(registry)
+        assert "# HELP uniask_q_total Queries." in text
+        assert "# TYPE uniask_q_total counter" in text
+        assert 'uniask_q_total{outcome="answered"} 3' in text
+        assert 'uniask_q_total{outcome="failed"} 1' in text
+
+    def test_children_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("uniask_q_total", "", ("outcome",))
+        counter.labels("zebra").inc()
+        counter.labels("alpha").inc()
+        text = render_prometheus(registry)
+        assert text.index('outcome="alpha"') < text.index('outcome="zebra"')
+
+    def test_histogram_exposition_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("uniask_rt", "RT.", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'uniask_rt_bucket{le="1"} 1' in text
+        assert 'uniask_rt_bucket{le="2"} 2' in text
+        assert 'uniask_rt_bucket{le="+Inf"} 3' in text
+        assert "uniask_rt_sum 7" in text
+        assert "uniask_rt_count 3" in text
+
+    def test_histogram_exemplar_rendered_openmetrics_style(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("uniask_rt", buckets=(1.0,))
+        hist.observe(4.25, trace_id="q-0000007")
+        text = render_prometheus(registry)
+        assert 'uniask_rt_bucket{le="+Inf"} 1 # {trace_id="q-0000007"} 4.25' in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("uniask_q_total", "", ("q",))
+        counter.labels('say "hi"\n').inc()
+        text = render_prometheus(registry)
+        assert 'q="say \\"hi\\"\\n"' in text
+
+    def test_render_is_deterministic(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            registry.counter("uniask_b_total").inc(2)
+            hist = registry.histogram("uniask_a_rt", buckets=(0.1, 1.0))
+            hist.observe(0.05, trace_id="t-1")
+            hist.observe(3.0)
+            registry.gauge("uniask_c").set(7)
+            return render_prometheus(registry)
+
+        assert build() == build()

@@ -1,0 +1,100 @@
+"""Tests for trace sampling: determinism, edge rates, retention, exemplars."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import TraceSampler
+
+
+def _offer_stream(sampler: TraceSampler, n: int = 200) -> list[str]:
+    sampled = []
+    for i in range(n):
+        trace_id = f"q-{i:07d}"
+        duration = 0.5 + 0.01 * (i % 7)
+        if sampler.offer(trace_id, {"id": trace_id}, duration):
+            sampled.append(trace_id)
+    return sampled
+
+
+class TestSamplingDeterminism:
+    def test_same_seed_same_stream_same_decisions(self):
+        first = _offer_stream(TraceSampler(rate=0.2, seed=99))
+        second = _offer_stream(TraceSampler(rate=0.2, seed=99))
+        assert first == second
+        assert first  # the stream is long enough that something is sampled
+
+    def test_different_seed_differs(self):
+        assert _offer_stream(TraceSampler(rate=0.2, seed=1)) != _offer_stream(
+            TraceSampler(rate=0.2, seed=2)
+        )
+
+
+class TestRateEdgeCases:
+    def test_rate_zero_never_samples(self):
+        sampler = TraceSampler(rate=0.0)
+        assert _offer_stream(sampler) == []
+        assert sampler.head_sampled == 0
+        assert len(sampler) == 0
+
+    def test_rate_one_always_samples(self):
+        sampler = TraceSampler(rate=1.0, capacity=1000)
+        sampled = _offer_stream(sampler)
+        assert len(sampled) == 200
+        assert sampler.head_sampled == 200
+
+    def test_rate_zero_with_tail_still_catches_slow_requests(self):
+        sampler = TraceSampler(rate=0.0, tail_latency=2.0)
+        assert not sampler.offer("q-fast", {}, 0.5)
+        assert sampler.offer("q-slow", {}, 2.0)  # boundary is inclusive
+        assert sampler.tail_sampled == 1
+        assert sampler.get("q-slow") == {}
+
+
+class TestRetention:
+    def test_get_returns_retained_trace(self):
+        sampler = TraceSampler(rate=1.0)
+        sampler.offer("q-1", {"payload": 42}, 1.0)
+        assert sampler.get("q-1") == {"payload": 42}
+        assert sampler.get("q-missing") is None
+
+    def test_capacity_evicts_oldest_first(self):
+        sampler = TraceSampler(rate=1.0, capacity=3)
+        for i in range(5):
+            sampler.offer(f"q-{i}", i, 1.0)
+        assert sampler.retained_ids == ["q-2", "q-3", "q-4"]
+        assert sampler.get("q-0") is None
+
+    def test_eviction_hook_drops_registry_exemplars(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("uniask_rt", buckets=(10.0,))
+        sampler = TraceSampler(rate=1.0, capacity=1, on_evict=registry.drop_exemplars)
+        sampler.offer("q-old", {}, 1.0)
+        hist.observe(1.0, trace_id="q-old")
+        sampler.offer("q-new", {}, 2.0)  # evicts q-old
+        hist.observe(2.0, trace_id="q-new")
+        assert hist.exemplars[0] == (2.0, "q-new")
+
+    def test_exemplar_invariant_every_exemplar_resolves(self):
+        """Under churn, every exemplar in the registry points at a retained trace."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("uniask_rt", buckets=(0.52, 0.55))
+        sampler = TraceSampler(
+            rate=0.5, seed=7, capacity=8, on_evict=registry.drop_exemplars
+        )
+        for i in range(300):
+            trace_id = f"q-{i:07d}"
+            duration = 0.5 + 0.01 * (i % 7)
+            if sampler.offer(trace_id, {"id": trace_id}, duration):
+                hist.observe(duration, trace_id=trace_id)
+        retained = set(sampler.retained_ids)
+        exemplar_ids = {ex[1] for ex in hist.exemplars if ex is not None}
+        assert exemplar_ids  # churn left at least one exemplar standing
+        assert exemplar_ids <= retained
+
+    def test_offered_counter(self):
+        sampler = TraceSampler(rate=0.5, seed=3)
+        _offer_stream(sampler, n=50)
+        assert sampler.offered == 50
+        # Evictions can shrink retention below the number of head samples,
+        # but never the other way round (no tail sampling configured here).
+        assert sampler.head_sampled >= len(sampler.retained_ids)
