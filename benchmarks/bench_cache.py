@@ -1,0 +1,235 @@
+"""Answer-cache benchmark: repeated-query speedup and cold-path overhead.
+
+Standalone script (not pytest-collected).  Two measurements:
+
+1. **Repeated-query speedup** — serves a workload where every question is
+   asked several times (two thirds of requests are repeats, comfortably
+   above the 50% the acceptance bar calls for) through two identical
+   backends, one with ``CacheConfig(enabled=True)`` and one with caching
+   off, and compares the *median simulated latency*.  With the cache on,
+   repeats are served from the exact tier at cache-hit latency instead of
+   re-running retrieval + generation, so the median must drop by at least
+   ``--min-speedup`` (default 5x).  The simulated clock is advanced
+   between requests so each flight completes before its repeat arrives —
+   the repeats exercise the cache, not request coalescing.
+
+2. **Cold-path overhead** — serves an all-unique workload (every request
+   is a compulsory miss) through both backends and compares *wall-clock*
+   time.  A miss pays key normalization, one lookup, one embedding (free:
+   the query embedding is already in the embedder cache from retrieval)
+   and one store; that must stay within ``--max-overhead`` (default 2%)
+   of the cache-off path.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py \
+        --topics 12 --questions 10 --out BENCH_cache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CacheConfig, create_backend, create_engine  # noqa: E402
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+
+#: Simulated seconds between consecutive requests.  Longer than any single
+#: response, so every repeat arrives after the original flight completed
+#: and is served by the cache rather than coalesced onto a live flight.
+INTER_ARRIVAL_S = 30.0
+
+
+def _build(kb, lexicon, enabled: bool, seed: int):
+    system = create_engine(
+        kb.store(),
+        lexicon,
+        config=UniAskConfig(cache=CacheConfig(enabled=enabled)),
+        seed=seed,
+    )
+    backend = create_backend(system)
+    return system, backend
+
+
+def _serve_workload(system, backend, questions: list[str]) -> tuple[list[float], float]:
+    """(simulated response times, wall-clock seconds) for the workload."""
+    token = backend.login("bench-user")
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for question in questions:
+        record = backend.serve(token, question)
+        latencies.append(record.answer.response_time)
+        system.clock.advance(INTER_ARRIVAL_S)
+    return latencies, time.perf_counter() - started
+
+
+def bench_repeated(kb, lexicon, questions: list[str], args: argparse.Namespace) -> dict:
+    # Each question asked --repeat times: 1/repeat unique, the rest repeats.
+    workload = [q for q in questions for _ in range(args.repeat)]
+
+    cached_system, cached_backend = _build(kb, lexicon, True, args.seed)
+    bare_system, bare_backend = _build(kb, lexicon, False, args.seed)
+
+    cached_lat, _ = _serve_workload(cached_system, cached_backend, workload)
+    bare_lat, _ = _serve_workload(bare_system, bare_backend, workload)
+
+    stats = cached_system.answer_cache.stats
+    cached_median = statistics.median(cached_lat)
+    bare_median = statistics.median(bare_lat)
+    return {
+        "requests": len(workload),
+        "unique_questions": len(questions),
+        "repeat_fraction": 1.0 - 1.0 / args.repeat,
+        "median_latency_cached_s": cached_median,
+        "median_latency_uncached_s": bare_median,
+        "speedup": bare_median / cached_median if cached_median > 0 else float("inf"),
+        "cache_hits_exact": stats.hits_exact,
+        "cache_hits_semantic": stats.hits_semantic,
+        "cache_misses": stats.misses,
+    }
+
+
+def bench_cold_path(kb, lexicon, questions: list[str], args: argparse.Namespace) -> dict:
+    # Every timed request must be a compulsory miss, so each run gets a
+    # fresh pair of systems; the two warmup questions (outside the timed
+    # set) heat the per-system embedding caches and LLM paths untimed.
+    # Generated questions can be paraphrases that normalize to the same
+    # cache key — dedupe by key so exact hits can't flatter the cached side.
+    from repro.cache.key import answer_cache_key
+    from repro.text.analyzer import FULL_ANALYZER
+
+    seen: set = set()
+    unique: list[str] = []
+    for question in questions:
+        key = answer_cache_key(question, (), FULL_ANALYZER)
+        if key not in seen:
+            seen.add(key)
+            unique.append(question)
+    warmup = unique[:2]
+    timed = unique[2:]
+    cached_runs: list[float] = []
+    bare_runs: list[float] = []
+    hits = 0
+    for _ in range(args.repeats):
+        c_system, c_backend = _build(kb, lexicon, True, args.seed)
+        b_system, b_backend = _build(kb, lexicon, False, args.seed)
+        _serve_workload(c_system, c_backend, warmup)
+        _serve_workload(b_system, b_backend, warmup)
+        cached_runs.append(_serve_workload(c_system, c_backend, timed)[1])
+        bare_runs.append(_serve_workload(b_system, b_backend, timed)[1])
+        hits += c_system.answer_cache.stats.hits_exact + c_system.answer_cache.stats.hits_semantic
+    cached_s = statistics.median(cached_runs)
+    bare_s = statistics.median(bare_runs)
+    return {
+        "requests": len(timed),
+        "repeats": args.repeats,
+        "cold_cached_s": cached_s,
+        "cold_uncached_s": bare_s,
+        "overhead_fraction": cached_s / bare_s - 1.0,
+        "cache_hits_during_cold_runs": hits,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=2, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.questions, seed=args.seed)
+        )
+    ]
+
+    print("serving repeated-query workload (cache on vs off)...", file=sys.stderr)
+    repeated = bench_repeated(kb, lexicon, questions, args)
+    print("serving all-unique workload (cold-path overhead)...", file=sys.stderr)
+    cold = bench_cold_path(kb, lexicon, questions, args)
+
+    result = {
+        "config": {
+            "topics": args.topics,
+            "questions": args.questions,
+            "repeat": args.repeat,
+            "seed": args.seed,
+            "min_speedup": args.min_speedup,
+            "max_overhead": args.max_overhead,
+        },
+        "repeated": repeated,
+        "cold_path": cold,
+    }
+
+    print()
+    print("=" * 64)
+    print(
+        f"CACHE BENCH — {repeated['requests']} requests, "
+        f"{repeated['repeat_fraction']:.0%} repeats"
+    )
+    print("=" * 64)
+    print(
+        f"median latency : {repeated['median_latency_uncached_s'] * 1000.0:.1f} ms uncached vs "
+        f"{repeated['median_latency_cached_s'] * 1000.0:.1f} ms cached "
+        f"({repeated['speedup']:.1f}x, floor {args.min_speedup:.0f}x)"
+    )
+    print(
+        f"cache events   : {repeated['cache_hits_exact']} exact + "
+        f"{repeated['cache_hits_semantic']} semantic hits, {repeated['cache_misses']} misses"
+    )
+    print(
+        f"cold path      : {cold['cold_uncached_s']:.3f}s off vs {cold['cold_cached_s']:.3f}s on "
+        f"({cold['overhead_fraction']:+.2%}, limit {args.max_overhead:.0%})"
+    )
+
+    if repeated["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"repeated-query speedup {repeated['speedup']:.1f}x is below the "
+            f"{args.min_speedup:.0f}x floor"
+        )
+    if cold["overhead_fraction"] > args.max_overhead:
+        raise SystemExit(
+            f"cold-path overhead {cold['overhead_fraction']:.2%} exceeds "
+            f"the {args.max_overhead:.0%} budget"
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=60, help="corpus size (topics)")
+    parser.add_argument("--questions", type=int, default=30, help="unique questions")
+    parser.add_argument("--repeat", type=int, default=3, help="times each question is asked")
+    parser.add_argument("--repeats", type=int, default=3, help="timed cold-path runs (median)")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required median-latency speedup on the repeated workload",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.02,
+        help="maximum tolerated cache-on slowdown on an all-miss workload",
+    )
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument("--out", default="BENCH_cache.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,7 +48,7 @@ def _serve_all(system, questions: list[str]) -> float:
     """Seconds of wall clock to answer every question once."""
     started = time.perf_counter()
     for question in questions:
-        system.engine.ask(question)
+        system.engine.answer(question)
     return time.perf_counter() - started
 
 

@@ -36,7 +36,7 @@ def test_context_size_sweep(benchmark, bench_system, human_split):
             grounded = 0
             prompt_tokens = 0
             for query in questions:
-                answer = engine.ask(query.text)
+                answer = engine.answer(query.text).answer
                 context_tokens = sum(
                     count_tokens(chunk.record.content) for chunk in answer.context
                 )

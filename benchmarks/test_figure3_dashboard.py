@@ -27,7 +27,7 @@ def test_figure3_monitoring_dashboard(benchmark, bench_system, human_split, keyw
         user_ids = list(tokens)
         for number, query in enumerate(questions):
             user_id = user_ids[rng.randrange(len(user_ids))]
-            record = backend.query(tokens[user_id], query.text)
+            record = backend.serve(tokens[user_id], query.text)
             if rng.random() < 0.4:
                 positive = record.answer.answered and rng.random() < 0.85
                 backend.feedback(

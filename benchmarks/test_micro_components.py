@@ -65,4 +65,4 @@ def test_hybrid_search_speed(benchmark, bench_system, sample_questions):
 def test_end_to_end_ask_speed(benchmark, bench_system, sample_questions):
     cycle = iter(sample_questions * 1000)
 
-    benchmark(lambda: bench_system.engine.ask(next(cycle)))
+    benchmark(lambda: bench_system.engine.answer(next(cycle)))

@@ -31,7 +31,7 @@ def test_scale_indexing_and_query(benchmark):
 
         questions = generate_human_dataset(kb, HumanDatasetConfig(num_questions=60, seed=3000))
         started = time.perf_counter()
-        answered = sum(1 for query in questions if system.engine.ask(query.text).documents)
+        answered = sum(1 for query in questions if system.engine.answer(query.text).documents)
         query_seconds = (time.perf_counter() - started) / len(questions)
         return len(kb.documents), len(system.index), build_seconds, query_seconds, answered, len(questions)
 

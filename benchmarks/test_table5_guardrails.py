@@ -33,7 +33,7 @@ def test_table5_guardrail_rates(benchmark, bench_system, human_split):
     def run():
         outcomes = Counter()
         for query in dataset:
-            outcomes[bench_system.engine.ask(query.text).outcome] += 1
+            outcomes[bench_system.engine.answer(query.text).outcome] += 1
         return outcomes
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -78,7 +78,7 @@ def test_table5_rouge_threshold_sweep(benchmark, bench_system, human_split):
         rates = {}
         for threshold in (0.05, 0.15, 0.30, 0.50):
             engine = engine_with_threshold(threshold)
-            blocked = sum(1 for query in dataset if not engine.ask(query.text).answered)
+            blocked = sum(1 for query in dataset if not engine.answer(query.text).answered)
             rates[threshold] = blocked / len(dataset)
         return rates
 

@@ -62,7 +62,7 @@ def main() -> None:
     question = f"Come posso {topic.action.canonical} {topic.entity.canonical}?"
     print(f"❓ {question}\n")
 
-    answer = engine.ask(question)
+    answer = engine.answer(question).answer
     print(f"[{answer.outcome}] {answer.answer_text}\n")
 
     reranked = graph_reranker.rerank(question, list(answer.documents[:10]))

@@ -35,7 +35,7 @@ def main() -> None:
     proper = 0
     for query in questions:
         user = users[rng.randrange(len(users))]
-        record = backend.query(tokens[user.user_id], user.phrase_question(query))
+        record = backend.serve(tokens[user.user_id], user.phrase_question(query))
         if record.answer.answered:
             proper += 1
         feedback = user.maybe_give_feedback(record, query)

@@ -28,7 +28,7 @@ QUESTION = "Come posso richiedere la chiavetta OTP per un collega?"
 
 
 def ask(system) -> None:
-    answer = system.engine.ask(QUESTION)
+    answer = system.engine.answer(QUESTION).answer
     print(f"  Q: {QUESTION}")
     print(f"  A: [{answer.outcome}] {answer.answer_text}\n")
 

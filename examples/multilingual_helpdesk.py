@@ -73,7 +73,7 @@ def main() -> None:
     print(f"Indexed {len(system.index)} chunks.\n")
 
     for question in QUESTIONS:
-        print(render_answer_page(system.engine.ask(question)))
+        print(render_answer_page(system.engine.answer(question).answer))
         print("-" * 60)
 
 

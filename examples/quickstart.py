@@ -1,24 +1,26 @@
 """Quickstart: build a UniAsk deployment and ask it questions.
 
 Builds a synthetic Italian banking knowledge base, wires the full system
-(ingestion → index → hybrid retrieval → generation → guardrails) and walks
-through the main behaviours: a grounded cited answer, a paraphrased
-question that exact matching could never serve, an error-code lookup, an
-out-of-scope question stopped by the guardrails, and a blocked input.
+(ingestion → index → hybrid retrieval → generation → guardrails) through
+the :mod:`repro.api` facade and walks through the main behaviours: a
+grounded cited answer, a paraphrased question that exact matching could
+never serve, an error-code lookup, an out-of-scope question stopped by
+the guardrails, and a blocked input.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import KbGenerator, KbGeneratorConfig, build_banking_lexicon, build_uniask_system
+from repro import KbGenerator, KbGeneratorConfig, build_banking_lexicon
+from repro.api import AskResponse, create_engine
 
 
-def show(answer) -> None:
-    print(f"  outcome : {answer.outcome}")
-    print(f"  answer  : {answer.answer_text}")
-    if answer.citations:
-        cited = ", ".join(f"{c.key}→{c.doc_id}" for c in answer.citations)
+def show(response: AskResponse) -> None:
+    print(f"  outcome : {response.outcome}")
+    print(f"  answer  : {response.text}")
+    if response.citations:
+        cited = ", ".join(f"{c.key}→{c.doc_id}" for c in response.citations)
         print(f"  sources : {cited}")
     print()
 
@@ -26,7 +28,7 @@ def show(answer) -> None:
 def main() -> None:
     print("Building the synthetic knowledge base (this embeds every chunk)...")
     kb = KbGenerator(KbGeneratorConfig(num_topics=120, error_families=6, seed=42)).generate()
-    system = build_uniask_system(kb.store(), build_banking_lexicon(), seed=42)
+    system = create_engine(kb.store(), build_banking_lexicon(), seed=42)
     print(f"Indexed {len(system.index)} chunks from {system.index.document_count} documents.\n")
 
     # Pick a real topic so the demo questions have an answer in the KB.
@@ -34,22 +36,22 @@ def main() -> None:
     action, entity = topic.action, topic.entity
 
     print(f"1) Direct question ({action.canonical} {entity.canonical}):")
-    show(system.engine.ask(f"Come posso {action.canonical} {entity.canonical}?"))
+    show(system.engine.answer(f"Come posso {action.canonical} {entity.canonical}?"))
 
     synonym_action = action.synonyms[0] if action.synonyms else action.canonical
     synonym_entity = entity.synonyms[0] if entity.synonyms else entity.canonical
     print(f"2) Same question, paraphrased with synonyms ({synonym_action} / {synonym_entity}):")
-    show(system.engine.ask(f"Devo {synonym_action} {synonym_entity}, come devo fare?"))
+    show(system.engine.answer(f"Devo {synonym_action} {synonym_entity}, come devo fare?"))
 
     code = next(iter(kb.doc_by_error_code))
     print(f"3) Error-code lookup ({code}):")
-    show(system.engine.ask(f"Cosa significa l'errore {code}?"))
+    show(system.engine.answer(f"Cosa significa l'errore {code}?"))
 
     print("4) Out-of-scope question (guardrails at work):")
-    show(system.engine.ask("Qual è la ricetta della carbonara?"))
+    show(system.engine.answer("Qual è la ricetta della carbonara?"))
 
     print("5) Inappropriate input (content filter):")
-    show(system.engine.ask("questo stupido sistema non funziona mai"))
+    show(system.engine.answer("questo stupido sistema non funziona mai"))
 
 
 if __name__ == "__main__":

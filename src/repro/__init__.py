@@ -9,14 +9,15 @@ pipeline, the serving/monitoring layer — plus a synthetic Italian banking
 knowledge base standing in for the proprietary corpus, and the evaluation
 harness regenerating every table and figure of the paper.
 
-Quick start::
+Quick start (the stable surface lives in :mod:`repro.api`)::
 
-    from repro import KbGenerator, build_banking_lexicon, build_uniask_system
+    from repro import KbGenerator, build_banking_lexicon
+    from repro.api import create_engine
 
     kb = KbGenerator().generate()
-    system = build_uniask_system(kb.store(), build_banking_lexicon())
-    answer = system.engine.ask("Come posso bloccare la carta di credito?")
-    print(answer.answer_text)
+    system = create_engine(kb.store(), build_banking_lexicon())
+    response = system.engine.answer("Come posso bloccare la carta di credito?")
+    print(response.text)
 """
 
 from repro.core import (
@@ -57,9 +58,23 @@ from repro.search import (
     SemanticReranker,
 )
 
+# The stable facade re-exports.  ``repro.core`` must be imported first:
+# ``repro.api.types`` reaches into ``repro.core.answer``, and the engine
+# (imported by ``repro.core``'s __init__) reaches back into
+# ``repro.api.types`` — initializing core first keeps both legs acyclic.
+from repro.api.builders import create_backend, create_engine
+from repro.api.types import AskOptions, AskRequest, AskResponse
+from repro.cache.config import CacheConfig
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "AskOptions",
+    "AskRequest",
+    "AskResponse",
+    "CacheConfig",
+    "create_backend",
+    "create_engine",
     "OUTCOME_ANSWERED",
     "Citation",
     "GenerationConfig",

@@ -32,16 +32,20 @@ from repro.service.frontend import render_answer_page
 
 
 def _build_system(
-    topics: int, seed: int, shards: int = 1, replicas: int = 2
+    topics: int, seed: int, shards: int = 1, replicas: int = 2, cache: bool = False
 ) -> tuple[SyntheticKb, UniAskSystem]:
     print(f"building demo deployment ({topics} topics, seed {seed})...", file=sys.stderr)
     kb = KbGenerator(KbGeneratorConfig(num_topics=topics, error_families=6, seed=seed)).generate()
     config = None
-    if shards > 1:
+    if shards > 1 or cache:
+        from repro.cache import CacheConfig
         from repro.cluster import ClusterConfig
         from repro.core.config import UniAskConfig
 
-        config = UniAskConfig(cluster=ClusterConfig(shards=shards, replicas=replicas))
+        config = UniAskConfig(
+            cluster=ClusterConfig(shards=shards, replicas=replicas),
+            cache=CacheConfig(enabled=cache),
+        )
     system = build_uniask_system(kb.store(), build_banking_lexicon(), config=config, seed=seed)
     if shards > 1:
         sizes = ", ".join(
@@ -54,20 +58,30 @@ def _build_system(
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
-    _, system = _build_system(args.topics, args.seed, shards=args.shards, replicas=args.replicas)
-    if args.trace:
-        from repro.obs.trace import RequestContext
+    from repro.api import AskOptions, AskRequest
 
-        ctx = RequestContext.traced(request_id="cli-ask")
-        answer = system.engine.ask(args.question, ctx=ctx)
-        print(render_answer_page(answer))
+    _, system = _build_system(
+        args.topics, args.seed, shards=args.shards, replicas=args.replicas, cache=args.cache
+    )
+    request = AskRequest(
+        args.question, AskOptions(trace=args.trace, request_id="cli-ask" if args.trace else "")
+    )
+    for _ in range(max(1, args.repeat)):
+        answer = system.engine.answer(request).answer
+    print(render_answer_page(answer))
+    if args.trace:
         print()
         print(answer.trace.format_table())
-    else:
-        answer = system.engine.ask(args.question)
-        print(render_answer_page(answer))
+    if answer.cache_hit:
+        print(f"\n[cache] served from cache (kind={answer.cache_hit})")
     if answer.partial_results:
         print("\n[degraded] partial results: some shards missed their deadline.")
+    if args.cache and system.answer_cache is not None:
+        stats = system.answer_cache.stats
+        print(
+            f"\nanswer cache: {stats.hits_exact} exact + {stats.hits_semantic} semantic hits, "
+            f"{stats.misses} misses, {stats.stores} stores"
+        )
     if args.cluster_status:
         if system.cluster is None:
             print("\ncluster status: single-index deployment (no cluster).")
@@ -111,7 +125,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             break
         if not question:
             break
-        print(render_answer_page(system.engine.ask(question)))
+        print(render_answer_page(system.engine.answer(question).answer))
     return 0
 
 
@@ -166,7 +180,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         "quadratura di cassa",
     ]
     for i in range(args.queries):
-        backend.query(token, questions[i % len(questions)])
+        backend.serve(token, questions[i % len(questions)])
     ops_token = backend.login("cli-ops", role=ROLE_OPS)
 
     print(f"# served {args.queries} traced queries\n", file=sys.stderr)
@@ -207,6 +221,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     ask.add_argument("--shards", type=int, default=1, help="serve from N index shards")
     ask.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    ask.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable the answer/retrieval cache (--no-cache restores the default)",
+    )
+    ask.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the question N times (repeats hit the cache when --cache is on)",
+    )
     ask.add_argument(
         "--cluster-status",
         action="store_true",

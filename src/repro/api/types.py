@@ -1,0 +1,115 @@
+"""Typed request/response dataclasses of the stable public API.
+
+These are the *only* types a caller needs to drive UniAsk: build an
+:class:`AskRequest` (question + :class:`AskOptions`), hand it to
+``engine.answer()`` or ``backend.serve()``, and read the
+:class:`AskResponse`.  The engine's legacy positional signature
+(``ask(question, filters, ctx)``) survives as a deprecated shim; new
+options (tracing, cache policy, request ids, whatever comes next) land
+here instead of growing more positional parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.answer import Citation, UniAskAnswer
+from repro.obs.trace import Trace
+
+#: Cache policies of one request.
+CACHE_DEFAULT = "default"  # serve from cache when possible, store on miss
+CACHE_BYPASS = "bypass"  # ignore the cache entirely (no read, no store)
+CACHE_REFRESH = "refresh"  # recompute and overwrite the cached entry
+
+CACHE_POLICIES = (CACHE_DEFAULT, CACHE_BYPASS, CACHE_REFRESH)
+
+
+@dataclass(frozen=True)
+class AskOptions:
+    """Per-request knobs of one question.
+
+    Attributes:
+        filters: exact-match metadata filters applied during retrieval
+            (``{"domain": "carte"}``), or None for the whole corpus.
+        trace: request a per-stage trace; the finished trace rides back on
+            ``response.trace``.  Ignored when the caller supplies its own
+            :class:`~repro.obs.trace.RequestContext` (the backend does).
+        cache: one of :data:`CACHE_DEFAULT`, :data:`CACHE_BYPASS`,
+            :data:`CACHE_REFRESH`.  Irrelevant (and harmless) when the
+            deployment's cache is disabled.
+        request_id: caller-chosen id stamped on traces and audit entries.
+    """
+
+    filters: dict[str, str] | None = None
+    trace: bool = False
+    cache: str = CACHE_DEFAULT
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_POLICIES:
+            raise ValueError(f"cache policy must be one of {CACHE_POLICIES}")
+
+
+@dataclass(frozen=True)
+class AskRequest:
+    """One question plus its per-request options."""
+
+    question: str
+    options: AskOptions = field(default_factory=AskOptions)
+
+    @classmethod
+    def of(cls, question: str, **option_kwargs) -> "AskRequest":
+        """Shorthand: ``AskRequest.of("...", filters=..., trace=True)``."""
+        return cls(question=question, options=AskOptions(**option_kwargs))
+
+
+@dataclass(frozen=True)
+class AskResponse:
+    """Everything the engine returns for one :class:`AskRequest`.
+
+    Wraps the full :class:`~repro.core.answer.UniAskAnswer` and exposes
+    the fields callers reach for most as flat properties.
+    """
+
+    answer: UniAskAnswer
+    request: AskRequest
+
+    @property
+    def text(self) -> str:
+        """The user-facing answer text."""
+        return self.answer.answer_text
+
+    @property
+    def outcome(self) -> str:
+        """The pipeline outcome (``answered``, ``guardrail_*``, ...)."""
+        return self.answer.outcome
+
+    @property
+    def answered(self) -> bool:
+        """True when a generated answer was accepted and shown."""
+        return self.answer.answered
+
+    @property
+    def citations(self) -> tuple[Citation, ...]:
+        """Resolved citations of the accepted answer."""
+        return self.answer.citations
+
+    @property
+    def documents(self):
+        """The retrieved chunk ranking."""
+        return self.answer.documents
+
+    @property
+    def cache_hit(self) -> str:
+        """``"exact"`` / ``"semantic"`` / ``"coalesced"``, or "" on a miss."""
+        return self.answer.cache_hit
+
+    @property
+    def partial_results(self) -> bool:
+        """True when a degraded cluster served only some shards."""
+        return self.answer.partial_results
+
+    @property
+    def trace(self) -> Trace | None:
+        """The per-stage trace, when one was requested."""
+        return self.answer.trace

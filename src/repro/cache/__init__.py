@@ -1,0 +1,51 @@
+"""repro.cache — the multi-tier answer/retrieval cache subsystem.
+
+Four cooperating tiers, all deterministic and all off by default (see
+:class:`CacheConfig`):
+
+* :class:`AnswerCache` — exact answers keyed on the analyzer-normalized
+  question + filters, validated against the index epoch, bounded by TTL
+  (simulated clock) and LRU capacity;
+* the **semantic tier** of the same cache — near-duplicate questions reuse
+  a cached answer when their embedding similarity clears a threshold;
+* :class:`ShardRetrievalCache` — per-shard scatter-leg results inside the
+  cluster router, invalidated by each shard's write generation;
+* :class:`SingleFlight` — request coalescing in the backend, so
+  concurrent identical questions execute the pipeline once.
+"""
+
+from repro.cache.answer_cache import (
+    HIT_COALESCED,
+    HIT_EXACT,
+    HIT_SEMANTIC,
+    AnswerCache,
+    AnswerCacheStats,
+    CacheHit,
+)
+from repro.cache.coalescing import Flight, SingleFlight, SingleFlightStats
+from repro.cache.config import CacheConfig
+from repro.cache.key import answer_cache_key, filters_key, retrieval_cache_key
+from repro.cache.retrieval_cache import (
+    CachedLegs,
+    RetrievalCacheStats,
+    ShardRetrievalCache,
+)
+
+__all__ = [
+    "AnswerCache",
+    "AnswerCacheStats",
+    "CacheConfig",
+    "CacheHit",
+    "CachedLegs",
+    "Flight",
+    "HIT_COALESCED",
+    "HIT_EXACT",
+    "HIT_SEMANTIC",
+    "RetrievalCacheStats",
+    "ShardRetrievalCache",
+    "SingleFlight",
+    "SingleFlightStats",
+    "answer_cache_key",
+    "filters_key",
+    "retrieval_cache_key",
+]

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache.config import CacheConfig
+from repro.cache.key import retrieval_cache_key
+from repro.cache.retrieval_cache import ShardRetrievalCache
 from repro.cluster.config import ClusterConfig
 from repro.cluster.replica import Replica, ReplicaGroup
 from repro.cluster.sharded_index import ShardedSearchIndex
@@ -170,6 +173,9 @@ class ClusterSearcher:
         clock: the deployment's simulated clock; replica health windows
             (mark-down cooldowns) are evaluated against it.
         profile: scoring profile forwarded to each shard's text leg.
+        cache_config: enables the per-shard retrieval-result cache when
+            its retrieval tier is active (None or inactive tiers leave the
+            scatter path untouched).
     """
 
     def __init__(
@@ -181,6 +187,7 @@ class ClusterSearcher:
         clock: SimulatedClock | None = None,
         profile: ScoringProfile | None = None,
         registry: MetricsRegistry | None = None,
+        cache_config: CacheConfig | None = None,
     ) -> None:
         self.config = config or HybridSearchConfig()
         if self.config.use_reranker and reranker is None:
@@ -208,6 +215,9 @@ class ClusterSearcher:
         self._vector: dict[int, VectorSearch] = {}
         self._query_counter = 0
         self._last_report: ScatterReport | None = None
+        self.retrieval_cache: ShardRetrievalCache | None = None
+        if cache_config is not None and cache_config.retrieval_tier_active:
+            self.retrieval_cache = ShardRetrievalCache(cache_config, registry=registry)
         self._sync_topology()
 
     # -- topology ----------------------------------------------------------
@@ -225,6 +235,8 @@ class ClusterSearcher:
                 del self._groups[shard_id]
                 self._fulltext.pop(shard_id, None)
                 self._vector.pop(shard_id, None)
+                if self.retrieval_cache is not None:
+                    self.retrieval_cache.drop_shard(shard_id)
         for shard_id in self._index.shard_ids:
             if shard_id not in self._groups:
                 self._groups[shard_id] = ReplicaGroup.build(shard_id, self.cluster_config)
@@ -266,6 +278,11 @@ class ClusterSearcher:
         vector_candidates: dict[str, list[RetrievedChunk]] = {
             name: [] for name in self._index.schema.vector_fields
         }
+        cache_key = None
+        if self.retrieval_cache is not None:
+            cache_key = retrieval_cache_key(
+                query, filters, config.mode, config.text_n, config.vector_k
+            )
         probes: list[ShardProbe] = []
         now = self._clock.now()
         with ctx.trace.span(spans.STAGE_SCATTER, shards=self._index.num_shards) as scatter:
@@ -274,25 +291,16 @@ class ClusterSearcher:
                 probes.append(probe)
                 with ctx.trace.span(spans.shard_stage(shard_id)) as span:
                     gathered = 0
+                    served_from_cache = False
                     if probe.ok:
-                        # The shard legs run with a null context: in a real
-                        # deployment they execute remotely and in parallel,
-                        # so their latency is the replica's simulated
-                        # service time (charged at the gather barrier), not
-                        # a serial sum of local stage costs.
-                        if config.mode in ("hybrid", "text"):
-                            leg = self._fulltext[shard_id].search(
-                                query, n=config.text_n, filters=filters, ctx=None
-                            )
-                            text_candidates.extend(leg)
+                        leg_text, leg_vector, served_from_cache = self._shard_legs(
+                            shard_id, cache_key, query, query_vector, filters
+                        )
+                        text_candidates.extend(leg_text)
+                        gathered += len(leg_text)
+                        for field_name, leg in leg_vector:
+                            vector_candidates[field_name].extend(leg)
                             gathered += len(leg)
-                        if query_vector is not None:
-                            legs = self._vector[shard_id].search_by_vector(
-                                query_vector, k=config.vector_k, filters=filters, ctx=None
-                            )
-                            for field_name, leg in legs.items():
-                                vector_candidates[field_name].extend(leg)
-                                gathered += len(leg)
                     span.annotate(
                         replica=probe.replica_id,
                         ok=probe.ok,
@@ -301,6 +309,8 @@ class ClusterSearcher:
                         latency_ms=round(probe.latency * 1000.0, 3),
                         results=gathered,
                     )
+                    if served_from_cache:
+                        span.set("cached", True)
             scatter.set("failed", sum(1 for probe in probes if not probe.ok))
         report = ScatterReport(probes=tuple(probes))
         self._last_report = report
@@ -315,6 +325,59 @@ class ClusterSearcher:
 
         rankings = self._merge(text_candidates, vector_candidates)
         return self._fuse_and_rerank(query, rankings, ctx)
+
+    def _shard_legs(
+        self,
+        shard_id: int,
+        cache_key: tuple | None,
+        query: str,
+        query_vector,
+        filters: dict[str, str] | None,
+    ):
+        """The text and vector leg results of one shard, cached when possible.
+
+        The shard legs run with a null context: in a real deployment they
+        execute remotely and in parallel, so their latency is the replica's
+        simulated service time (charged at the gather barrier), not a
+        serial sum of local stage costs.
+
+        Returns ``(text_leg, [(field, vector_leg), ...], served_from_cache)``.
+        """
+        config = self.config
+        if cache_key is not None:
+            generation = self._leg_generation(shard_id)
+            cached = self.retrieval_cache.get(shard_id, cache_key, generation)
+            if cached is not None:
+                return cached.text, cached.vector, True
+
+        leg_text: list[RetrievedChunk] = []
+        leg_vector: dict[str, list[RetrievedChunk]] = {}
+        if config.mode in ("hybrid", "text"):
+            leg_text = self._fulltext[shard_id].search(
+                query, n=config.text_n, filters=filters, ctx=None
+            )
+        if query_vector is not None:
+            leg_vector = self._vector[shard_id].search_by_vector(
+                query_vector, k=config.vector_k, filters=filters, ctx=None
+            )
+        if cache_key is not None:
+            self.retrieval_cache.put(shard_id, cache_key, generation, leg_text, leg_vector)
+        return leg_text, list(leg_vector.items()), False
+
+    def _leg_generation(self, shard_id: int) -> int:
+        """The write generation a cached leg of *shard_id* is valid for.
+
+        Vector legs depend only on the shard's own contents, so shard-local
+        generations give exact per-shard invalidation.  BM25 text scores
+        additionally depend on **global** collection statistics (document
+        frequencies, average length aggregated across every shard), so any
+        mode that runs a text leg must stamp with the cluster-wide
+        generation: a write to shard A changes the text scores shard B
+        would compute, even though B's own contents are untouched.
+        """
+        if self.config.mode in ("hybrid", "text"):
+            return self._index.generation
+        return self._index.shard_index(shard_id).generation
 
     def take_scatter_report(self) -> ScatterReport | None:
         """The report of the most recent :meth:`search`; clears it."""

@@ -192,6 +192,7 @@ class ShardedSearchIndex:
 
         self._ordinals: dict[str, int] = {}
         self._next_ordinal = 0
+        self._generation = 0
 
     def _new_shard_index(self) -> SearchIndex:
         return SearchIndex(self.embedder, schema=self.schema, **self._index_kwargs)
@@ -202,6 +203,17 @@ class ShardedSearchIndex:
     def planner(self) -> ShardPlanner:
         """The document-placement ring."""
         return self._planner
+
+    @property
+    def generation(self) -> int:
+        """Monotonic cluster-wide write counter (the answer-cache epoch).
+
+        Kept as the facade's own counter rather than a sum of the per-shard
+        generations: ``remove_shard`` drops a shard's counter from such a
+        sum, which would make the aggregate non-monotonic and could collide
+        with an epoch a cache already stamped.
+        """
+        return self._generation
 
     @property
     def shard_ids(self) -> tuple[int, ...]:
@@ -226,6 +238,7 @@ class ShardedSearchIndex:
         shard_id = self._planner.add_shard()
         self._shards[shard_id] = self._new_shard_index()
         self._migrate()
+        self._generation += 1
         return shard_id
 
     def remove_shard(self, shard_id: int) -> None:
@@ -235,6 +248,7 @@ class ShardedSearchIndex:
         self._planner.remove_shard(shard_id)
         doomed = self._shards.pop(shard_id)
         self._migrate(extra_sources={shard_id: doomed})
+        self._generation += 1
 
     def _migrate(self, extra_sources: dict[int, SearchIndex] | None = None) -> int:
         """Re-place documents whose ring owner changed; returns chunks moved.
@@ -285,6 +299,7 @@ class ShardedSearchIndex:
         internal = self._shards[shard_id].add_chunk(record, vectors=vectors)
         self._ordinals[record.chunk_id] = self._next_ordinal
         self._next_ordinal += 1
+        self._generation += 1
         return internal
 
     def add_chunks(self, records: Iterable[ChunkRecord]) -> list[int]:
@@ -293,13 +308,18 @@ class ShardedSearchIndex:
 
     def delete_document(self, doc_id: str) -> int:
         """Tombstone every chunk of *doc_id* on its shard."""
-        return self._shards[self._planner.assign(doc_id)].delete_document(doc_id)
+        removed = self._shards[self._planner.assign(doc_id)].delete_document(doc_id)
+        if removed:
+            self._generation += 1
+        return removed
 
     def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
         """Vacuum every shard; True when any shard rebuilt its graphs."""
         rebuilt = False
         for shard in self._shards.values():
             rebuilt = shard.vacuum(max_tombstone_ratio) or rebuilt
+        if rebuilt:
+            self._generation += 1
         return rebuilt
 
     # -- global ordering ---------------------------------------------------

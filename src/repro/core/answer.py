@@ -65,6 +65,12 @@ class UniAskAnswer:
             cluster — at least one shard missed its deadline, so
             ``documents`` covers only the shards that answered (single-index
             deployments never set this).
+        cache_hit: "" when the pipeline ran for this request; ``"exact"``
+            or ``"semantic"`` when the answer came from the answer cache,
+            ``"coalesced"`` when it was shared by an in-flight identical
+            request (see :mod:`repro.cache`).
+        cache_similarity: cosine similarity of the reused entry for
+            semantic hits (1.0 for exact hits, 0.0 otherwise).
     """
 
     question: str
@@ -78,6 +84,8 @@ class UniAskAnswer:
     response_time: float = 0.0
     trace: Trace | None = None
     partial_results: bool = False
+    cache_hit: str = ""
+    cache_similarity: float = 0.0
 
     @property
     def answered(self) -> bool:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.config import CacheConfig
 from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
 from repro.obs.telemetry import TelemetryConfig
@@ -33,5 +34,6 @@ class UniAskConfig:
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

@@ -1,7 +1,7 @@
 """The UniAsk engine: the user-query flow of Figure 1.
 
-One :meth:`UniAskEngine.ask` call performs the complete journey of a user
-question through the deployed system:
+One :meth:`UniAskEngine.answer` call performs the complete journey of a
+user question through the deployed system:
 
 1. the **content filter** screens the question (harmful or off-purpose
    input is blocked before any retrieval);
@@ -12,6 +12,10 @@ question through the deployed system:
    clarification); an invalidated answer is replaced by the apology /
    reformulation message while the document list stays visible.
 
+Deployments built with a :class:`~repro.cache.AnswerCache` short-circuit
+the whole pipeline on a cache hit (exact or semantic), subject to the
+per-request cache policy carried by :class:`~repro.api.types.AskOptions`.
+
 Each step is an explicit stage method taking the request's
 :class:`~repro.obs.trace.RequestContext`; with tracing enabled every stage
 records a named span (see :mod:`repro.obs.spans`) and the finished
@@ -20,12 +24,18 @@ records a named span (see :mod:`repro.obs.spans`) and the finished
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 
+from repro.api.types import CACHE_BYPASS, CACHE_REFRESH, AskOptions, AskRequest, AskResponse
+from repro.cache.answer_cache import AnswerCache
 from repro.core.answer import (
     OUTCOME_ANSWERED,
     OUTCOME_CONTENT_FILTER,
     OUTCOME_GENERATION_ERROR,
+    OUTCOME_GUARDRAIL_CITATION,
+    OUTCOME_GUARDRAIL_CLARIFICATION,
+    OUTCOME_GUARDRAIL_ROUGE,
     OUTCOME_NO_RESULTS,
     Citation,
     UniAskAnswer,
@@ -54,6 +64,20 @@ NO_RESULTS_TEXT = (
     "per questa domanda."
 )
 
+#: Outcomes the answer cache may store.  Content-filter blocks and
+#: generation errors are excluded: the former is cheaper to recompute than
+#: to cache, the latter is transient (a retried question should get a
+#: fresh chance at the LLM, not a cached apology).
+CACHEABLE_OUTCOMES = frozenset(
+    {
+        OUTCOME_ANSWERED,
+        OUTCOME_NO_RESULTS,
+        OUTCOME_GUARDRAIL_CITATION,
+        OUTCOME_GUARDRAIL_ROUGE,
+        OUTCOME_GUARDRAIL_CLARIFICATION,
+    }
+)
+
 
 class UniAskEngine:
     """End-to-end question answering over the indexed knowledge base."""
@@ -66,6 +90,7 @@ class UniAskEngine:
         content_filter: ContentFilter | None = None,
         config: UniAskConfig | None = None,
         telemetry: Telemetry | None = None,
+        answer_cache: AnswerCache | None = None,
     ) -> None:
         self.config = config or UniAskConfig()
         self._searcher = searcher
@@ -73,6 +98,7 @@ class UniAskEngine:
         self._guardrails = guardrails or GuardrailPipeline()
         self._content_filter = content_filter or ContentFilter()
         self._last_scatter = None
+        self.answer_cache = answer_cache
         self.telemetry = telemetry or NULL_TELEMETRY
         registry = self.telemetry.registry
         self._m_requests = registry.counter(
@@ -99,32 +125,122 @@ class UniAskEngine:
         """
         return self._last_scatter
 
+    def answer(
+        self,
+        request: AskRequest | str,
+        ctx: RequestContext | None = None,
+    ) -> AskResponse:
+        """Answer *request*; never raises on ordinary pipeline outcomes.
+
+        The canonical entry point of the engine: a bare string is promoted
+        to an :class:`~repro.api.types.AskRequest` with default options.
+        ``options.trace`` requests a per-stage trace (returned on
+        ``response.trace``); a caller-supplied *ctx* — the backend passes
+        one carrying its latency-model trace — takes precedence.
+        ``options.cache`` selects the cache policy for this request; it is
+        inert when the deployment has no answer cache.
+        """
+        if isinstance(request, str):
+            request = AskRequest(question=request)
+        options = request.options
+        if ctx is None:
+            ctx = (
+                RequestContext.traced(request_id=options.request_id)
+                if options.trace
+                else null_context()
+            )
+        trace = ctx.trace
+        self._last_scatter = None
+        try:
+            with trace.span(spans.STAGE_ASK, question_chars=len(request.question)) as root:
+                answer = self._answer_cached(request.question, options, ctx)
+                root.set("outcome", answer.outcome)
+        except BaseException:
+            # A stage that raises must not leave the previous request's
+            # scatter report observable through last_scatter_report.
+            self._last_scatter = None
+            raise
+        self._m_requests.labels(answer.outcome).inc()
+        if self._last_scatter is not None and self._last_scatter.partial:
+            answer = replace(answer, partial_results=True)
+        if trace.enabled:
+            answer = replace(answer, trace=trace)
+        return AskResponse(answer=answer, request=request)
+
     def ask(
         self,
         question: str,
         filters: dict[str, str] | None = None,
         ctx: RequestContext | None = None,
     ) -> UniAskAnswer:
-        """Answer *question*; never raises on ordinary pipeline outcomes.
+        """Deprecated: use :meth:`answer` with an ``AskRequest``.
 
-        Pass a tracing :class:`~repro.obs.trace.RequestContext` as *ctx* to
-        receive the per-stage trace on ``answer.trace``; the default null
-        context records nothing.
+        Kept as a thin shim over :meth:`answer`; behaves identically
+        (options default to no tracing and the default cache policy) and
+        returns the bare :class:`UniAskAnswer`.
         """
-        ctx = ctx or null_context()
-        trace = ctx.trace
-        self._last_scatter = None
-        with trace.span(spans.STAGE_ASK, question_chars=len(question)) as root:
-            answer = self._ask_staged(question, filters, ctx)
-            root.set("outcome", answer.outcome)
-        self._m_requests.labels(answer.outcome).inc()
-        if self._last_scatter is not None and self._last_scatter.partial:
-            answer = replace(answer, partial_results=True)
-        if trace.enabled:
-            answer = replace(answer, trace=trace)
-        return answer
+        warnings.warn(
+            "UniAskEngine.ask() is deprecated; use "
+            "engine.answer(AskRequest.of(question, filters=...)) from repro.api",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = AskRequest(question=question, options=AskOptions(filters=filters))
+        return self.answer(request, ctx=ctx).answer
 
     # -- stages --------------------------------------------------------------
+
+    def _answer_cached(
+        self, question: str, options: AskOptions, ctx: RequestContext
+    ) -> UniAskAnswer:
+        """Run the staged pipeline behind the answer cache, when one is wired.
+
+        Policy ``bypass`` skips the cache entirely; ``refresh`` skips the
+        lookup but overwrites the entry with the fresh answer.  Lookups and
+        stores are stamped with the searcher's current index generation, so
+        any corpus write since computation invalidates the entry lazily.
+        """
+        cache = self.answer_cache
+        if (
+            cache is None
+            or not cache.config.answer_tier_active
+            or options.cache == CACHE_BYPASS
+        ):
+            return self._ask_staged(question, options.filters, ctx)
+
+        key = cache.key(question, options.filters)
+        epoch = getattr(self._searcher.index, "generation", 0)
+        embedder = self._searcher.index.embedder
+        if options.cache != CACHE_REFRESH:
+            with ctx.trace.span(spans.STAGE_CACHE_LOOKUP, entries=len(cache)) as span:
+                hit = cache.lookup(key, epoch, embed_fn=lambda: embedder.embed(question))
+                span.set("hit", hit.kind if hit is not None else "")
+            if hit is not None:
+                return replace(
+                    hit.answer, cache_hit=hit.kind, cache_similarity=hit.similarity
+                )
+
+        answer = self._ask_staged(question, options.filters, ctx)
+        if self._cacheable(answer):
+            embedding = (
+                embedder.embed(question) if cache.config.semantic_tier_active else None
+            )
+            with ctx.trace.span(spans.STAGE_CACHE_STORE):
+                cache.store(key, answer, epoch, embedding=embedding)
+        return answer
+
+    def _cacheable(self, answer: UniAskAnswer) -> bool:
+        """True when *answer* may be stored for reuse.
+
+        Partial-results answers are never cached: a degraded cluster's
+        answer reflects whichever shards happened to respond, not the
+        corpus.
+        """
+        if answer.outcome not in CACHEABLE_OUTCOMES:
+            return False
+        if self._last_scatter is not None and self._last_scatter.partial:
+            return False
+        return True
 
     def _ask_staged(
         self, question: str, filters: dict[str, str] | None, ctx: RequestContext

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.answer_cache import AnswerCache
 from repro.cluster.router import ClusterSearcher
 from repro.cluster.sharded_index import ShardedSearchIndex
 from repro.core.config import UniAskConfig
@@ -63,6 +64,7 @@ class UniAskSystem:
     cluster: ClusterSearcher | None = None
     config: UniAskConfig = field(default_factory=UniAskConfig)
     telemetry: Telemetry = field(default_factory=Telemetry)
+    answer_cache: AnswerCache | None = None
 
     def refresh(self) -> None:
         """One operational cycle: run due ingestion polls, drain the queue."""
@@ -150,10 +152,17 @@ def build_uniask_system(
             cluster_config=config.cluster,
             clock=clock,
             registry=registry,
+            cache_config=config.cache,
         )
     else:
         searcher = HybridSemanticSearch(
             index, reranker=reranker, config=config.retrieval, registry=registry
+        )
+
+    answer_cache = None
+    if config.cache.answer_tier_active:
+        answer_cache = AnswerCache(
+            config.cache, clock=clock, analyzer=index_analyzer, registry=registry
         )
 
     guardrails = GuardrailPipeline(
@@ -167,6 +176,7 @@ def build_uniask_system(
         content_filter=ContentFilter(),
         config=config,
         telemetry=telemetry,
+        answer_cache=answer_cache,
     )
 
     system = UniAskSystem(
@@ -184,6 +194,7 @@ def build_uniask_system(
         cluster=searcher if clustered else None,
         config=config,
         telemetry=telemetry,
+        answer_cache=answer_cache,
     )
     if ingest_now:
         system.refresh()

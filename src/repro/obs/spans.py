@@ -108,6 +108,14 @@ SHARD_STAGE_PREFIX = "shard_"
 #: The gather barrier: waiting for the slowest successful shard replica.
 STAGE_SCATTER_WAIT = "scatter_wait"
 
+#: Answer-cache lookup (attribute ``hit``: "exact" / "semantic" / "" and
+#: ``scanned``: semantic-tier candidates compared).  A cache hit makes the
+#: whole request trace collapse to ``ask → cache_lookup``.
+STAGE_CACHE_LOOKUP = "cache_lookup"
+
+#: Answer-cache store of a freshly computed cacheable answer.
+STAGE_CACHE_STORE = "cache_store"
+
 
 def vector_stage(field_name: str) -> str:
     """Span name of the ANN search over *field_name*."""

@@ -67,6 +67,7 @@ class SearchIndex:
         self._internals_by_doc: dict[str, list[int]] = {}
         self._next_internal = 0
         self._deleted: set[int] = set()
+        self._generation = 0
 
         self.analyzer = analyzer if analyzer is not None else FULL_ANALYZER
         self._inverted: dict[str, InvertedIndex] = {
@@ -91,6 +92,16 @@ class SearchIndex:
         )
 
     @property
+    def generation(self) -> int:
+        """Monotonic write counter; bumps on every content-changing write.
+
+        Caches stamp entries with the generation they were computed against
+        and treat a mismatch as an invalidation signal (see
+        :mod:`repro.cache.retrieval_cache`).
+        """
+        return self._generation
+
+    @property
     def tombstone_ratio(self) -> float:
         """Fraction of stored chunks that are deleted but not vacuumed."""
         if not self._records:
@@ -109,6 +120,7 @@ class SearchIndex:
         if record.chunk_id in self._internal_by_chunk:
             self._tombstone(self._internal_by_chunk[record.chunk_id])
 
+        self._generation += 1
         internal = self._next_internal
         self._next_internal += 1
         self._records[internal] = record
@@ -143,6 +155,8 @@ class SearchIndex:
             if internal not in self._deleted:
                 self._tombstone(internal)
                 removed += 1
+        if removed:
+            self._generation += 1
         return removed
 
     def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
@@ -152,6 +166,7 @@ class SearchIndex:
         """
         if self.tombstone_ratio <= max_tombstone_ratio:
             return False
+        self._generation += 1
         live = {i: r for i, r in self._records.items() if i not in self._deleted}
         self._vectors = {name: self._new_ann_index() for name in self.schema.vector_fields}
         for internal, record in live.items():

@@ -25,8 +25,14 @@ linked from the latency histograms as an exemplar.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, replace
 
+from repro.api.types import CACHE_DEFAULT, AskOptions, AskRequest
+from repro.cache.answer_cache import HIT_COALESCED
+from repro.cache.coalescing import SingleFlight
+from repro.cache.config import CacheConfig
+from repro.cache.key import filters_key
 from repro.core.answer import UniAskAnswer
 from repro.core.engine import UniAskEngine
 from repro.obs import spans
@@ -74,6 +80,11 @@ class QueryRecord:
 #: and a silent 0.0 for a newly added span name would under-report that
 #: stage on the dashboard forever.
 DEFAULT_LEAF_COST = 0.0005
+
+#: Modeled seconds of serving an untraced request from the answer cache:
+#: a dictionary lookup (plus, for semantic hits, one embedding and a
+#: similarity scan) instead of retrieval and a multi-second LLM call.
+CACHE_HIT_LATENCY = 0.02
 
 
 class StageLatencyModel:
@@ -143,6 +154,12 @@ class StageLatencyModel:
             return 0.0005  # dispatch only; shards are queried in parallel
         if name == spans.STAGE_SCATTER_WAIT:
             return 0.0005 + float(attrs.get("wait", 0.0))
+        if name == spans.STAGE_CACHE_LOOKUP:
+            # A map probe plus, at worst, one query embedding and a
+            # similarity scan over the resident entries.
+            return 0.002 + 0.000002 * int(attrs.get("entries", 0))
+        if name == spans.STAGE_CACHE_STORE:
+            return 0.0005
         # Aggregate spans cost nothing themselves; any other *leaf* span is
         # work and gets the default floor.
         if span.is_leaf:
@@ -167,6 +184,16 @@ class BackendService:
             when the engine carries an enabled one (the factory wires it
             that way), else a fresh default-config :class:`Telemetry` on
             the service clock.
+        cache_config: enables single-flight request coalescing when its
+            coalescing tier is active.  While coalescing is on, ``serve``
+            models a **concurrent** server: a request occupies the flight
+            window ``[arrival, arrival + response_time)`` without
+            advancing the shared clock (the caller drives time, as the
+            load generators do), and identical questions arriving inside
+            the window share the leader's answer instead of re-running
+            the pipeline.  With coalescing off the service keeps its
+            original serial semantics: each query advances the shared
+            clock by its response time.
     """
 
     #: route name → (handler attribute, requires the ops role).  All
@@ -194,6 +221,7 @@ class BackendService:
         seed: int = 11,
         tracing: bool = False,
         telemetry: Telemetry | None = None,
+        cache_config: CacheConfig | None = None,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -220,6 +248,15 @@ class BackendService:
         self._stage_model = StageLatencyModel(
             base_latency, seconds_per_kilo_token, audit=telemetry.audit
         )
+        self._cache_config = cache_config or CacheConfig()
+        self.single_flight: SingleFlight | None = None
+        self._m_coalesced = None
+        if self._cache_config.coalescing_active:
+            self.single_flight = SingleFlight()
+            self._m_coalesced = telemetry.registry.counter(
+                "uniask_coalesced_waits_total",
+                "Requests that joined an identical in-flight request.",
+            )
 
     # -- endpoints ------------------------------------------------------------
 
@@ -287,56 +324,153 @@ class BackendService:
         """
         return self.ops("readyz")
 
-    def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
-        """Serve one question for an authenticated session.
+    def serve(self, token: str, request: AskRequest | str) -> QueryRecord:
+        """Serve one :class:`~repro.api.types.AskRequest` for a session.
 
-        With ``tracing=True`` the request runs inside a traced
+        The canonical query endpoint: a bare string is promoted to a
+        default-options request.  Tracing runs when the service was built
+        with ``tracing=True`` **or** the request asks via
+        ``options.trace``; either way the request executes inside a traced
         :class:`~repro.obs.trace.RequestContext` on a private simulated
-        clock: the response time is the traced per-stage total (jittered),
-        the trace rides on the stored :class:`QueryRecord`, and the
-        per-stage durations feed the dashboard's latency series.
+        clock — the response time is the traced per-stage total
+        (jittered), the trace rides on the stored :class:`QueryRecord`,
+        and the per-stage durations feed the dashboard's latency series.
+
+        With coalescing active (see *cache_config*), a request identical
+        to one still in flight joins it: the pipeline is not re-run, the
+        shared answer is marked ``cache_hit="coalesced"``, and the joiner
+        is charged only the remaining wait of the leader's flight window.
         """
+        if isinstance(request, str):
+            request = AskRequest(question=request)
         user_id = self._authenticate(token)
         self._query_counter += 1
         query_id = f"q-{self._query_counter:07d}"
+        question = request.question
+        options = request.options
+
+        coalescing = self.single_flight is not None
+        arrival = self._clock.now()
+        flight_key = None
+        if coalescing and options.cache == CACHE_DEFAULT:
+            flight_key = (question, filters_key(options.filters))
+            flight = self.single_flight.join(flight_key, arrival)
+            if flight is not None:
+                return self._coalesced_record(query_id, user_id, question, flight, arrival)
 
         trace: Trace | None = None
-        if self._tracing:
-            trace = Trace(
-                clock=SimulatedClock(start=self._clock.now()), cost=self._stage_model
-            )
+        if self._tracing or options.trace:
+            trace = Trace(clock=SimulatedClock(start=arrival), cost=self._stage_model)
             ctx = RequestContext(trace=trace, request_id=query_id)
-            answer = self._engine.ask(question, filters=filters, ctx=ctx)
+            answer = self._engine.answer(request, ctx=ctx).answer
             response_time = trace.total_duration * self._jitter()
         else:
-            answer = self._engine.ask(question, filters=filters)
-            response_time = self._model_response_time(question, answer)
-        self._clock.advance(response_time)
+            answer = self._engine.answer(request).answer
+            if answer.cache_hit:
+                # The cached answer still carries the full context and raw
+                # answer of its original computation; charging the token
+                # latency model would bill the skipped LLM call.
+                response_time = CACHE_HIT_LATENCY * self._jitter()
+            else:
+                response_time = self._model_response_time(question, answer)
+
+        if coalescing:
+            # Concurrent-server semantics: the request occupies the flight
+            # window [arrival, arrival + response_time) and the caller
+            # drives the shared clock between arrivals (as the load
+            # generators do) — concurrent identical requests can overlap.
+            served_at = arrival + response_time
+        else:
+            self._clock.advance(response_time)
+            served_at = self._clock.now()
         answer = self._with_response_time(answer, response_time)
+        if flight_key is not None and not answer.cache_hit:
+            self.single_flight.register(flight_key, query_id, arrival, served_at, answer)
 
         record = QueryRecord(
             query_id=query_id,
             user_id=user_id,
             question=question,
             answer=answer,
-            served_at=self._clock.now(),
+            served_at=served_at,
             trace=trace,
         )
+        self._finalize_record(record, trace, self._engine.last_scatter_report)
+        return record
+
+    def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
+        """Deprecated: use :meth:`serve` with an ``AskRequest``.
+
+        Kept as a thin shim over :meth:`serve`; behaves identically with
+        default options.
+        """
+        warnings.warn(
+            "BackendService.query() is deprecated; use "
+            "backend.serve(token, AskRequest.of(question, filters=...)) from repro.api",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = AskRequest(question=question, options=AskOptions(filters=filters))
+        return self.serve(token, request)
+
+    def _coalesced_record(
+        self, query_id: str, user_id: str, question: str, flight, arrival: float
+    ) -> QueryRecord:
+        """Share an in-flight identical request's answer with a joiner.
+
+        The joiner never touches the engine: its answer is the leader's,
+        marked ``coalesced``, and its response time is the remaining wait
+        until the leader's flight completes.
+        """
+        response_time = flight.completes_at - arrival
+        answer = replace(
+            flight.answer,
+            cache_hit=HIT_COALESCED,
+            cache_similarity=0.0,
+            response_time=response_time,
+            trace=None,
+        )
+        record = QueryRecord(
+            query_id=query_id,
+            user_id=user_id,
+            question=question,
+            answer=answer,
+            served_at=flight.completes_at,
+            trace=None,
+        )
+        if self._m_coalesced is not None:
+            self._m_coalesced.inc()
+        self._finalize_record(
+            record, None, None, extra_audit={"coalesced_with": flight.request_id}
+        )
+        return record
+
+    def _finalize_record(
+        self,
+        record: QueryRecord,
+        trace: Trace | None,
+        scatter,
+        extra_audit: dict | None = None,
+    ) -> None:
+        """Store *record* and write it to monitoring, metrics and audit."""
         self._records[record.query_id] = record
+        answer = record.answer
         sampled = False
         stages = trace.stage_durations() if trace is not None else None
         if trace is not None:
-            sampled = self.telemetry.sampler.offer(query_id, trace, trace.total_duration)
+            sampled = self.telemetry.sampler.offer(
+                record.query_id, trace, trace.total_duration
+            )
         self.metrics.record_query(
             timestamp=record.served_at,
-            user_id=user_id,
+            user_id=record.user_id,
             outcome=answer.outcome,
-            response_time=response_time,
+            response_time=answer.response_time,
             stages=stages,
             partial=answer.partial_results,
-            trace_id=query_id if sampled else "",
+            trace_id=record.query_id if sampled else "",
+            cache_hit=answer.cache_hit,
         )
-        scatter = self._engine.last_scatter_report
         probe_log: list[dict] = []
         if scatter is not None:
             for probe in scatter.probes:
@@ -358,12 +492,11 @@ class BackendService:
                     }
                 )
         report = answer.guardrail_report
-        self.telemetry.audit.info(
-            "request",
-            request_id=query_id,
-            user=user_id,
+        audit_fields = dict(
+            request_id=record.query_id,
+            user=record.user_id,
             outcome=answer.outcome,
-            response_time=response_time,
+            response_time=answer.response_time,
             partial=answer.partial_results,
             sampled=sampled,
             stages=stages or {},
@@ -373,7 +506,13 @@ class BackendService:
                 for verdict in (report.verdicts if report is not None else ())
             ],
         )
-        return record
+        # Only annotate reuse when it happened: a cache-off deployment's
+        # audit lines must match the pre-cache format exactly.
+        if answer.cache_hit:
+            audit_fields["cache"] = answer.cache_hit
+        if extra_audit:
+            audit_fields.update(extra_audit)
+        self.telemetry.audit.info("request", **audit_fields)
 
     def feedback(self, token: str, feedback: GranularFeedback) -> None:
         """Store one feedback form for a previously served query."""

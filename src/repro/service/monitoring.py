@@ -103,6 +103,7 @@ class QueryEvent:
     failed: bool = False
     stages: tuple[tuple[str, float], ...] = ()
     partial: bool = False
+    cache_hit: str = ""
 
 
 @dataclass(frozen=True)
@@ -142,6 +143,11 @@ class DashboardSnapshot:
     #: fractions per shard and per replica.
     partial_results: int = 0
     hedged_requests: int = 0
+    #: Queries served without running the full pipeline, by reuse kind
+    #: (``exact`` / ``semantic`` answer-cache hits, ``coalesced`` waits on
+    #: an identical in-flight request).  Zero / empty while caching is off.
+    cache_served: int = 0
+    cache_breakdown: dict[str, int] = field(default_factory=dict)
     shard_p50: dict[str, float] = field(default_factory=dict)
     shard_p95: dict[str, float] = field(default_factory=dict)
     shard_counts: dict[str, int] = field(default_factory=dict)
@@ -229,6 +235,11 @@ class MetricsCollector:
                 buckets=STAGE_SECONDS_BUCKETS,
             )
         )
+        # Attached lazily on the first cache-served query: an instrument in
+        # the registry renders HELP/TYPE lines in the exposition even with
+        # no samples, and a deployment with caching off must expose exactly
+        # the pre-cache metrics page.
+        self._m_cache_served: Counter | None = None
 
     def record_query(
         self,
@@ -240,13 +251,15 @@ class MetricsCollector:
         stages: dict[str, float] | None = None,
         partial: bool = False,
         trace_id: str = "",
+        cache_hit: str = "",
     ) -> None:
         """Log one served (or failed) query, with optional stage durations.
 
         ``trace_id`` links the observation to a retained trace: when set,
         the response-time and per-stage histograms record it as the bucket
         exemplar (only pass ids the trace sampler actually retained, so
-        every exposed exemplar resolves).
+        every exposed exemplar resolves).  ``cache_hit`` names the reuse
+        kind when the query skipped the full pipeline ("" when it ran).
         """
         self._events.append(
             QueryEvent(
@@ -257,8 +270,19 @@ class MetricsCollector:
                 failed=failed,
                 stages=tuple(stages.items()) if stages else (),
                 partial=partial,
+                cache_hit=cache_hit,
             )
         )
+        if cache_hit:
+            if self._m_cache_served is None:
+                self._m_cache_served = self.registry.attach(
+                    Counter(
+                        "uniask_cache_served_queries_total",
+                        "Queries served without the full pipeline, by reuse kind.",
+                        ("kind",),
+                    )
+                )
+            self._m_cache_served.labels(cache_hit).inc()
         self._m_queries.labels(outcome).inc()
         self._user_ids.add(user_id)
         self._m_users.set(float(len(self._user_ids)))
@@ -371,6 +395,14 @@ class MetricsCollector:
             stage_p95[stage] = percentile_of_sorted(ordered, 95.0)
             stage_counts[stage] = len(series)
 
+        cache_breakdown: dict[str, int] = {}
+        if self._m_cache_served is not None:
+            cache_breakdown = {
+                labels[0]: int(child.value)
+                for labels, child in self._m_cache_served.children.items()
+                if labels
+            }
+
         shard_p50 = {}
         shard_p95 = {}
         shard_counts = {}
@@ -396,6 +428,8 @@ class MetricsCollector:
             stage_counts=stage_counts,
             partial_results=int(self._m_partial.value),
             hedged_requests=int(self._m_hedged.value),
+            cache_served=sum(cache_breakdown.values()),
+            cache_breakdown=cache_breakdown,
             shard_p50=shard_p50,
             shard_p95=shard_p95,
             shard_counts=shard_counts,
@@ -423,6 +457,11 @@ def format_dashboard(snapshot: DashboardSnapshot) -> str:
     if snapshot.shard_counts:
         lines.append(f"partial results:      {snapshot.partial_results}")
         lines.append(f"hedged shard probes:  {snapshot.hedged_requests}")
+    if snapshot.cache_served:
+        breakdown = " ".join(
+            f"{kind}={count}" for kind, count in sorted(snapshot.cache_breakdown.items())
+        )
+        lines.append(f"cache served:         {snapshot.cache_served} ({breakdown})")
     lines.append("outcomes:")
     for outcome, count in sorted(snapshot.outcome_breakdown.items(), key=lambda p: -p[1]):
         marker = "·" if outcome == OUTCOME_ANSWERED else "!"

@@ -110,7 +110,7 @@ def run_release(
     for query in questions:
         user = users[rng.randrange(len(users))]
         text = user.phrase_question(query)
-        record = backend.query(tokens[user.user_id], text)
+        record = backend.serve(tokens[user.user_id], text)
         if record.answer.answered:
             proper += 1
         elif record.answer.guardrail_fired:
@@ -178,7 +178,7 @@ def run_uat(engine: UniAskEngine, dataset: UatDataset) -> UatReport:
     improper = 0
 
     for query in dataset.all_queries:
-        answer = engine.ask(query.text)
+        answer = engine.answer(query.text).answer
         if query.kind == KIND_OUT_OF_SCOPE:
             expected_guardrails += 1
             if not answer.answered:

@@ -102,7 +102,7 @@ def assistant_outcome_observer(engine) -> OutcomeObserver:
     """Observer for UniAsk: a grounded cited answer resolves the enquiry."""
 
     def observe(query: LabeledQuery, phrased: str) -> str:
-        answer = engine.ask(phrased)
+        answer = engine.answer(phrased).answer
         if answer.answered and any(
             citation.doc_id in query.relevant_docs for citation in answer.citations
         ):

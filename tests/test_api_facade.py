@@ -1,0 +1,139 @@
+"""The stable ``repro.api`` facade and the deprecated legacy shims.
+
+The facade is the supported surface: typed request/response dataclasses,
+the two deployment builders, and re-exported configuration types.  The
+legacy positional signatures (``engine.ask``, ``backend.query``) must keep
+working — warning — and return exactly what the new API returns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import AskOptions, AskRequest, AskResponse
+from repro.service.backend import BackendService
+
+
+class TestFacadeSurface:
+    def test_every_export_resolves(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_dir_matches_all(self):
+        import repro.api as api
+
+        assert set(api.__all__) <= set(dir(api))
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in (
+            "AskOptions",
+            "AskRequest",
+            "AskResponse",
+            "CacheConfig",
+            "create_backend",
+            "create_engine",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_lazy_config_exports_are_the_real_types(self):
+        import repro.api as api
+        from repro.core.config import UniAskConfig
+        from repro.core.factory import UniAskSystem
+
+        assert api.UniAskConfig is UniAskConfig
+        assert api.UniAskSystem is UniAskSystem
+
+    def test_options_reject_unknown_cache_policy(self):
+        with pytest.raises(ValueError):
+            AskOptions(cache="sometimes")
+
+    def test_request_of_shorthand(self):
+        request = AskRequest.of("ciao", trace=True, filters={"domain": "carte"})
+        assert request.question == "ciao"
+        assert request.options.trace
+        assert request.options.filters == {"domain": "carte"}
+
+    def test_response_properties_mirror_the_answer(self, system, small_kb):
+        topic = next(iter(small_kb.topics.values()))
+        question = f"Come posso {topic.action.canonical} {topic.entity.canonical}?"
+        response = system.engine.answer(question)
+        assert isinstance(response, AskResponse)
+        assert response.text == response.answer.answer_text
+        assert response.outcome == response.answer.outcome
+        assert response.answered == response.answer.answered
+        assert response.citations == response.answer.citations
+        assert response.documents == response.answer.documents
+        assert response.cache_hit == response.answer.cache_hit == ""
+        assert response.request.question == question
+
+    def test_string_request_is_promoted(self, system):
+        by_string = system.engine.answer("limiti prelievo bancomat")
+        assert by_string.request == AskRequest(question="limiti prelievo bancomat")
+
+
+class TestDeprecatedShims:
+    def test_engine_ask_warns(self, system):
+        with pytest.warns(DeprecationWarning, match="answer"):
+            system.engine.ask("limiti prelievo bancomat")
+
+    def test_engine_ask_matches_answer(self, system, small_kb):
+        topic = next(iter(small_kb.topics.values()))
+        question = f"Come posso {topic.action.canonical} {topic.entity.canonical}?"
+        system.llm.reseed(0)
+        with pytest.warns(DeprecationWarning):
+            old = system.engine.ask(question)
+        system.llm.reseed(0)
+        new = system.engine.answer(question).answer
+        assert old == new
+
+    def test_backend_query_warns_and_matches_serve(self, system, small_kb):
+        topic = next(iter(small_kb.topics.values()))
+        question = f"Come posso {topic.action.canonical} {topic.entity.canonical}?"
+
+        def serve_with(call):
+            backend = BackendService(system.engine, system.clock)
+            token = backend.login("shim-user")
+            system.llm.reseed(0)
+            return call(backend, token)
+
+        with pytest.warns(DeprecationWarning, match="serve"):
+            old = serve_with(lambda b, t: b.query(t, question))
+        new = serve_with(lambda b, t: b.serve(t, question))
+        assert old.answer == new.answer
+        assert old.question == new.question
+
+    def test_query_filters_become_options(self, system):
+        backend = BackendService(system.engine, system.clock)
+        token = backend.login("shim-user")
+        with pytest.warns(DeprecationWarning):
+            record = backend.query(token, "bonifico estero", filters={"domain": "no-such"})
+        assert record.answer.documents == ()
+
+
+class TestScatterReportHygiene:
+    def test_last_scatter_cleared_when_answer_raises(self, system, monkeypatch):
+        engine = system.engine
+        engine._last_scatter = object()  # pretend a previous cluster query ran
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("pipeline exploded")
+
+        monkeypatch.setattr(engine, "_answer_cached", boom)
+        with pytest.raises(RuntimeError):
+            engine.answer("qualsiasi domanda")
+        assert engine.last_scatter_report is None
+
+    def test_last_scatter_reset_between_requests(self, system):
+        engine = engine_ = system.engine
+        engine_._last_scatter = object()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine.ask("limiti prelievo bancomat")
+        # A single-index deployment never produces a scatter report.
+        assert engine.last_scatter_report is None

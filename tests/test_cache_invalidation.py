@@ -1,0 +1,172 @@
+"""Cache invalidation: index epochs and per-shard write generations.
+
+Every write through ``pipeline.indexing`` bumps the owning index's
+``generation``; the answer cache stamps entries with the generation at
+computation time and the cluster router stamps each memoized scatter leg
+with its shard's generation — so a corpus write deterministically
+invalidates exactly the entries it could have changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig, ShardRetrievalCache
+from repro.cluster.config import ClusterConfig
+from repro.core.config import UniAskConfig
+from repro.core.factory import build_uniask_system
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.search.hybrid import HybridSearchConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_kb():
+    return KbGenerator(KbGeneratorConfig(num_topics=12, error_families=2, seed=11)).generate()
+
+
+@pytest.fixture(scope="module")
+def banking_lexicon():
+    return build_banking_lexicon()
+
+
+def build_cached(tiny_kb, banking_lexicon, **config_kwargs):
+    config = UniAskConfig(cache=CacheConfig(enabled=True), **config_kwargs)
+    return build_uniask_system(tiny_kb.store(), banking_lexicon, config=config, seed=11)
+
+
+def reindex_document(system, doc_id: str) -> None:
+    """One write through the indexing pipeline (the path editors take)."""
+    system.queue.publish({"action": "upsert", "doc_id": doc_id})
+    system.indexing.drain()
+
+
+class TestIndexGenerations:
+    def test_add_bumps_generation(self, tiny_kb, banking_lexicon):
+        system = build_cached(tiny_kb, banking_lexicon)
+        before = system.index.generation
+        reindex_document(system, system.store.all_documents()[0].doc_id)
+        assert system.index.generation > before
+
+    def test_read_does_not_bump_generation(self, tiny_kb, banking_lexicon):
+        system = build_cached(tiny_kb, banking_lexicon)
+        before = system.index.generation
+        system.searcher.search("come sbloccare la carta")
+        assert system.index.generation == before
+
+    def test_sharded_generation_survives_topology_changes(self, tiny_kb, banking_lexicon):
+        system = build_cached(tiny_kb, banking_lexicon, cluster=ClusterConfig(shards=3))
+        before = system.index.generation
+        system.index.add_shard()
+        grown = system.index.generation
+        assert grown > before
+        system.index.remove_shard(max(system.index.shard_ids))
+        assert system.index.generation > grown  # monotonic, never a sum
+
+
+class TestAnswerEpochInvalidation:
+    def test_pipeline_upsert_invalidates_cached_answer(self, tiny_kb, banking_lexicon):
+        system = build_cached(tiny_kb, banking_lexicon)
+        topic = next(iter(tiny_kb.topics.values()))
+        question = f"Come posso {topic.action.canonical} {topic.entity.canonical}?"
+
+        assert system.engine.answer(question).cache_hit == ""
+        assert system.engine.answer(question).cache_hit == "exact"
+
+        reindex_document(system, system.store.all_documents()[0].doc_id)
+
+        recomputed = system.engine.answer(question)
+        assert recomputed.cache_hit == ""
+        assert system.answer_cache.stats.invalidations >= 1
+        # The recomputed answer is cached again under the new epoch.
+        assert system.engine.answer(question).cache_hit == "exact"
+
+
+class TestShardRetrievalCacheUnit:
+    def test_generation_mismatch_drops_entry(self):
+        cache = ShardRetrievalCache(CacheConfig(enabled=True))
+        cache.put(0, ("q",), generation=1, text=[], vector={})
+        assert cache.get(0, ("q",), generation=1) is not None
+        assert cache.get(0, ("q",), generation=2) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+    def test_capacity_is_per_shard(self):
+        cache = ShardRetrievalCache(CacheConfig(enabled=True, retrieval_capacity=2))
+        for shard_id in (0, 1):
+            for n in range(3):
+                cache.put(shard_id, (f"q{n}",), generation=0, text=[], vector={})
+        assert cache.stats.evictions == 2  # one per shard, not global
+        assert cache.get(0, ("q0",), generation=0) is None
+        assert cache.get(0, ("q2",), generation=0) is not None
+
+    def test_drop_shard_forgets_everything(self):
+        cache = ShardRetrievalCache(CacheConfig(enabled=True))
+        cache.put(0, ("q",), generation=0, text=[], vector={})
+        cache.drop_shard(0)
+        assert cache.get(0, ("q",), generation=0) is None
+
+
+class TestRouterRetrievalCache:
+    QUESTION = "come sbloccare la carta di credito"
+
+    def _cluster(self, tiny_kb, banking_lexicon, mode: str):
+        return build_cached(
+            tiny_kb,
+            banking_lexicon,
+            cluster=ClusterConfig(shards=3),
+            retrieval=HybridSearchConfig(mode=mode),
+        )
+
+    def test_repeat_query_hits_every_shard(self, tiny_kb, banking_lexicon):
+        system = self._cluster(tiny_kb, banking_lexicon, "hybrid")
+        cache = system.cluster.retrieval_cache
+        system.searcher.search(self.QUESTION)
+        assert cache.stats.hits == 0
+        system.searcher.search(self.QUESTION)
+        assert cache.stats.hits == 3
+
+    def test_cached_ranking_is_identical(self, tiny_kb, banking_lexicon):
+        system = self._cluster(tiny_kb, banking_lexicon, "hybrid")
+        first = system.searcher.search(self.QUESTION)
+        second = system.searcher.search(self.QUESTION)
+        assert [(c.record.chunk_id, c.score) for c in first] == [
+            (c.record.chunk_id, c.score) for c in second
+        ]
+
+    def test_vector_mode_invalidates_only_the_written_shard(self, tiny_kb, banking_lexicon):
+        system = self._cluster(tiny_kb, banking_lexicon, "vector")
+        cache = system.cluster.retrieval_cache
+        system.searcher.search(self.QUESTION)
+
+        reindex_document(system, system.store.all_documents()[0].doc_id)
+
+        hits_before = cache.stats.hits
+        system.searcher.search(self.QUESTION)
+        # Vector legs depend only on their own shard: the untouched two
+        # shards keep serving from cache, the written shard recomputes.
+        assert cache.stats.invalidations == 1
+        assert cache.stats.hits == hits_before + 2
+
+    def test_hybrid_mode_invalidates_every_shard(self, tiny_kb, banking_lexicon):
+        system = self._cluster(tiny_kb, banking_lexicon, "hybrid")
+        cache = system.cluster.retrieval_cache
+        system.searcher.search(self.QUESTION)
+
+        reindex_document(system, system.store.all_documents()[0].doc_id)
+
+        hits_before = cache.stats.hits
+        system.searcher.search(self.QUESTION)
+        # BM25 text legs rank against cluster-wide collection statistics,
+        # so any write anywhere invalidates every shard's hybrid legs.
+        assert cache.stats.invalidations == 3
+        assert cache.stats.hits == hits_before
+
+    def test_retrieval_tier_can_be_disabled_alone(self, tiny_kb, banking_lexicon):
+        config = UniAskConfig(
+            cache=CacheConfig(enabled=True, retrieval=False),
+            cluster=ClusterConfig(shards=2),
+        )
+        system = build_uniask_system(tiny_kb.store(), banking_lexicon, config=config, seed=11)
+        assert system.cluster.retrieval_cache is None
+        assert system.answer_cache is not None
