@@ -1,0 +1,111 @@
+"""Canary-probe smoke run: quality metrics + an explain report as artifacts.
+
+Standalone script (not pytest-collected).  Builds a seed deployment, runs
+the deterministic canary suite once, and writes two CI artifacts:
+
+* ``--out`` — the canary metrics (recall@4, MRR, guardrail fire rate,
+  citation coverage, groundedness) plus the fired quality alerts;
+* ``--explain-out`` — the full :class:`~repro.obs.explain.ExplainReport`
+  JSON of one representative query, so every CI run archives a complete
+  score-provenance sample against which ranking regressions can be
+  diffed.
+
+The script **fails** (exit 1) when the unperturbed seed corpus trips any
+quality alert, when the canary's retrieval quality falls below the smoke
+floor, or when any explain entry's component sums stop reproducing the
+fused/final scores exactly — the explain pipeline's core guarantee.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_canary.py \
+        --topics 16 --probes 8 --out BENCH_canary.json \
+        --explain-out BENCH_explain.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import AskOptions, AskRequest  # noqa: E402
+from repro.core.factory import build_uniask_system  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+from repro.eval.groundedness import GroundednessJudge  # noqa: E402
+from repro.obs.quality import CanaryRunner, CanarySuite, format_canary_report  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=16)
+    parser.add_argument("--probes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--min-recall", type=float, default=0.3)
+    parser.add_argument("--out", default="BENCH_canary.json")
+    parser.add_argument("--explain-out", default="BENCH_explain.json")
+    parser.add_argument(
+        "--explain-question", default="come sbloccare la carta di credito"
+    )
+    args = parser.parse_args()
+
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=2, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    system = build_uniask_system(kb.store(), lexicon, seed=args.seed)
+
+    suite = CanarySuite.from_kb(kb, size=args.probes, seed=args.seed + 1747)
+    runner = CanaryRunner(
+        system.engine,
+        suite,
+        judge=GroundednessJudge(lexicon),
+        registry=system.telemetry.registry,
+    )
+    report = runner.run_once(now=0.0)
+    alerts = list(runner.last_alerts)
+    print(format_canary_report(report, alerts))
+
+    explain = system.engine.answer(
+        AskRequest(args.explain_question, AskOptions(explain=True))
+    ).answer.explain_report
+
+    payload = {
+        "config": {
+            "topics": args.topics,
+            "probes": len(suite),
+            "seed": args.seed,
+        },
+        "canary": report.to_dict(),
+        "alerts": [
+            {"name": alert.name, "severity": alert.severity, "message": alert.message}
+            for alert in alerts
+        ],
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+    Path(args.explain_out).write_text(explain.to_json())
+    print(f"wrote {args.explain_out} ({len(explain.entries)} entries)")
+
+    failures = []
+    if alerts:
+        failures.append(f"{len(alerts)} quality alert(s) on the unperturbed seed corpus")
+    if report.recall_at_4 < args.min_recall:
+        failures.append(
+            f"canary recall@4 {report.recall_at_4:.3f} below floor {args.min_recall:g}"
+        )
+    if not explain.sums_exact:
+        failures.append("explain component sums do not reproduce the ranked scores")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("canary smoke: quality stable, explain sums exact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

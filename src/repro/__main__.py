@@ -3,16 +3,21 @@
 Commands:
 
 * ``ask "<question>"`` — build a demo deployment and answer one question
-  (``--shards N`` serves it from a sharded cluster, ``--cluster-status``
-  prints the shard/replica health table, ``--metrics`` dumps the
-  Prometheus exposition of the deployment's telemetry registry);
+  (``--shards N`` serves it from a sharded cluster, ``--explain`` prints
+  the per-chunk score-provenance report, ``--cluster-status`` prints the
+  shard/replica health table, ``--metrics`` dumps the Prometheus
+  exposition of the deployment's telemetry registry);
 * ``demo`` — an interactive search box over a demo deployment;
 * ``eval`` — a compact UniAsk-vs-legacy evaluation (Table 1 style);
 * ``loadtest`` — the Figure 2 open-system load test;
 * ``metrics`` — serve a traced query stream through the backend and print
   the operational surface: ``/metrics`` exposition with exemplars,
   ``/healthz``/``/readyz`` probes, SLO burn-rate alerts, and optionally
-  the JSONL audit log (``--audit PATH``);
+  the JSONL audit log (``--audit PATH``); exits non-zero when any
+  page-severity (critical) alert is firing;
+* ``canary`` — run the canary probe suite once through a demo deployment
+  and report quality metrics against the (freshly frozen) baseline;
+  exits non-zero when a quality alert fires;
 * ``index`` — build the demo corpus index and persist it to a directory,
   optionally sharded (``--shards N``).
 
@@ -64,7 +69,12 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         args.topics, args.seed, shards=args.shards, replicas=args.replicas, cache=args.cache
     )
     request = AskRequest(
-        args.question, AskOptions(trace=args.trace, request_id="cli-ask" if args.trace else "")
+        args.question,
+        AskOptions(
+            trace=args.trace,
+            explain=args.explain,
+            request_id="cli-ask" if args.trace else "",
+        ),
     )
     for _ in range(max(1, args.repeat)):
         answer = system.engine.answer(request).answer
@@ -72,6 +82,9 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     if args.trace:
         print()
         print(answer.trace.format_table())
+    if args.explain and answer.explain_report is not None:
+        print()
+        print(answer.explain_report.format_report())
     if answer.cache_hit:
         print(f"\n[cache] served from cache (kind={answer.cache_hit})")
     if answer.partial_results:
@@ -167,6 +180,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service.alerting import SEVERITY_CRITICAL
     from repro.service.backend import BackendService, ROLE_OPS
 
     _, system = _build_system(args.topics, args.seed, shards=args.shards, replicas=args.replicas)
@@ -202,7 +216,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.audit:
         path = backend.telemetry.audit.dump(args.audit)
         print(f"audit log: {len(backend.telemetry.audit)} entries written to {path}")
+    paging = [alert for alert in alerts if alert.severity == SEVERITY_CRITICAL]
+    if paging:
+        print(f"exit: {len(paging)} page-severity alert(s) firing", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_canary(args: argparse.Namespace) -> int:
+    from repro.eval.groundedness import GroundednessJudge
+    from repro.obs.quality import CanaryRunner, CanarySuite, format_canary_report
+
+    kb, system = _build_system(
+        args.topics, args.seed, shards=args.shards, replicas=args.replicas
+    )
+    suite = CanarySuite.from_kb(kb, size=args.probes, seed=args.seed + 1747)
+    runner = CanaryRunner(
+        system.engine,
+        suite,
+        judge=GroundednessJudge(build_banking_lexicon()),
+        registry=system.telemetry.registry,
+    )
+    report = runner.run_once(now=system.clock.now())
+    alerts = list(runner.last_alerts)
+    print(format_canary_report(report, alerts))
+    return 1 if alerts else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -243,6 +281,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the Prometheus exposition of the telemetry registry",
     )
+    ask.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-chunk score-provenance report of the retrieval",
+    )
     ask.set_defaults(func=_cmd_ask)
 
     demo = commands.add_parser("demo", help="interactive search box")
@@ -263,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--replicas", type=int, default=2, help="replicas per shard")
     metrics.add_argument("--audit", default="", help="write the JSONL audit log to this path")
     metrics.set_defaults(func=_cmd_metrics)
+
+    canary = commands.add_parser("canary", help="run the canary probe suite once")
+    canary.add_argument("--probes", type=int, default=24, help="canary suite size")
+    canary.add_argument("--shards", type=int, default=1, help="serve from N index shards")
+    canary.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    canary.set_defaults(func=_cmd_canary)
 
     index = commands.add_parser("index", help="build and persist the demo index")
     index.add_argument("--shards", type=int, default=1, help="partition into N shards")

@@ -38,12 +38,19 @@ class AskOptions:
             :data:`CACHE_REFRESH`.  Irrelevant (and harmless) when the
             deployment's cache is disabled.
         request_id: caller-chosen id stamped on traces and audit entries.
+        explain: request full score provenance; the finished
+            :class:`~repro.obs.explain.ExplainReport` rides back on
+            ``response.explain``.  Explain requests bypass the answer and
+            retrieval caches (provenance must describe *this* execution)
+            and record per-term/per-shard breakdowns; with the default
+            False the pipeline runs exactly the pre-explain code.
     """
 
     filters: dict[str, str] | None = None
     trace: bool = False
     cache: str = CACHE_DEFAULT
     request_id: str = ""
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_POLICIES:
@@ -113,3 +120,8 @@ class AskResponse:
     def trace(self) -> Trace | None:
         """The per-stage trace, when one was requested."""
         return self.answer.trace
+
+    @property
+    def explain(self):
+        """The :class:`~repro.obs.explain.ExplainReport`, when requested."""
+        return self.answer.explain_report

@@ -39,6 +39,23 @@ from repro.search.results import RetrievedChunk
 from repro.search.vector import VectorSearch
 
 
+#: Traceless context handed to shard leg executors of explain requests:
+#: enables per-term breakdowns without charging local stage costs.
+_EXPLAIN_LEG_CONTEXT = RequestContext(explain=True)
+
+
+def _attribute_shard(results: list[RetrievedChunk], shard_id: int) -> list[RetrievedChunk]:
+    """Tag each leg result with its shard of origin (explain provenance)."""
+    tagged = []
+    for result in results:
+        components = dict(result.components)
+        components["shard"] = float(shard_id)
+        tagged.append(
+            RetrievedChunk(record=result.record, score=result.score, components=components)
+        )
+    return tagged
+
+
 @dataclass(frozen=True)
 class ShardProbe:
     """The outcome of querying one shard for one request.
@@ -279,7 +296,10 @@ class ClusterSearcher:
             name: [] for name in self._index.schema.vector_fields
         }
         cache_key = None
-        if self.retrieval_cache is not None:
+        if self.retrieval_cache is not None and not ctx.explain:
+            # Explain requests bypass the retrieval cache: cached legs were
+            # gathered without per-term/per-shard breakdowns, and provenance
+            # must describe *this* scatter, not a stale one.
             cache_key = retrieval_cache_key(
                 query, filters, config.mode, config.text_n, config.vector_k
             )
@@ -294,7 +314,8 @@ class ClusterSearcher:
                     served_from_cache = False
                     if probe.ok:
                         leg_text, leg_vector, served_from_cache = self._shard_legs(
-                            shard_id, cache_key, query, query_vector, filters
+                            shard_id, cache_key, query, query_vector, filters,
+                            explain=ctx.explain,
                         )
                         text_candidates.extend(leg_text)
                         gathered += len(leg_text)
@@ -333,13 +354,16 @@ class ClusterSearcher:
         query: str,
         query_vector,
         filters: dict[str, str] | None,
+        explain: bool = False,
     ):
         """The text and vector leg results of one shard, cached when possible.
 
         The shard legs run with a null context: in a real deployment they
         execute remotely and in parallel, so their latency is the replica's
         simulated service time (charged at the gather barrier), not a
-        serial sum of local stage costs.
+        serial sum of local stage costs.  With *explain* the legs run under
+        a traceless explain context (per-term BM25 breakdowns) and every
+        gathered chunk is tagged with its shard of origin.
 
         Returns ``(text_leg, [(field, vector_leg), ...], served_from_cache)``.
         """
@@ -350,16 +374,23 @@ class ClusterSearcher:
             if cached is not None:
                 return cached.text, cached.vector, True
 
+        leg_ctx = _EXPLAIN_LEG_CONTEXT if explain else None
         leg_text: list[RetrievedChunk] = []
         leg_vector: dict[str, list[RetrievedChunk]] = {}
         if config.mode in ("hybrid", "text"):
             leg_text = self._fulltext[shard_id].search(
-                query, n=config.text_n, filters=filters, ctx=None
+                query, n=config.text_n, filters=filters, ctx=leg_ctx
             )
         if query_vector is not None:
             leg_vector = self._vector[shard_id].search_by_vector(
-                query_vector, k=config.vector_k, filters=filters, ctx=None
+                query_vector, k=config.vector_k, filters=filters, ctx=leg_ctx
             )
+        if explain:
+            leg_text = _attribute_shard(leg_text, shard_id)
+            leg_vector = {
+                field_name: _attribute_shard(leg, shard_id)
+                for field_name, leg in leg_vector.items()
+            }
         if cache_key is not None:
             self.retrieval_cache.put(shard_id, cache_key, generation, leg_text, leg_vector)
         return leg_text, list(leg_vector.items()), False

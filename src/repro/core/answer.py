@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.guardrails.pipeline import GuardrailReport
+from repro.obs.explain import ExplainReport
 from repro.obs.trace import Trace
 from repro.search.results import RetrievedChunk
 
@@ -71,6 +72,8 @@ class UniAskAnswer:
             request (see :mod:`repro.cache`).
         cache_similarity: cosine similarity of the reused entry for
             semantic hits (1.0 for exact hits, 0.0 otherwise).
+        explain_report: full score provenance of the retrieval (None unless
+            the request asked for ``explain``; see :mod:`repro.obs.explain`).
     """
 
     question: str
@@ -86,6 +89,7 @@ class UniAskAnswer:
     partial_results: bool = False
     cache_hit: str = ""
     cache_similarity: float = 0.0
+    explain_report: ExplainReport | None = None
 
     @property
     def answered(self) -> bool:

@@ -144,16 +144,27 @@ class UniAskEngine:
             request = AskRequest(question=request)
         options = request.options
         if ctx is None:
-            ctx = (
-                RequestContext.traced(request_id=options.request_id)
-                if options.trace
-                else null_context()
+            if options.trace:
+                ctx = RequestContext.traced(
+                    request_id=options.request_id, explain=options.explain
+                )
+            elif options.explain:
+                ctx = RequestContext(request_id=options.request_id, explain=True)
+            else:
+                ctx = null_context()
+        elif options.explain and not ctx.explain:
+            # Never mutate the caller's context (it may be the shared null
+            # singleton); rewrap it with the explain flag raised.
+            ctx = RequestContext(
+                trace=ctx.trace, request_id=ctx.request_id, explain=True
             )
         trace = ctx.trace
         self._last_scatter = None
         try:
             with trace.span(spans.STAGE_ASK, question_chars=len(request.question)) as root:
                 answer = self._answer_cached(request.question, options, ctx)
+                if options.explain:
+                    answer = replace(answer, explain_report=self._explain(answer))
                 root.set("outcome", answer.outcome)
         except BaseException:
             # A stage that raises must not leave the previous request's
@@ -205,7 +216,12 @@ class UniAskEngine:
             cache is None
             or not cache.config.answer_tier_active
             or options.cache == CACHE_BYPASS
+            or options.explain
         ):
+            # Explain requests run cacheless both ways: a cached answer has
+            # no fresh provenance to report, and an explain answer (per-term
+            # components, attached report) must not be what later plain
+            # requests are served from.
             return self._ask_staged(question, options.filters, ctx)
 
         key = cache.key(question, options.filters)
@@ -228,6 +244,18 @@ class UniAskEngine:
             with ctx.trace.span(spans.STAGE_CACHE_STORE):
                 cache.store(key, answer, epoch, embedding=embedding)
         return answer
+
+    def _explain(self, answer: UniAskAnswer):
+        """Fold the answer's retrieval components into an ExplainReport."""
+        from repro.obs.explain import build_explain_report
+
+        config = self._searcher.config
+        return build_explain_report(
+            answer.question,
+            list(answer.documents),
+            rrf_c=config.rrf_c,
+            mode=config.mode,
+        )
 
     def _cacheable(self, answer: UniAskAnswer) -> bool:
         """True when *answer* may be stored for reuse.

@@ -1,0 +1,832 @@
+"""Online quality-drift observability: canary probes and drift detectors.
+
+Section 6's deployment lesson is that the dangerous production failures are
+*silent quality regressions*: an index refresh, a batch of near-duplicate
+procedure docs, or jargon drift degrades retrieval and generation long
+before users complain, and the paper's guardrail/groundedness evaluation
+(Table 5) is offline-only.  This module closes the loop online with two
+complementary mechanisms:
+
+**Streaming drift detectors** watch signals of the live query stream
+against a frozen *reference window* captured when the deployment was known
+healthy:
+
+* the fused-score distribution of the top retrieval hit, compared with a
+  from-scratch two-sample Kolmogorov–Smirnov test
+  (:func:`ks_statistic` / :func:`ks_p_value`) and a Population Stability
+  Index over reference-quantile bins (:func:`population_stability_index`);
+* the guardrail pass rate and the citation-coverage rate of accepted
+  answers, compared with a two-proportion z-test plus an absolute-delta
+  floor (rate changes too small to matter never fire).
+
+**Canary probes** replay a deterministic suite of questions with ground
+truth sampled from :mod:`repro.corpus.queries` through the live engine —
+cache-bypassed, so they measure the pipeline and not the cache — and
+record recall@k / MRR / groundedness / guardrail-rate gauges into the
+metrics registry.  The first run freezes the baseline; later runs alert on
+relative degradation beyond per-metric tolerances.
+
+Both mechanisms emit :class:`QualityAlert` values which
+:func:`repro.service.alerting.evaluate_quality_alerts` adapts into the
+service alert shape, so quality alerts ride the same SLO/alert surface as
+burn rates (``metrics`` CLI gating, the ops ``slo`` route, CI).
+
+Everything is pure python and deterministic: no scipy, no wall clock — the
+canary schedule runs off the deployment's simulated clock.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+__all__ = [
+    "CanaryProbe",
+    "CanaryReport",
+    "CanaryRunner",
+    "CanarySuite",
+    "CanaryThresholds",
+    "DriftVerdict",
+    "QualityAlert",
+    "QualityMonitor",
+    "RateDriftDetector",
+    "ScoreDriftDetector",
+    "format_canary_report",
+    "ks_p_value",
+    "ks_statistic",
+    "population_stability_index",
+    "two_proportion_z",
+]
+
+#: Alert severities (same strings as :mod:`repro.service.alerting`).
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+
+# -- two-sample statistics (pure python, no scipy) ---------------------------
+
+
+def ks_statistic(sample_a: list[float], sample_b: list[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic D = sup |F_a(x) - F_b(x)|.
+
+    The supremum of the absolute difference between the two empirical
+    CDFs, computed with the standard merge sweep in O((n+m) log(n+m)).
+    """
+    if not sample_a or not sample_b:
+        raise ValueError("both samples must be non-empty")
+    a = sorted(sample_a)
+    b = sorted(sample_b)
+    n, m = len(a), len(b)
+    i = j = 0
+    d = 0.0
+    # Consume every occurrence of each distinct value from both samples
+    # before measuring the CDF gap: measuring mid-tie would report a
+    # spurious gap of 1/n for identical samples.
+    while i < n and j < m:
+        value = a[i] if a[i] <= b[j] else b[j]
+        while i < n and a[i] == value:
+            i += 1
+        while j < m and b[j] == value:
+            j += 1
+        d = max(d, abs(i / n - j / m))
+    # Once one sample is exhausted the gap only shrinks as the other
+    # side's CDF climbs to 1, so the sweep has already seen the supremum.
+    return d
+
+
+def ks_p_value(d: float, n: int, m: int, terms: int = 100) -> float:
+    """Asymptotic p-value of a two-sample KS statistic *d*.
+
+    Uses the Kolmogorov distribution tail with the Stephens small-sample
+    correction: with ``en = sqrt(n·m/(n+m))`` and
+    ``λ = (en + 0.12 + 0.11/en)·d``,
+
+        Q_KS(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)
+
+    truncated at *terms* (the series converges extremely fast for λ of
+    practical size).  Clamped to [0, 1].
+    """
+    if n <= 0 or m <= 0:
+        raise ValueError("sample sizes must be positive")
+    if d <= 0.0:
+        return 1.0
+    en = math.sqrt(n * m / (n + m))
+    lam = (en + 0.12 + 0.11 / en) * d
+    total = 0.0
+    for k in range(1, terms + 1):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def population_stability_index(
+    reference: list[float], current: list[float], bins: int = 10, epsilon: float = 1e-4
+) -> float:
+    """PSI of *current* against *reference* over reference-quantile bins.
+
+    Bin edges are the quantiles of the reference sample, so each bin holds
+    ~1/bins of the reference mass; empty proportions are smoothed with
+    *epsilon* to keep the logarithm finite.  Rule of thumb: < 0.1 stable,
+    0.1–0.25 moderate shift, > 0.25 major shift.
+    """
+    if not reference or not current:
+        raise ValueError("both samples must be non-empty")
+    if bins < 2:
+        raise ValueError("bins must be at least 2")
+    ordered = sorted(reference)
+    edges = []
+    for k in range(1, bins):
+        # Nearest-rank quantile of the reference sample.
+        position = min(len(ordered) - 1, max(0, round(k * len(ordered) / bins) - 1))
+        edges.append(ordered[position])
+
+    def proportions(sample: list[float]) -> list[float]:
+        counts = [0] * bins
+        for value in sample:
+            bucket = 0
+            while bucket < len(edges) and value > edges[bucket]:
+                bucket += 1
+            counts[bucket] += 1
+        return [count / len(sample) for count in counts]
+
+    psi = 0.0
+    for ref_p, cur_p in zip(proportions(list(reference)), proportions(list(current))):
+        ref_p = max(ref_p, epsilon)
+        cur_p = max(cur_p, epsilon)
+        psi += (cur_p - ref_p) * math.log(cur_p / ref_p)
+    return psi
+
+
+def two_proportion_z(
+    successes_a: int, total_a: int, successes_b: int, total_b: int
+) -> float:
+    """z-statistic of a two-proportion test (pooled standard error)."""
+    if total_a <= 0 or total_b <= 0:
+        raise ValueError("sample sizes must be positive")
+    p_a = successes_a / total_a
+    p_b = successes_b / total_b
+    pooled = (successes_a + successes_b) / (total_a + total_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / total_a + 1.0 / total_b)
+    if variance <= 0.0:
+        return 0.0
+    return (p_a - p_b) / math.sqrt(variance)
+
+
+# -- streaming detectors -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of one drift check.
+
+    Attributes:
+        signal: the watched signal (``fused_score``, ``guardrail_pass``,
+            ``citation_coverage``, ...).
+        drifted: True when the detector fired.
+        statistic: the primary test statistic (KS D, or the proportion
+            delta for rate detectors).
+        p_value: the KS p-value (None for rate detectors).
+        psi: the PSI (None for rate detectors).
+        reference_n / current_n: sample sizes compared.
+        reason: human-readable description of the verdict.
+    """
+
+    signal: str
+    drifted: bool
+    statistic: float = 0.0
+    p_value: float | None = None
+    psi: float | None = None
+    reference_n: int = 0
+    current_n: int = 0
+    reason: str = ""
+
+
+class ScoreDriftDetector:
+    """KS + PSI drift detection of one score distribution.
+
+    The first *reference_size* observations freeze the reference window;
+    subsequent observations stream through a rolling window of
+    *window_size*.  :meth:`check` fires only when **both** tests agree —
+    the KS p-value drops below *alpha* **and** the PSI exceeds
+    *psi_threshold* — which keeps single-statistic noise from paging
+    anyone.  Until both windows are full the detector reports
+    ``warming_up`` and never fires.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        reference_size: int = 200,
+        window_size: int = 100,
+        alpha: float = 0.01,
+        psi_threshold: float = 0.25,
+    ) -> None:
+        if reference_size < 2 or window_size < 2:
+            raise ValueError("windows need at least 2 samples")
+        self.signal = signal
+        self._reference_size = reference_size
+        self._alpha = alpha
+        self._psi_threshold = psi_threshold
+        self._reference: list[float] = []
+        self._window: deque[float] = deque(maxlen=window_size)
+
+    @property
+    def reference_full(self) -> bool:
+        return len(self._reference) >= self._reference_size
+
+    def observe(self, value: float) -> None:
+        """Feed one observation."""
+        if not self.reference_full:
+            self._reference.append(float(value))
+            return
+        self._window.append(float(value))
+
+    def check(self) -> DriftVerdict:
+        """Compare the rolling window against the frozen reference."""
+        window = list(self._window)
+        if not self.reference_full or len(window) < self._window.maxlen:
+            return DriftVerdict(
+                signal=self.signal,
+                drifted=False,
+                reference_n=len(self._reference),
+                current_n=len(window),
+                reason="warming_up",
+            )
+        d = ks_statistic(self._reference, window)
+        p = ks_p_value(d, len(self._reference), len(window))
+        psi = population_stability_index(self._reference, window)
+        drifted = p < self._alpha and psi > self._psi_threshold
+        reason = (
+            f"{self.signal}: KS D={d:.3f} (p={p:.4f}, alpha={self._alpha:g}), "
+            f"PSI={psi:.3f} (threshold {self._psi_threshold:g})"
+        )
+        return DriftVerdict(
+            signal=self.signal,
+            drifted=drifted,
+            statistic=d,
+            p_value=p,
+            psi=psi,
+            reference_n=len(self._reference),
+            current_n=len(window),
+            reason=reason,
+        )
+
+
+class RateDriftDetector:
+    """Drift detection of a boolean rate (guardrail pass, citation coverage).
+
+    Fires when the rolling-window rate moves against the frozen reference
+    by more than *min_delta* (absolute, in the watched direction) **and**
+    the two-proportion z-statistic exceeds *z_threshold* — small samples
+    with large swings and large samples with negligible swings both stay
+    quiet.  ``direction=-1`` watches for drops (pass rates), ``+1`` for
+    rises, ``0`` for any movement.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        reference_size: int = 200,
+        window_size: int = 100,
+        min_delta: float = 0.10,
+        z_threshold: float = 3.0,
+        direction: int = -1,
+    ) -> None:
+        if reference_size < 2 or window_size < 2:
+            raise ValueError("windows need at least 2 samples")
+        self.signal = signal
+        self._reference_size = reference_size
+        self._min_delta = min_delta
+        self._z_threshold = z_threshold
+        self._direction = direction
+        self._reference: list[bool] = []
+        self._window: deque[bool] = deque(maxlen=window_size)
+
+    @property
+    def reference_full(self) -> bool:
+        return len(self._reference) >= self._reference_size
+
+    def observe(self, good: bool) -> None:
+        """Feed one boolean observation."""
+        if not self.reference_full:
+            self._reference.append(bool(good))
+            return
+        self._window.append(bool(good))
+
+    def check(self) -> DriftVerdict:
+        """Compare the rolling rate against the frozen reference rate."""
+        window = list(self._window)
+        if not self.reference_full or len(window) < self._window.maxlen:
+            return DriftVerdict(
+                signal=self.signal,
+                drifted=False,
+                reference_n=len(self._reference),
+                current_n=len(window),
+                reason="warming_up",
+            )
+        ref_hits = sum(self._reference)
+        cur_hits = sum(window)
+        ref_rate = ref_hits / len(self._reference)
+        cur_rate = cur_hits / len(window)
+        delta = cur_rate - ref_rate
+        z = two_proportion_z(cur_hits, len(window), ref_hits, len(self._reference))
+        if self._direction < 0:
+            moved = delta <= -self._min_delta
+        elif self._direction > 0:
+            moved = delta >= self._min_delta
+        else:
+            moved = abs(delta) >= self._min_delta
+        drifted = moved and abs(z) >= self._z_threshold
+        reason = (
+            f"{self.signal}: rate {cur_rate:.1%} vs reference {ref_rate:.1%} "
+            f"(delta {delta:+.1%}, z={z:.2f}, threshold |z|>={self._z_threshold:g} "
+            f"and |delta|>={self._min_delta:.0%})"
+        )
+        return DriftVerdict(
+            signal=self.signal,
+            drifted=drifted,
+            statistic=delta,
+            reference_n=len(self._reference),
+            current_n=len(window),
+            reason=reason,
+        )
+
+
+# -- quality alerts and the monitor -----------------------------------------
+
+
+@dataclass(frozen=True)
+class QualityAlert:
+    """One fired quality alert (drift detector or canary degradation)."""
+
+    name: str
+    severity: str
+    message: str
+
+
+class QualityMonitor:
+    """Streams answer-quality signals and raises drift alerts.
+
+    Feed every served answer through :meth:`observe_answer`; the monitor
+    maintains three detectors — the top-hit fused-score distribution, the
+    guardrail pass rate, and the citation-coverage rate of accepted
+    answers — plus gauges in *registry* for the dashboard.  Canary runs
+    hand their alerts over via :meth:`record_canary`, so :meth:`alerts`
+    is the one surface the service layer has to poll.
+
+    Cached answers are skipped: they replay an answer computed earlier, so
+    they carry no fresh signal about the pipeline's current quality.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        reference_size: int = 200,
+        window_size: int = 100,
+        score_alpha: float = 0.01,
+        score_psi_threshold: float = 0.25,
+        rate_min_delta: float = 0.10,
+        rate_z_threshold: float = 3.0,
+    ) -> None:
+        self.score = ScoreDriftDetector(
+            "fused_score",
+            reference_size=reference_size,
+            window_size=window_size,
+            alpha=score_alpha,
+            psi_threshold=score_psi_threshold,
+        )
+        self.guardrail = RateDriftDetector(
+            "guardrail_pass",
+            reference_size=reference_size,
+            window_size=window_size,
+            min_delta=rate_min_delta,
+            z_threshold=rate_z_threshold,
+            direction=-1,
+        )
+        self.citations = RateDriftDetector(
+            "citation_coverage",
+            reference_size=reference_size,
+            window_size=window_size,
+            min_delta=rate_min_delta,
+            z_threshold=rate_z_threshold,
+            direction=-1,
+        )
+        registry = registry or NULL_REGISTRY
+        self._g_psi = registry.gauge(
+            "uniask_quality_psi",
+            "Population Stability Index of watched quality signals.",
+            ("signal",),
+        )
+        self._g_ks_p = registry.gauge(
+            "uniask_quality_ks_p_value",
+            "Two-sample KS p-value of watched quality signals.",
+            ("signal",),
+        )
+        self._g_rate = registry.gauge(
+            "uniask_quality_rate",
+            "Rolling-window rate of watched boolean quality signals.",
+            ("signal",),
+        )
+        self._m_observed = registry.counter(
+            "uniask_quality_observations_total",
+            "Answers observed by the quality monitor, by signal.",
+            ("signal",),
+        )
+        self._canary_alerts: tuple[QualityAlert, ...] = ()
+
+    def observe_answer(self, answer) -> None:
+        """Feed one served :class:`~repro.core.answer.UniAskAnswer`."""
+        if answer.cache_hit:
+            return
+        if answer.documents:
+            self.score.observe(answer.documents[0].score)
+            self._m_observed.labels("fused_score").inc()
+        outcome = answer.outcome
+        generated = outcome == "answered" or outcome.startswith("guardrail_")
+        if generated:
+            self.guardrail.observe(outcome == "answered")
+            self._m_observed.labels("guardrail_pass").inc()
+        if outcome == "answered":
+            self.citations.observe(len(answer.citations) > 0)
+            self._m_observed.labels("citation_coverage").inc()
+
+    def record_canary(self, alerts: list[QualityAlert]) -> None:
+        """Store the latest canary run's alerts for :meth:`alerts`."""
+        self._canary_alerts = tuple(alerts)
+
+    def check(self) -> list[DriftVerdict]:
+        """Run every detector; updates the dashboard gauges."""
+        verdicts = []
+        for detector in (self.score, self.guardrail, self.citations):
+            verdict = detector.check()
+            verdicts.append(verdict)
+            if verdict.psi is not None:
+                self._g_psi.labels(verdict.signal).set(verdict.psi)
+            if verdict.p_value is not None:
+                self._g_ks_p.labels(verdict.signal).set(verdict.p_value)
+            if isinstance(detector, RateDriftDetector) and verdict.reason != "warming_up":
+                self._g_rate.labels(verdict.signal).set(
+                    sum(detector._window) / len(detector._window)
+                )
+        return verdicts
+
+    def alerts(self) -> list[QualityAlert]:
+        """Fired drift alerts plus the latest canary run's alerts."""
+        fired = [
+            QualityAlert(
+                name=f"drift_{verdict.signal}",
+                severity=SEVERITY_CRITICAL,
+                message=verdict.reason,
+            )
+            for verdict in self.check()
+            if verdict.drifted
+        ]
+        fired.extend(self._canary_alerts)
+        return fired
+
+
+# -- canary probes -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanaryProbe:
+    """One canary question with its ground truth."""
+
+    probe_id: str
+    question: str
+    relevant_docs: frozenset[str]
+    kind: str
+
+
+@dataclass(frozen=True)
+class CanarySuite:
+    """A deterministic suite of canary probes."""
+
+    probes: tuple[CanaryProbe, ...]
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    @classmethod
+    def from_kb(cls, kb, size: int = 24, seed: int = 1789) -> "CanarySuite":
+        """Sample *size* probes with ground truth from the knowledge base.
+
+        Three quarters are human-style questions, one quarter error-code
+        lookups — the two query families with exact document-level ground
+        truth.  The sample is fully determined by *seed*, so every canary
+        run replays the identical suite.
+        """
+        from repro.corpus.queries import (
+            HumanDatasetConfig,
+            generate_error_code_queries,
+            generate_human_dataset,
+        )
+
+        if size < 4:
+            raise ValueError("a canary suite needs at least 4 probes")
+        human_n = size - size // 4
+        human = generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=human_n, seed=seed)
+        )
+        codes = generate_error_code_queries(kb, count=size - human_n, seed=seed + 1)
+        probes = tuple(
+            CanaryProbe(
+                probe_id=f"canary-{index:03d}",
+                question=query.text,
+                relevant_docs=query.relevant_docs,
+                kind=query.kind,
+            )
+            for index, query in enumerate(list(human) + list(codes))
+            if query.relevant_docs
+        )
+        if not probes:
+            raise ValueError("the sampled suite has no probes with ground truth")
+        return cls(probes=probes)
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """Aggregated outcome of one canary run.
+
+    Attributes:
+        probes_run: probes replayed.
+        recall_at_4 / mrr / hit_at_4: document-granularity retrieval
+            quality against the probes' ground truth.
+        answered_fraction: fraction of probes that produced an accepted
+            answer.
+        guardrail_fire_rate: fraction of generated answers a guardrail
+            invalidated.
+        citation_coverage: fraction of accepted answers with ≥ 1 resolved
+            citation.
+        groundedness: mean groundedness score of accepted answers (0.0
+            when no judge was configured).
+        partial_results: probes served by a degraded cluster.
+        started_at: simulated clock reading when the run started.
+    """
+
+    probes_run: int
+    recall_at_4: float
+    mrr: float
+    hit_at_4: float
+    answered_fraction: float
+    guardrail_fire_rate: float
+    citation_coverage: float
+    groundedness: float
+    partial_results: int
+    started_at: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CI artifacts)."""
+        return {
+            "probes_run": self.probes_run,
+            "recall_at_4": self.recall_at_4,
+            "mrr": self.mrr,
+            "hit_at_4": self.hit_at_4,
+            "answered_fraction": self.answered_fraction,
+            "guardrail_fire_rate": self.guardrail_fire_rate,
+            "citation_coverage": self.citation_coverage,
+            "groundedness": self.groundedness,
+            "partial_results": self.partial_results,
+            "started_at": self.started_at,
+        }
+
+
+@dataclass(frozen=True)
+class CanaryThresholds:
+    """Per-metric degradation tolerances of the canary alerting.
+
+    Each threshold is the maximum tolerated *absolute drop* (or rise, for
+    the guardrail fire rate) against the frozen baseline run.
+    """
+
+    max_recall_drop: float = 0.15
+    max_mrr_drop: float = 0.15
+    max_guardrail_rise: float = 0.20
+    max_citation_drop: float = 0.25
+    max_groundedness_drop: float = 0.25
+
+
+class CanaryRunner:
+    """Replays the canary suite through the live engine on a schedule.
+
+    Probes run cache-bypassed (:data:`~repro.api.types.CACHE_BYPASS`), so
+    they always measure the current pipeline — index, retrieval, LLM and
+    guardrails — never a cached answer.  The first run freezes the
+    baseline; each later run compares against it with *thresholds* and
+    emits :class:`QualityAlert` values, optionally handing them to a
+    :class:`QualityMonitor` so they surface on the service alert route.
+
+    Args:
+        engine: the live :class:`~repro.core.engine.UniAskEngine`.
+        suite: the deterministic probe suite.
+        judge: optional groundedness judge for accepted answers.
+        registry: metrics registry for the canary gauges.
+        interval: simulated seconds between scheduled runs
+            (:meth:`maybe_run`).
+        thresholds: degradation tolerances against the baseline.
+        baseline: explicit baseline report (otherwise the first run).
+        monitor: quality monitor receiving each run's alerts.
+    """
+
+    def __init__(
+        self,
+        engine,
+        suite: CanarySuite,
+        judge=None,
+        registry: MetricsRegistry | None = None,
+        interval: float = 300.0,
+        thresholds: CanaryThresholds | None = None,
+        baseline: CanaryReport | None = None,
+        monitor: QualityMonitor | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._engine = engine
+        self._suite = suite
+        self._judge = judge
+        self._interval = interval
+        self.thresholds = thresholds or CanaryThresholds()
+        self.baseline = baseline
+        self._monitor = monitor
+        self.last_report: CanaryReport | None = None
+        self.last_alerts: tuple[QualityAlert, ...] = ()
+        self._next_due = 0.0
+        registry = registry or NULL_REGISTRY
+        self._m_runs = registry.counter(
+            "uniask_canary_runs_total", "Canary suite runs completed."
+        )
+        self._g_metric = registry.gauge(
+            "uniask_canary_metric",
+            "Latest canary run's quality metrics, by metric name.",
+            ("metric",),
+        )
+        self._g_alerts = registry.gauge(
+            "uniask_canary_alerts", "Quality alerts raised by the latest canary run."
+        )
+
+    def due(self, now: float) -> bool:
+        """True when a scheduled run is due at simulated time *now*."""
+        return now >= self._next_due
+
+    def maybe_run(self, now: float) -> CanaryReport | None:
+        """Run the suite if the schedule says so (None when not due)."""
+        if not self.due(now):
+            return None
+        self._next_due = now + self._interval
+        return self.run_once(now)
+
+    def run_once(self, now: float = 0.0) -> CanaryReport:
+        """Replay every probe and aggregate one :class:`CanaryReport`."""
+        from repro.api.types import CACHE_BYPASS, AskOptions, AskRequest
+        from repro.search.results import dedupe_by_document
+
+        recalls: list[float] = []
+        mrrs: list[float] = []
+        hits: list[float] = []
+        groundedness_scores: list[float] = []
+        answered = 0
+        generated = 0
+        fired = 0
+        cited = 0
+        partial = 0
+        from repro.eval.metrics import hit_rate_at, recall_at, reciprocal_rank
+
+        for probe in self._suite.probes:
+            response = self._engine.answer(
+                AskRequest(
+                    probe.question,
+                    AskOptions(cache=CACHE_BYPASS, request_id=probe.probe_id),
+                )
+            )
+            answer = response.answer
+            ranked = [
+                chunk.doc_id for chunk in dedupe_by_document(list(answer.documents))
+            ]
+            recalls.append(recall_at(ranked, probe.relevant_docs, 4))
+            mrrs.append(reciprocal_rank(ranked, probe.relevant_docs))
+            hits.append(hit_rate_at(ranked, probe.relevant_docs, 4))
+            if answer.partial_results:
+                partial += 1
+            outcome = answer.outcome
+            if outcome == "answered" or outcome.startswith("guardrail_"):
+                generated += 1
+                if outcome != "answered":
+                    fired += 1
+            if outcome == "answered":
+                answered += 1
+                if answer.citations:
+                    cited += 1
+                if self._judge is not None:
+                    verdict = self._judge.judge(
+                        answer.answer_text, list(answer.context)
+                    )
+                    groundedness_scores.append(verdict.score)
+
+        count = len(self._suite.probes)
+        report = CanaryReport(
+            probes_run=count,
+            recall_at_4=sum(recalls) / count,
+            mrr=sum(mrrs) / count,
+            hit_at_4=sum(hits) / count,
+            answered_fraction=answered / count,
+            guardrail_fire_rate=(fired / generated) if generated else 0.0,
+            citation_coverage=(cited / answered) if answered else 0.0,
+            groundedness=(
+                sum(groundedness_scores) / len(groundedness_scores)
+                if groundedness_scores
+                else 0.0
+            ),
+            partial_results=partial,
+            started_at=now,
+        )
+        self.last_report = report
+        self._m_runs.inc()
+        for metric, value in report.to_dict().items():
+            if metric == "started_at":
+                continue
+            self._g_metric.labels(metric).set(float(value))
+        if self.baseline is None:
+            self.baseline = report
+        alerts = self.evaluate(report)
+        self.last_alerts = tuple(alerts)
+        self._g_alerts.set(float(len(alerts)))
+        if self._monitor is not None:
+            self._monitor.record_canary(alerts)
+        return report
+
+    def evaluate(self, report: CanaryReport) -> list[QualityAlert]:
+        """Degradation alerts of *report* against the frozen baseline."""
+        baseline = self.baseline
+        if baseline is None or baseline is report:
+            return []
+        t = self.thresholds
+        alerts: list[QualityAlert] = []
+
+        def drop(name: str, current: float, reference: float, tolerance: float) -> None:
+            if reference - current > tolerance:
+                alerts.append(
+                    QualityAlert(
+                        name=f"canary_{name}",
+                        severity=SEVERITY_CRITICAL,
+                        message=(
+                            f"canary {name} dropped to {current:.3f} from baseline "
+                            f"{reference:.3f} (tolerance {tolerance:g})"
+                        ),
+                    )
+                )
+
+        drop("recall_at_4", report.recall_at_4, baseline.recall_at_4, t.max_recall_drop)
+        drop("mrr", report.mrr, baseline.mrr, t.max_mrr_drop)
+        drop(
+            "citation_coverage",
+            report.citation_coverage,
+            baseline.citation_coverage,
+            t.max_citation_drop,
+        )
+        if self._judge is not None:
+            drop(
+                "groundedness",
+                report.groundedness,
+                baseline.groundedness,
+                t.max_groundedness_drop,
+            )
+        if report.guardrail_fire_rate - baseline.guardrail_fire_rate > t.max_guardrail_rise:
+            alerts.append(
+                QualityAlert(
+                    name="canary_guardrail_fire_rate",
+                    severity=SEVERITY_CRITICAL,
+                    message=(
+                        f"canary guardrail fire rate rose to "
+                        f"{report.guardrail_fire_rate:.1%} from baseline "
+                        f"{baseline.guardrail_fire_rate:.1%} "
+                        f"(tolerance {t.max_guardrail_rise:.0%})"
+                    ),
+                )
+            )
+        return alerts
+
+
+def format_canary_report(report: CanaryReport, alerts: list[QualityAlert]) -> str:
+    """Render one canary run as the ``canary`` CLI output."""
+    lines = [
+        f"canary run @t={report.started_at:g}s: {report.probes_run} probes",
+        f"  recall@4           : {report.recall_at_4:.3f}",
+        f"  MRR                : {report.mrr:.3f}",
+        f"  hit@4              : {report.hit_at_4:.3f}",
+        f"  answered           : {report.answered_fraction:.1%}",
+        f"  guardrail fire rate: {report.guardrail_fire_rate:.1%}",
+        f"  citation coverage  : {report.citation_coverage:.1%}",
+        f"  groundedness       : {report.groundedness:.3f}",
+        f"  partial results    : {report.partial_results}",
+    ]
+    if alerts:
+        for alert in alerts:
+            lines.append(f"  QUALITY ALERT [{alert.severity}] {alert.name}: {alert.message}")
+    else:
+        lines.append("  quality: no degradation against baseline")
+    return "\n".join(lines)

@@ -255,13 +255,22 @@ class RequestContext:
     Attributes:
         trace: the (possibly null) trace recording stage spans.
         request_id: opaque correlation id set by the caller.
+        explain: True when the request asked for score provenance — the
+            retrieval stages then attach their fine-grained breakdowns
+            (per-term BM25, shard attribution) to each result's
+            ``components`` so :mod:`repro.obs.explain` can assemble the
+            per-chunk report.  Off by default: the explain=False path runs
+            exactly the pre-explain code.
     """
 
-    __slots__ = ("trace", "request_id")
+    __slots__ = ("trace", "request_id", "explain")
 
-    def __init__(self, trace: Trace | None = None, request_id: str = "") -> None:
+    def __init__(
+        self, trace: Trace | None = None, request_id: str = "", explain: bool = False
+    ) -> None:
         self.trace = trace if trace is not None else NULL_TRACE
         self.request_id = request_id
+        self.explain = explain
 
     @property
     def tracing(self) -> bool:
@@ -269,9 +278,11 @@ class RequestContext:
         return self.trace.enabled
 
     @classmethod
-    def traced(cls, clock=None, cost=None, request_id: str = "") -> "RequestContext":
+    def traced(
+        cls, clock=None, cost=None, request_id: str = "", explain: bool = False
+    ) -> "RequestContext":
         """A context with tracing enabled on a fresh :class:`Trace`."""
-        return cls(trace=Trace(clock=clock, cost=cost), request_id=request_id)
+        return cls(trace=Trace(clock=clock, cost=cost), request_id=request_id, explain=explain)
 
 
 #: Shared disabled trace / context — the zero-cost default of every stage.

@@ -67,6 +67,38 @@ class Bm25Scorer:
                 scores[doc_id] = scores.get(doc_id, 0.0) + contribution
         return scores
 
+    def score_all_explained(
+        self, query_terms: list[str]
+    ) -> tuple[dict[int, float], dict[int, dict[str, float]]]:
+        """Like :meth:`score_all`, plus a per-term contribution breakdown.
+
+        Returns ``(scores, per_term)`` where ``per_term[doc_id][term]`` is
+        the summed BM25 contribution of *term* to that document (repeated
+        query terms accumulate, exactly as in :meth:`score_all`).  The
+        ``scores`` half is built with the same accumulation order as
+        :meth:`score_all`, so it is bitwise-identical to the non-explained
+        path; the per-term sums equal the total up to floating-point
+        reassociation when a term repeats in the analyzed query.
+        """
+        parameters = self._parameters
+        average_length = self._index.average_length or 1.0
+        scores: dict[int, float] = {}
+        per_term: dict[int, dict[str, float]] = {}
+        for term in query_terms:
+            postings = self._index.postings(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in postings.items():
+                length_norm = 1.0 - parameters.b + parameters.b * (
+                    self._index.document_length(doc_id) / average_length
+                )
+                contribution = idf * tf * (parameters.k1 + 1.0) / (tf + parameters.k1 * length_norm)
+                scores[doc_id] = scores.get(doc_id, 0.0) + contribution
+                breakdown = per_term.setdefault(doc_id, {})
+                breakdown[term] = breakdown.get(term, 0.0) + contribution
+        return scores, per_term
+
     def top_n(self, query_terms: list[str], n: int) -> list[tuple[int, float]]:
         """The *n* best-scoring documents as ``(doc_id, score)`` pairs."""
         if n <= 0:

@@ -63,12 +63,16 @@ class FullTextSearch:
         """Top-*n* chunks for *query* by profile-weighted BM25."""
         ctx = ctx or null_context()
         with ctx.trace.span(spans.STAGE_FULLTEXT, n=n) as span:
-            results = self._search(query, n, filters)
+            results = self._search(query, n, filters, explain=ctx.explain)
             span.set("results", len(results))
         return results
 
     def _search(
-        self, query: str, n: int, filters: dict[str, str] | None
+        self,
+        query: str,
+        n: int,
+        filters: dict[str, str] | None,
+        explain: bool = False,
     ) -> list[RetrievedChunk]:
         if n <= 0:
             return []
@@ -81,13 +85,23 @@ class FullTextSearch:
                 continue
             scorer = Bm25Scorer(inverted, self._parameters)
             weight = self._profile.weight(field_name)
-            for internal, score in scorer.score_all(terms).items():
+            if explain:
+                scores, per_term = scorer.score_all_explained(terms)
+            else:
+                scores, per_term = scorer.score_all(terms), {}
+            for internal, score in scores.items():
                 if not self._index.is_live(internal):
                     continue
                 if not self._index.matches_filters(internal, filters):
                     continue
                 combined[internal] = combined.get(internal, 0.0) + weight * score
-                per_field.setdefault(internal, {})[f"bm25_{field_name}"] = score
+                breakdown = per_field.setdefault(internal, {})
+                breakdown[f"bm25_{field_name}"] = score
+                if explain:
+                    # Per-term contributions of this field's BM25 score, raw
+                    # (unweighted), keyed `bm25_<field>:<term>` for explain.
+                    for term, contribution in per_term.get(internal, {}).items():
+                        breakdown[f"bm25_{field_name}:{term}"] = contribution
 
         ranked = sorted(combined.items(), key=lambda pair: (-pair[1], pair[0]))[:n]
         return [

@@ -29,7 +29,14 @@ def reciprocal_rank_fusion(
 
     The fused :class:`RetrievedChunk` keeps a per-ranking component
     breakdown (``rrf_<name>``) so downstream stages (the semantic reranker,
-    debugging UIs) can see where a result came from.
+    debugging UIs) can see where a result came from.  Source-leg components
+    (``bm25_*`` per-field/per-term scores, ``cosine_*`` similarities, shard
+    attribution) are merged into the fused breakdown too, first-seen wins —
+    so explain reports retain full provenance.  Components belonging to a
+    *previous* fusion/rerank tier (``rrf_*`` keys of an inner fusion, its
+    ``rerank_adjust``) are deliberately dropped: keeping them would make
+    "sum of ``rrf_*`` == fused score" ambiguous for nested fusions such as
+    multi-query expansion.
     """
     if c < 0:
         raise ValueError("c must be non-negative")
@@ -43,7 +50,12 @@ def reciprocal_rank_fusion(
             chunk_id = result.record.chunk_id
             contribution = 1.0 / (position + c)
             fused_scores[chunk_id] = fused_scores.get(chunk_id, 0.0) + contribution
-            components.setdefault(chunk_id, {})[f"rrf_{name}"] = contribution
+            merged = components.setdefault(chunk_id, {})
+            for key, value in result.components.items():
+                if key.startswith("rrf_") or key == "rerank_adjust":
+                    continue
+                merged.setdefault(key, value)
+            merged[f"rrf_{name}"] = contribution
             # Keep the first payload seen; records are identical across rankings.
             payload.setdefault(chunk_id, result)
 

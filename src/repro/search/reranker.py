@@ -92,7 +92,10 @@ class SemanticReranker:
         """Add the reranker score to each fused result and re-sort.
 
         The input scores are assumed to be RRF sums; the output score is
-        ``rrf + reranker`` per the paper's hybrid ranking definition.
+        ``rrf + reranker`` per the paper's hybrid ranking definition.  The
+        pre-rerank component breakdown is preserved and the reranker's
+        delta recorded as ``rerank_adjust``, so score provenance survives
+        all the way to the answer layer.
         """
         ctx = ctx or null_context()
         with ctx.trace.span(spans.STAGE_RERANK, candidates=len(results)):
@@ -103,7 +106,7 @@ class SemanticReranker:
         for result in results:
             reranker_score = self.score(query, result)
             components = dict(result.components)
-            components["reranker"] = reranker_score
+            components["rerank_adjust"] = reranker_score
             rescored.append(
                 RetrievedChunk(
                     record=result.record,

@@ -14,8 +14,13 @@ class RetrievedChunk:
     Attributes:
         record: the chunk payload (retrievable fields).
         score: the final relevance score used for ordering.
-        components: named score breakdown — e.g. ``{"text_rrf": ...,
-            "vector_content_rrf": ..., "reranker": ...}`` for hybrid search.
+        components: named score breakdown — for hybrid search e.g.
+            ``{"bm25_title": ..., "cosine_content": ..., "rrf_text": ...,
+            "rrf_vector_content": ..., "rerank_adjust": ...}``; explain
+            requests add per-term BM25 keys (``bm25_<field>:<term>``) and
+            cluster shard attribution (``shard``).  The fused score is the
+            sum of the ``rrf_*`` entries; the final score adds
+            ``rerank_adjust``.
     """
 
     record: ChunkRecord

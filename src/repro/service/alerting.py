@@ -14,6 +14,12 @@ query log: :func:`default_slos` declares the three service objectives
 that classifies each :class:`~repro.service.monitoring.QueryEvent` as good
 or bad, and every fired :class:`~repro.obs.slo.BurnRateAlert` is adapted
 into the same :class:`Alert` shape the threshold rules emit.
+
+:func:`evaluate_quality_alerts` does the same adaptation for the online
+quality layer of :mod:`repro.obs.quality`: drift-detector firings and
+canary degradations become ``quality_<name>`` alerts, so burn rates,
+threshold rules and quality drift all ride one alert surface (the ops
+``slo`` route, the ``metrics`` CLI gate, CI).
 """
 
 from __future__ import annotations
@@ -192,3 +198,24 @@ def evaluate_slo_alerts(
                 )
             )
     return fired
+
+
+def evaluate_quality_alerts(monitor) -> list[Alert]:
+    """Adapt a :class:`~repro.obs.quality.QualityMonitor`'s fired alerts.
+
+    Each :class:`~repro.obs.quality.QualityAlert` (streaming drift or
+    canary degradation) maps to an :class:`Alert` named
+    ``quality_<name>``, keeping one downstream shape for every alert
+    source.  A None *monitor* yields no alerts, so call sites need no
+    wiring check.
+    """
+    if monitor is None:
+        return []
+    return [
+        Alert(
+            rule=f"quality_{alert.name}",
+            severity=alert.severity,
+            message=alert.message,
+        )
+        for alert in monitor.alerts()
+    ]

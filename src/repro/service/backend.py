@@ -206,6 +206,8 @@ class BackendService:
         "cluster_status": ("_ops_cluster_status", True),
         "metrics": ("_ops_metrics", True),
         "slo": ("_ops_slo", True),
+        "explain": ("_ops_explain", True),
+        "quality": ("_ops_quality", True),
         "healthz": ("_ops_healthz", False),
         "readyz": ("_ops_readyz", False),
     }
@@ -222,6 +224,7 @@ class BackendService:
         tracing: bool = False,
         telemetry: Telemetry | None = None,
         cache_config: CacheConfig | None = None,
+        quality_monitor=None,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -248,6 +251,7 @@ class BackendService:
         self._stage_model = StageLatencyModel(
             base_latency, seconds_per_kilo_token, audit=telemetry.audit
         )
+        self._quality_monitor = quality_monitor
         self._cache_config = cache_config or CacheConfig()
         self.single_flight: SingleFlight | None = None
         self._m_coalesced = None
@@ -352,7 +356,10 @@ class BackendService:
         coalescing = self.single_flight is not None
         arrival = self._clock.now()
         flight_key = None
-        if coalescing and options.cache == CACHE_DEFAULT:
+        # Explain requests never coalesce: their answers carry a provenance
+        # report that must not be shared with plain joiners, and joining a
+        # plain leader would return an answer without one.
+        if coalescing and options.cache == CACHE_DEFAULT and not options.explain:
             flight_key = (question, filters_key(options.filters))
             flight = self.single_flight.join(flight_key, arrival)
             if flight is not None:
@@ -361,7 +368,9 @@ class BackendService:
         trace: Trace | None = None
         if self._tracing or options.trace:
             trace = Trace(clock=SimulatedClock(start=arrival), cost=self._stage_model)
-            ctx = RequestContext(trace=trace, request_id=query_id)
+            ctx = RequestContext(
+                trace=trace, request_id=query_id, explain=options.explain
+            )
             answer = self._engine.answer(request, ctx=ctx).answer
             response_time = trace.total_duration * self._jitter()
         else:
@@ -471,6 +480,8 @@ class BackendService:
             trace_id=record.query_id if sampled else "",
             cache_hit=answer.cache_hit,
         )
+        if self._quality_monitor is not None:
+            self._quality_monitor.observe_answer(answer)
         probe_log: list[dict] = []
         if scatter is not None:
             for probe in scatter.probes:
@@ -549,9 +560,53 @@ class BackendService:
         return self.telemetry.render_metrics()
 
     def _ops_slo(self):
-        from repro.service.alerting import evaluate_slo_alerts
+        from repro.service.alerting import evaluate_quality_alerts, evaluate_slo_alerts
 
-        return evaluate_slo_alerts(self.metrics.events, now=self._clock.now())
+        alerts = evaluate_slo_alerts(self.metrics.events, now=self._clock.now())
+        alerts.extend(evaluate_quality_alerts(self._quality_monitor))
+        return alerts
+
+    def _ops_explain(self, query_id: str = "", question: str = ""):
+        """Score provenance for one query — operations role only.
+
+        With *query_id*, returns the stored record's explain report (None
+        when the query was served without ``explain``).  With *question*,
+        runs a fresh cache-bypassed explain request through the engine and
+        returns its report — the "why did this rank here?" debugging loop
+        without touching any user session.
+        """
+        if query_id:
+            return self._records[query_id].answer.explain_report
+        if question:
+            from repro.api.types import CACHE_BYPASS
+
+            request = AskRequest(
+                question=question,
+                options=AskOptions(explain=True, cache=CACHE_BYPASS),
+            )
+            return self._engine.answer(request).answer.explain_report
+        raise ValueError("explain route needs a query_id or a question")
+
+    def _ops_quality(self) -> dict:
+        """Current drift-detector verdicts — operations role only."""
+        if self._quality_monitor is None:
+            return {"enabled": False, "verdicts": []}
+        return {
+            "enabled": True,
+            "verdicts": [
+                {
+                    "signal": verdict.signal,
+                    "drifted": verdict.drifted,
+                    "statistic": verdict.statistic,
+                    "p_value": verdict.p_value,
+                    "psi": verdict.psi,
+                    "reference_n": verdict.reference_n,
+                    "current_n": verdict.current_n,
+                    "reason": verdict.reason,
+                }
+                for verdict in self._quality_monitor.check()
+            ],
+        }
 
     def _ops_healthz(self) -> dict:
         return {

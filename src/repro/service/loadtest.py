@@ -284,7 +284,7 @@ def run_cluster_load_test(
         total_queries=total,
         partial_queries=partial,
         hedged_queries=hedged,
-        shard_latency_p95=percentile(shard_latencies, 95.0),
+        shard_latency_p95=percentile(shard_latencies, 95.0) if shard_latencies else 0.0,
         partial_per_minute=partial_per_minute,
     )
     if audit is not None:
@@ -338,7 +338,7 @@ def replay_cluster_report(entries: Iterable[dict]) -> ClusterLoadTestReport:
         total_queries=total,
         partial_queries=partial,
         hedged_queries=hedged,
-        shard_latency_p95=percentile(shard_latencies, 95.0),
+        shard_latency_p95=percentile(shard_latencies, 95.0) if shard_latencies else 0.0,
         partial_per_minute=partial_per_minute,
     )
 

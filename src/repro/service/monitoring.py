@@ -35,12 +35,16 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 def percentile_of_sorted(ordered: list[float], q: float) -> float:
     """The *q*-th percentile of an already **sorted** list (nearest rank).
 
-    ``q`` is in [0, 100]; an empty list yields 0.0.
+    ``q`` is in [0, 100].  An empty list raises :class:`ValueError`: a
+    percentile of nothing is undefined, and the old silent 0.0 made
+    "no samples" indistinguishable from "all samples are instant" at call
+    sites.  Callers that want a placeholder must make the empty case
+    explicit themselves (``percentile(xs, q) if xs else 0.0``).
     """
     if not (0.0 <= q <= 100.0):
         raise ValueError("q must be between 0 and 100")
     if not ordered:
-        return 0.0
+        raise ValueError("percentile of an empty series is undefined")
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
 
@@ -51,6 +55,7 @@ def percentile(values: list[float], q: float) -> float:
     Sorts a copy on every call — fine for one-off use; callers computing
     several percentiles over the same (growing) series should keep a
     :class:`_SampleSeries` and use :func:`percentile_of_sorted` instead.
+    Like :func:`percentile_of_sorted`, raises on empty input.
     """
     return percentile_of_sorted(sorted(values), q)
 
@@ -386,6 +391,9 @@ class MetricsCollector:
                 rt_sums[i] / rt_counts[i] if rt_counts[i] else 0.0 for i in range(buckets)
             ]
 
+        # Series exist only once a sample was appended, so the percentile
+        # calls below never see an empty list (which would now raise); the
+        # dashboard formatter in turn only renders stages present here.
         stage_p50 = {}
         stage_p95 = {}
         stage_counts = {}

@@ -25,6 +25,59 @@ class TestCli:
         for stage in ("content_filter", "fulltext", "fusion", "rerank", "llm"):
             assert stage in out
 
+    def test_ask_command_with_metrics(self, capsys):
+        code = main(
+            ["--topics", "25", "--seed", "3", "ask", "limiti prelievo bancomat", "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# HELP" in out and "# TYPE" in out
+
+    def test_ask_command_with_explain(self, capsys):
+        code = main(
+            ["--topics", "25", "--seed", "3", "ask", "come sbloccare la carta di credito", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sums_exact=True" in out
+        assert "rrf_text" in out
+        assert "rerank" in out
+        assert "top terms:" in out
+
+    def test_metrics_command_with_audit(self, capsys, tmp_path):
+        audit_path = tmp_path / "audit.jsonl"
+        code = main(
+            ["--topics", "25", "--seed", "3", "metrics", "--queries", "3", "--audit", str(audit_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# HELP" in out
+        assert "healthz:" in out and "readyz:" in out
+        assert "SLO" in out
+        assert audit_path.exists()
+        assert audit_path.read_text().count('"request"') >= 3
+
+    def test_metrics_command_exits_nonzero_on_page_alert(self, capsys, monkeypatch):
+        from repro.service.alerting import Alert
+        from repro.service.backend import BackendService
+
+        def paging(self):
+            return [Alert(rule="slo_availability", severity="critical", message="burning")]
+
+        monkeypatch.setattr(BackendService, "_ops_slo", paging)
+        code = main(["--topics", "25", "--seed", "3", "metrics", "--queries", "2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SLO ALERT [critical]" in out
+
+    def test_canary_command(self, capsys):
+        code = main(["--topics", "25", "--seed", "3", "canary", "--probes", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canary run" in out
+        assert "recall@4" in out
+        assert "no degradation" in out
+
     def test_eval_command(self, capsys):
         code = main(["--topics", "25", "--seed", "3", "eval", "--questions", "20"])
         assert code == 0

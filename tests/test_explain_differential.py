@@ -1,0 +1,101 @@
+"""Differential guarantees of the explain + quality observability layer.
+
+Mirrors the cache differential suite: explain and quality monitoring are
+strictly additive overlays.
+
+1. **Explain off ⇒ byte-identical behaviour.**  A deployment that never
+   asks for explain produces exactly the surfaces it produced before the
+   explain pipeline existed — and ``AskOptions()`` equals an explicit
+   ``AskOptions(explain=False)``.
+2. **Explain on ⇒ same answers, same clock.**  Asking for explain changes
+   *nothing* about the ranking, the answer text, the trace or the modeled
+   response time — it only attaches a report.
+3. **No monitor ⇒ no instruments.**  A deployment without a quality
+   monitor or canary runner exposes none of their metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AskOptions, AskRequest, create_backend, create_engine
+from repro.cluster.config import ClusterConfig
+from repro.core.config import UniAskConfig
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.service.frontend import render_answer_page
+from repro.service.monitoring import format_dashboard
+
+QUESTIONS = (
+    "come sbloccare la carta di credito",
+    "bonifico estero commissioni",
+    "limiti prelievo bancomat",
+    "Qual e la ricetta della carbonara?",
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_kb():
+    return KbGenerator(KbGeneratorConfig(num_topics=12, error_families=2, seed=23)).generate()
+
+
+@pytest.fixture(scope="module")
+def banking_lexicon():
+    return build_banking_lexicon()
+
+
+def build(tiny_kb, banking_lexicon, shards: int = 1):
+    config = UniAskConfig(cluster=ClusterConfig(shards=shards))
+    system = create_engine(tiny_kb.store(), banking_lexicon, config=config, seed=23)
+    backend = create_backend(system, tracing=True)
+    return system, backend
+
+
+def serve_surface(system, backend, explain: bool = False) -> str:
+    """Every plain output surface of a fixed workload, as one blob."""
+    token = backend.login("diff-user")
+    lines = []
+    for question in QUESTIONS:
+        request = AskRequest(question, AskOptions(explain=explain))
+        record = backend.serve(token, request)
+        lines.append(render_answer_page(record.answer))
+        lines.append(f"response_time={record.answer.response_time!r}")
+        lines.append(f"served_at={record.served_at!r}")
+        lines.append(record.trace.format_table())
+    lines.append(format_dashboard(backend.metrics.snapshot()))
+    lines.append(system.telemetry.render_metrics())
+    return "\n".join(lines)
+
+
+class TestExplainOffByteIdentity:
+    def test_default_options_match_explicit_off(self, tiny_kb, banking_lexicon):
+        default = serve_surface(*build(tiny_kb, banking_lexicon))
+        explicit = serve_surface(*build(tiny_kb, banking_lexicon), explain=False)
+        assert default == explicit
+
+    def test_explain_changes_nothing_but_the_report(self, tiny_kb, banking_lexicon):
+        plain = serve_surface(*build(tiny_kb, banking_lexicon))
+        explained = serve_surface(*build(tiny_kb, banking_lexicon), explain=True)
+        # The report rides on the answer object; every serialized surface —
+        # answer pages, response times, traces, dashboard, /metrics — is
+        # byte-identical.
+        assert plain == explained
+
+    def test_sharded_surfaces_identical(self, tiny_kb, banking_lexicon):
+        plain = serve_surface(*build(tiny_kb, banking_lexicon, shards=3))
+        explained = serve_surface(*build(tiny_kb, banking_lexicon, shards=3), explain=True)
+        assert plain == explained
+
+    def test_no_quality_instruments_without_a_monitor(self, tiny_kb, banking_lexicon):
+        system, backend = build(tiny_kb, banking_lexicon)
+        serve_surface(system, backend)
+        exposition = system.telemetry.render_metrics()
+        assert "uniask_quality_" not in exposition
+        assert "uniask_canary_" not in exposition
+
+    def test_components_never_render_on_plain_answers(self, tiny_kb, banking_lexicon):
+        system, _ = build(tiny_kb, banking_lexicon)
+        answer = system.engine.answer(AskRequest(QUESTIONS[0])).answer
+        assert answer.explain_report is None
+        page = render_answer_page(answer)
+        assert "rrf_" not in page and "rerank_adjust" not in page

@@ -158,7 +158,8 @@ class TestPercentiles:
         assert percentile(values, 50.0) == 5.0
         assert percentile(values, 95.0) == 10.0
         assert percentile(values, 100.0) == 10.0
-        assert percentile([], 95.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile([], 95.0)
         with pytest.raises(ValueError):
             percentile(values, 150.0)
 

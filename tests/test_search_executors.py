@@ -102,7 +102,7 @@ class TestSemanticReranker:
         reranker = SemanticReranker(toy_lexicon, noise=0.0)
         results = FullTextSearch(toy_index).search("attivare carta di credito")
         reranked = reranker.rerank("attivare carta di credito", results)
-        assert all("reranker" in r.components for r in reranked)
+        assert all("rerank_adjust" in r.components for r in reranked)
         scores = [r.score for r in reranked]
         assert scores == sorted(scores, reverse=True)
 

@@ -64,18 +64,24 @@ class TestOpsRouteTable:
             "cluster_status",
             "metrics",
             "slo",
+            "explain",
+            "quality",
             "healthz",
             "readyz",
         }
         for handler_name, _requires in backend.OPS_ROUTES.values():
             assert callable(getattr(backend, handler_name))
 
-    @pytest.mark.parametrize("route", ["dashboard", "cluster_status", "metrics", "slo"])
+    @pytest.mark.parametrize(
+        "route", ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality"]
+    )
     def test_privileged_routes_reject_missing_token(self, backend, route):
         with pytest.raises(AuthenticationError):
             backend.ops(route, "not-a-token")
 
-    @pytest.mark.parametrize("route", ["dashboard", "cluster_status", "metrics", "slo"])
+    @pytest.mark.parametrize(
+        "route", ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality"]
+    )
     def test_privileged_routes_reject_employee_role(self, backend, route):
         token = backend.login("mario")  # default employee role
         with pytest.raises(AuthorizationError):
