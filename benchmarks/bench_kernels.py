@@ -1,0 +1,260 @@
+"""Loop-vs-kernel BM25 benchmark with a hard speedup and identity gate.
+
+Standalone script (not pytest-collected): builds one synthetic corpus into
+two identical inverted indexes — one scored by the pure-Python loop path,
+one by the vectorized numpy kernels (:mod:`repro.search.kernels`) — times
+pruned ``top_n`` retrieval on both, and enforces the two acceptance
+criteria of the kernel layer:
+
+* the kernel path is at least ``--min-speedup``× faster (default 10×);
+* every query's top-k is **byte-identical** (``==`` on ids and score bits).
+
+It also times batched vs per-query exact cosine search (the GEMM path of
+:class:`~repro.ann.exact.ExactKnnIndex`, compared within 1e-9 — BLAS may
+reassociate) and asserts the live-ingestion freshness property: an upsert
+into a segmented index is queryable with no sealed segment touched.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --docs 800 --queries 60 --out BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ann.exact import ExactKnnIndex  # noqa: E402
+from repro.embeddings.model import SyntheticAdaEmbedder  # noqa: E402
+from repro.search.bm25 import Bm25Scorer  # noqa: E402
+from repro.search.fulltext import FullTextSearch  # noqa: E402
+from repro.search.index import SearchIndex  # noqa: E402
+from repro.search.inverted import InvertedIndex  # noqa: E402
+from repro.search.schema import ChunkRecord  # noqa: E402
+from repro.search.segment import IndexConfig  # noqa: E402
+from repro.text.analyzer import FULL_ANALYZER  # noqa: E402
+
+TOP_N = 50
+
+#: Banking-ish vocabulary with a skewed frequency profile, so the corpus
+#: gets the realistic mix of dense and sparse postings lists.
+VOCAB = (
+    ["carta"] * 10
+    + ["conto"] * 8
+    + ["bonifico"] * 7
+    + ["prelievo"] * 6
+    + ["commissione"] * 5
+    + ["bancomat", "bancomat", "estero", "estero", "limite", "limite"]
+    + ["blocco", "sblocco", "mutuo", "rata", "saldo", "deposito", "credito"]
+    + ["debito", "errore", "autenticazione", "password", "token", "filiale"]
+    + ["assegno", "valuta", "cambio", "interessi", "canone", "estratto"]
+)
+
+
+def build_corpus(docs: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        " ".join(rng.choices(VOCAB, k=rng.randint(20, 120))) for _ in range(docs)
+    ]
+
+
+def build_queries(count: int, seed: int) -> list[list[str]]:
+    rng = random.Random(seed + 1)
+    analyze = FULL_ANALYZER.analyze
+    return [
+        analyze(" ".join(rng.choices(VOCAB, k=rng.randint(2, 5))))
+        for _ in range(count)
+    ]
+
+
+def time_scorer(scorer: Bm25Scorer, queries: list[list[str]]) -> tuple[float, list]:
+    """Total seconds and per-query top-n rankings."""
+    rankings = []
+    started = time.perf_counter()
+    for terms in queries:
+        rankings.append(scorer.top_n(terms, TOP_N))
+    return time.perf_counter() - started, rankings
+
+
+def bench_bm25(args: argparse.Namespace) -> dict:
+    texts = build_corpus(args.docs, args.seed)
+    queries = build_queries(args.queries, args.seed)
+
+    loop_index = InvertedIndex(FULL_ANALYZER, use_kernels=False)
+    kernel_index = InvertedIndex(FULL_ANALYZER, use_kernels=True)
+    for doc_id, text in enumerate(texts):
+        loop_index.add(doc_id, text)
+        kernel_index.add(doc_id, text)
+
+    started = time.perf_counter()
+    kernel_index.kernel_views()  # freeze the postings arrays
+    freeze_ms = (time.perf_counter() - started) * 1000.0
+
+    loop_scorer = Bm25Scorer(loop_index)
+    kernel_scorer = Bm25Scorer(kernel_index)
+    assert not loop_scorer.kernels_active and kernel_scorer.kernels_active
+
+    # Warmup both paths, then time.
+    loop_scorer.top_n(queries[0], TOP_N)
+    kernel_scorer.top_n(queries[0], TOP_N)
+    loop_s, loop_rankings = time_scorer(loop_scorer, queries)
+    kernel_s, kernel_rankings = time_scorer(kernel_scorer, queries)
+
+    mismatches = sum(1 for a, b in zip(loop_rankings, kernel_rankings) if a != b)
+    speedup = loop_s / kernel_s if kernel_s else float("inf")
+    return {
+        "documents": args.docs,
+        "queries": args.queries,
+        "top_n": TOP_N,
+        "freeze_ms": freeze_ms,
+        "loop_ms_per_query": loop_s / args.queries * 1000.0,
+        "kernel_ms_per_query": kernel_s / args.queries * 1000.0,
+        "speedup": speedup,
+        "topn_mismatches": mismatches,
+    }
+
+
+def bench_cosine(args: argparse.Namespace) -> dict:
+    rng = np.random.default_rng(args.seed)
+    dim, k = 128, 10
+    index = ExactKnnIndex(dim)
+    for internal in range(args.docs):
+        index.add(internal, rng.standard_normal(dim))
+    query_matrix = rng.standard_normal((args.queries, dim))
+
+    index.search(query_matrix[0], k)  # warmup
+    started = time.perf_counter()
+    single = [index.search(query_matrix[i], k) for i in range(args.queries)]
+    single_s = time.perf_counter() - started
+
+    index.search_batch(query_matrix[:1], k)  # warmup
+    started = time.perf_counter()
+    batched = index.search_batch(query_matrix, k)
+    batch_s = time.perf_counter() - started
+
+    worst = 0.0
+    for one, many in zip(single, batched):
+        assert [i for i, _ in one] == [i for i, _ in many], "batched ids diverged"
+        worst = max(
+            worst, max(abs(a - b) for (_, a), (_, b) in zip(one, many)) if one else 0.0
+        )
+    if worst > 1e-9:
+        raise SystemExit(f"batched cosine drifted {worst:g} from the per-query path")
+    return {
+        "vectors": args.docs,
+        "queries": args.queries,
+        "k": k,
+        "single_ms_per_query": single_s / args.queries * 1000.0,
+        "batch_ms_per_query": batch_s / args.queries * 1000.0,
+        "speedup": single_s / batch_s if batch_s else float("inf"),
+        "max_distance_delta": worst,
+    }
+
+
+def check_freshness(seed: int) -> dict:
+    """Assert an upsert is queryable without any sealed segment moving."""
+    index = SearchIndex(
+        embedder=SyntheticAdaEmbedder(None, dim=16, seed=seed),
+        seed=seed,
+        index_config=IndexConfig(flush_threshold=8),
+    )
+    for i in range(16):
+        index.add_chunk(
+            ChunkRecord(
+                chunk_id=f"d{i}#0",
+                doc_id=f"d{i}",
+                title=f"Documento {i}",
+                content=f"condizioni del conto corrente numero {i}",
+            )
+        )
+    sealed_before = index.segment_stamp()[:-1]
+    started = time.perf_counter()
+    index.add_chunk(
+        ChunkRecord(
+            chunk_id="fresh#0",
+            doc_id="fresh",
+            title="Nuova pagina",
+            content="sblocco immediato della carta smarrita o rubata",
+        )
+    )
+    hits = FullTextSearch(index).search("sblocco carta smarrita", n=5)
+    visible_ms = (time.perf_counter() - started) * 1000.0
+    if "fresh" not in {hit.record.doc_id for hit in hits}:
+        raise SystemExit("freshness check failed: upsert not queryable")
+    if index.segment_stamp()[:-1] != sealed_before:
+        raise SystemExit("freshness check failed: upsert touched a sealed segment")
+    return {
+        "segments": index.segment_count,
+        "upsert_to_visible_ms": visible_ms,
+        "sealed_segments_touched": 0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", type=int, default=4000, help="corpus size (documents)")
+    parser.add_argument("--queries", type=int, default=200, help="queries to time")
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0, help="required kernel BM25 speedup"
+    )
+    parser.add_argument("--out", default="BENCH_kernels.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    print(f"indexing {args.docs} documents twice (loop + kernel)...", file=sys.stderr)
+    bm25 = bench_bm25(args)
+    cosine = bench_cosine(args)
+    freshness = check_freshness(args.seed)
+
+    result = {
+        "config": {"docs": args.docs, "queries": args.queries, "seed": args.seed},
+        "bm25": bm25,
+        "cosine": cosine,
+        "freshness": freshness,
+    }
+
+    print()
+    print("=" * 64)
+    print(f"KERNEL BENCH — {args.queries} queries over {args.docs} documents")
+    print("=" * 64)
+    print(
+        f"bm25 top-{TOP_N}: loop {bm25['loop_ms_per_query']:.3f} ms/q"
+        f"  kernel {bm25['kernel_ms_per_query']:.3f} ms/q"
+        f"  speedup {bm25['speedup']:.1f}x  (freeze {bm25['freeze_ms']:.1f} ms)"
+    )
+    print(
+        f"cosine top-{cosine['k']}: single {cosine['single_ms_per_query']:.3f} ms/q"
+        f"  batched {cosine['batch_ms_per_query']:.3f} ms/q"
+        f"  speedup {cosine['speedup']:.1f}x"
+    )
+    print(
+        f"freshness: upsert visible in {freshness['upsert_to_visible_ms']:.2f} ms,"
+        f" {freshness['sealed_segments_touched']} sealed segments touched"
+    )
+
+    if bm25["topn_mismatches"]:
+        raise SystemExit(
+            f"identity gate failed: {bm25['topn_mismatches']} queries diverged from the loop path"
+        )
+    if bm25["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"speedup gate failed: {bm25['speedup']:.1f}x < required {args.min_speedup:.1f}x"
+        )
+
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

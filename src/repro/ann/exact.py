@@ -3,7 +3,9 @@
 The ground-truth baseline the paper compares HNSW against ("HNSW and
 exhaustive k-NN yield similar retrieval performance", Section 4).  Vectors
 are kept in one contiguous matrix and scanned with vectorized numpy, which
-is exact by construction.
+is exact by construction.  The matrix grows geometrically in place, so a
+live-ingestion upsert is an O(dim) row write — not an O(n·dim) rebuild —
+and queries always scan a single contiguous block.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ann.distance import batch_cosine_distance
+
+_INITIAL_CAPACITY = 16
 
 
 class ExactKnnIndex:
@@ -25,37 +29,84 @@ class ExactKnnIndex:
         if dim <= 0:
             raise ValueError("dim must be positive")
         self._dim = dim
-        self._ids: list[int] = []
-        self._rows: list[np.ndarray] = []
-        self._matrix: np.ndarray | None = None  # rebuilt lazily
+        self._count = 0
+        self._ids = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._matrix = np.empty((_INITIAL_CAPACITY, dim), dtype=np.float64)
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return self._count
 
     @property
     def dim(self) -> int:
         """Vector dimensionality accepted by the index."""
         return self._dim
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """The stored vectors as one contiguous ``(n, dim)`` view."""
+        return self._matrix[: self._count]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Item ids aligned with :attr:`matrix` rows."""
+        return self._ids[: self._count]
+
     def add(self, item_id: int, vector: np.ndarray) -> None:
         """Insert *vector* under *item_id*."""
         if vector.shape != (self._dim,):
             raise ValueError(f"expected shape ({self._dim},), got {vector.shape}")
-        self._ids.append(item_id)
-        self._rows.append(np.asarray(vector, dtype=np.float64))
-        self._matrix = None
+        if self._count == self._matrix.shape[0]:
+            capacity = self._matrix.shape[0] * 2
+            grown = np.empty((capacity, self._dim), dtype=np.float64)
+            grown[: self._count] = self._matrix[: self._count]
+            self._matrix = grown
+            grown_ids = np.empty(capacity, dtype=np.int64)
+            grown_ids[: self._count] = self._ids[: self._count]
+            self._ids = grown_ids
+        self._ids[self._count] = item_id
+        self._matrix[self._count] = np.asarray(vector, dtype=np.float64)
+        self._count += 1
 
     def search(self, query: np.ndarray, k: int) -> list[tuple[int, float]]:
         """Return the *k* nearest stored items to *query* by cosine distance."""
-        if k <= 0 or not self._ids:
+        if k <= 0 or not self._count:
             return []
-        if self._matrix is None:
-            self._matrix = np.stack(self._rows)
-        distances = batch_cosine_distance(np.asarray(query, dtype=np.float64), self._matrix)
-        k = min(k, len(self._ids))
+        distances = batch_cosine_distance(np.asarray(query, dtype=np.float64), self.matrix)
+        k = min(k, self._count)
         # Ties break on insertion id, which makes the ground truth fully
         # deterministic and lets a sharded deployment merge per-shard
         # results into exactly the ordering a single index would produce.
-        ids = np.asarray(self._ids)
+        ids = self.ids
         order = np.lexsort((ids, distances))[:k]
         return [(int(ids[i]), float(distances[i])) for i in order]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[tuple[int, float]]]:
+        """Exact k-NN for several queries against the shared matrix.
+
+        *queries* is ``(q, dim)``.  Each query is ranked with the same
+        tie-break as :meth:`search`; the batch runs the similarity step as
+        one matrix-matrix product, which is exact brute force but — unlike
+        the BM25 kernels — not *bitwise*-contractual against the one-query
+        path (BLAS may reassociate GEMM vs GEMV partial sums).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ValueError(f"expected shape (q, {self._dim}), got {queries.shape}")
+        if k <= 0 or not self._count:
+            return [[] for _ in range(queries.shape[0])]
+        matrix = self.matrix
+        row_norms = np.linalg.norm(matrix, axis=1)
+        query_norms = np.linalg.norm(queries, axis=1)
+        denom = query_norms[:, None] * row_norms[None, :]
+        sims = np.zeros((queries.shape[0], self._count))
+        valid = denom > 1e-12
+        products = queries @ matrix.T
+        sims[valid] = products[valid] / denom[valid]
+        distances = 1.0 - sims
+        k = min(k, self._count)
+        ids = self.ids
+        results: list[list[tuple[int, float]]] = []
+        for row in distances:
+            order = np.lexsort((ids, row))[:k]
+            results.append([(int(ids[i]), float(row[i])) for i in order])
+        return results

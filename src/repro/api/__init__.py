@@ -41,6 +41,7 @@ _LAZY = {
     "ClusterConfig": ("repro.cluster.config", "ClusterConfig"),
     "GenerationConfig": ("repro.core.config", "GenerationConfig"),
     "HybridSearchConfig": ("repro.search.hybrid", "HybridSearchConfig"),
+    "IndexConfig": ("repro.search.segment", "IndexConfig"),
     "TelemetryConfig": ("repro.obs.telemetry", "TelemetryConfig"),
     "UniAskConfig": ("repro.core.config", "UniAskConfig"),
     "UniAskSystem": ("repro.core.factory", "UniAskSystem"),
@@ -60,6 +61,7 @@ __all__ = [
     "ClusterConfig",
     "GenerationConfig",
     "HybridSearchConfig",
+    "IndexConfig",
     "OUTCOME_ANSWERED",
     "TelemetryConfig",
     "UniAskAnswer",

@@ -28,11 +28,18 @@ from repro.search.results import RetrievedChunk
 
 @dataclass(frozen=True)
 class CachedLegs:
-    """The memoized scatter-leg results of one query on one shard."""
+    """The memoized scatter-leg results of one query on one shard.
+
+    ``generation`` is an opaque invalidation stamp compared with ``!=``: an
+    index-wide write counter (text legs, which depend on global BM25
+    statistics) or a per-segment epoch tuple from
+    :meth:`~repro.search.index.SearchIndex.segment_stamp` (vector legs,
+    which depend only on the shard's own segments).
+    """
 
     text: tuple[RetrievedChunk, ...]
     vector: tuple[tuple[str, tuple[RetrievedChunk, ...]], ...]
-    generation: int
+    generation: int | tuple
 
 
 @dataclass
@@ -78,7 +85,7 @@ class ShardRetrievalCache:
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._shards.values())
 
-    def get(self, shard_id: int, key: tuple, generation: int) -> CachedLegs | None:
+    def get(self, shard_id: int, key: tuple, generation: int | tuple) -> CachedLegs | None:
         """The cached legs of *key* on *shard_id*, if still current.
 
         A stamp mismatch (the shard was written since) drops the entry and
@@ -110,7 +117,7 @@ class ShardRetrievalCache:
         self,
         shard_id: int,
         key: tuple,
-        generation: int,
+        generation: int | tuple,
         text: list[RetrievedChunk],
         vector: dict[str, list[RetrievedChunk]],
     ) -> None:

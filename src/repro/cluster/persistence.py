@@ -17,6 +17,7 @@ from repro.cluster.planner import ShardPlanner
 from repro.cluster.sharded_index import ShardedSearchIndex
 from repro.embeddings.model import EmbeddingModel
 from repro.search.persistence import load_index, save_index
+from repro.search.segment import IndexConfig
 
 _FORMAT_VERSION = 1
 
@@ -57,11 +58,13 @@ def load_cluster(
     embedder: EmbeddingModel,
     ann_backend: str = "hnsw",
     seed: int = 42,
+    index_config: IndexConfig | None = None,
 ) -> ShardedSearchIndex:
     """Load a persisted sharded index from *directory*.
 
     As with :func:`repro.search.persistence.load_index`, the persisted
-    chunk vectors are inserted as-is — loading never re-embeds.
+    chunk vectors are inserted as-is — loading never re-embeds, and each
+    shard's bulk load ends sealed rather than buffered.
     """
     directory = Path(directory)
     manifest = json.loads((directory / _MANIFEST).read_text())
@@ -79,6 +82,7 @@ def load_cluster(
             embedder=embedder,
             ann_backend=ann_backend,
             seed=seed,
+            index_config=index_config,
         )
         for shard_id in planner.shard_ids
     }
@@ -90,6 +94,7 @@ def load_cluster(
         seed=seed,
         planner=planner,
         shard_indexes=shard_indexes,
+        index_config=index_config,
     )
     index.restore_ordinals(
         {chunk: int(ordinal) for chunk, ordinal in manifest["ordinals"].items()},

@@ -395,20 +395,27 @@ class ClusterSearcher:
             self.retrieval_cache.put(shard_id, cache_key, generation, leg_text, leg_vector)
         return leg_text, list(leg_vector.items()), False
 
-    def _leg_generation(self, shard_id: int) -> int:
-        """The write generation a cached leg of *shard_id* is valid for.
+    def _leg_generation(self, shard_id: int) -> int | tuple:
+        """The invalidation stamp a cached leg of *shard_id* is valid for.
 
-        Vector legs depend only on the shard's own contents, so shard-local
-        generations give exact per-shard invalidation.  BM25 text scores
-        additionally depend on **global** collection statistics (document
-        frequencies, average length aggregated across every shard), so any
-        mode that runs a text leg must stamp with the cluster-wide
-        generation: a write to shard A changes the text scores shard B
-        would compute, even though B's own contents are untouched.
+        Vector legs depend only on the shard's own contents, so the shard's
+        per-segment epoch stamp (:meth:`~repro.search.index.SearchIndex
+        .segment_stamp`) gives exact per-shard — and within a shard,
+        per-segment — invalidation: a write bumps only the epoch of the
+        segment (or buffer) it touched.  BM25 text scores additionally
+        depend on **global** collection statistics (document frequencies,
+        average length aggregated across every shard), so any mode that
+        runs a text leg must stamp with the cluster-wide generation: a
+        write to shard A changes the text scores shard B would compute,
+        even though B's own contents are untouched.
         """
         if self.config.mode in ("hybrid", "text"):
             return self._index.generation
-        return self._index.shard_index(shard_id).generation
+        shard = self._index.shard_index(shard_id)
+        stamp = getattr(shard, "segment_stamp", None)
+        if stamp is not None:
+            return stamp()
+        return shard.generation
 
     def take_scatter_report(self) -> ScatterReport | None:
         """The report of the most recent :meth:`search`; clears it."""

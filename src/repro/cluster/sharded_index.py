@@ -36,9 +36,11 @@ import numpy as np
 
 from repro.cluster.planner import ShardPlanner
 from repro.embeddings.model import EmbeddingModel
+from repro.obs.trace import RequestContext
 from repro.search.index import SearchIndex
 from repro.search.inverted import InvertedIndex
 from repro.search.schema import ChunkRecord, IndexSchema, uniask_schema
+from repro.search.segment import IndexConfig
 from repro.text.analyzer import ItalianAnalyzer
 
 #: Ordinal reported for chunks the facade has never seen (sorts last).
@@ -92,6 +94,23 @@ class _GlobalStatsInverted:
     def analyze_query(self, query: str) -> list[str]:
         return self._local.analyze_query(query)
 
+    # -- kernel forwarding -------------------------------------------------
+
+    @property
+    def kernels_enabled(self) -> bool:
+        """Vectorized scoring availability, decided by the local shard."""
+        return bool(getattr(self._local, "kernels_enabled", False))
+
+    def kernel_views(self):
+        """The shard-local kernel views.
+
+        The split mirrors the loop path exactly: postings arrays stay
+        shard-local while the scorer reads ``len()`` / ``document_frequency``
+        / ``average_length`` from this wrapper, i.e. globally — so kernel
+        scores are bit-identical to single-index scores here too.
+        """
+        return self._local.kernel_views()
+
 
 class _ShardSearchView:
     """A :class:`SearchIndex` facade over one shard for the query executors.
@@ -113,6 +132,11 @@ class _ShardSearchView:
         """The shard this view reads from."""
         return self._shard_id
 
+    @property
+    def kernels_enabled(self) -> bool:
+        """Whether the shard scores with the vectorized kernels."""
+        return bool(getattr(self._shard, "kernels_enabled", False))
+
     def inverted_index(self, field_name: str) -> _GlobalStatsInverted:
         return _GlobalStatsInverted(
             self._cluster, field_name, self._shard.inverted_index(field_name)
@@ -131,6 +155,11 @@ class _ShardSearchView:
         self, field_name: str, query_vector: np.ndarray, k: int
     ) -> list[tuple[int, float]]:
         return self._shard.vector_search(field_name, query_vector, k)
+
+    def vector_search_batch(
+        self, field_name: str, query_vectors: np.ndarray, k: int
+    ) -> list[list[tuple[int, float]]] | None:
+        return self._shard.vector_search_batch(field_name, query_vectors, k)
 
 
 class ShardedSearchIndex:
@@ -163,6 +192,8 @@ class ShardedSearchIndex:
         planner: ShardPlanner | None = None,
         vnodes: int = 64,
         shard_indexes: dict[int, SearchIndex] | None = None,
+        index_config: IndexConfig | None = None,
+        registry=None,
     ) -> None:
         self.schema = schema or uniask_schema()
         self.embedder = embedder
@@ -173,6 +204,8 @@ class ShardedSearchIndex:
             hnsw_ef_search=hnsw_ef_search,
             seed=seed,
             analyzer=analyzer,
+            index_config=index_config,
+            registry=registry,
         )
         if planner is not None:
             self._planner = planner
@@ -313,14 +346,37 @@ class ShardedSearchIndex:
             self._generation += 1
         return removed
 
-    def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
-        """Vacuum every shard; True when any shard rebuilt its graphs."""
+    def vacuum(self, max_tombstone_ratio: float | None = None) -> bool:
+        """Vacuum every shard; True when any shard rebuilt its graphs.
+
+        ``None`` defers to each shard's configured
+        ``vacuum_tombstone_ratio`` threshold, exactly like a single index.
+        """
         rebuilt = False
         for shard in self._shards.values():
             rebuilt = shard.vacuum(max_tombstone_ratio) or rebuilt
         if rebuilt:
             self._generation += 1
         return rebuilt
+
+    def flush(self) -> None:
+        """Seal every shard's write buffer (no-op for monolithic shards)."""
+        for shard in self._shards.values():
+            shard.flush()
+
+    def run_maintenance(
+        self, now: float, ctx: RequestContext | None = None
+    ) -> dict[str, int]:
+        """Run segment maintenance on every shard; merged op counts.
+
+        Content-preserving: the cluster :attr:`generation` is deliberately
+        not bumped, so cached answers and legs survive background merges.
+        """
+        totals: dict[str, int] = {}
+        for shard in self._shards.values():
+            for op, count in shard.run_maintenance(now, ctx=ctx).items():
+                totals[op] = totals.get(op, 0) + count
+        return totals
 
     # -- global ordering ---------------------------------------------------
 

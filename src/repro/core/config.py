@@ -9,6 +9,7 @@ from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
 from repro.obs.telemetry import TelemetryConfig
 from repro.search.hybrid import HybridSearchConfig
+from repro.search.segment import IndexConfig
 
 
 @dataclass(frozen=True)
@@ -35,5 +36,6 @@ class UniAskConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

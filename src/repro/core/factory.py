@@ -130,18 +130,18 @@ def build_uniask_system(
         index = ShardedSearchIndex(
             embedder=embedder, schema=schema, num_shards=config.cluster.shards,
             ann_backend=ann_backend, seed=seed, analyzer=index_analyzer,
-            vnodes=config.cluster.vnodes,
+            vnodes=config.cluster.vnodes, index_config=config.index, registry=registry,
         )
     else:
         index = SearchIndex(
             embedder=embedder, schema=schema, ann_backend=ann_backend, seed=seed,
-            analyzer=index_analyzer,
+            analyzer=index_analyzer, index_config=config.index, registry=registry,
         )
 
     llm = SimulatedChatLLM(lexicon, seed=seed, language=language, registry=registry)
     enricher = MetadataEnricher(llm, keyword_variant=keyword_variant)
     ingestion = IngestionService(store, queue, clock)
-    indexing = IndexingService(store, queue, index, enricher=enricher)
+    indexing = IndexingService(store, queue, index, enricher=enricher, clock=clock)
 
     reranker = SemanticReranker(lexicon, analyzer=index_analyzer)
     if clustered:

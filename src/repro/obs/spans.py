@@ -116,6 +116,13 @@ STAGE_CACHE_LOOKUP = "cache_lookup"
 #: Answer-cache store of a freshly computed cacheable answer.
 STAGE_CACHE_STORE = "cache_store"
 
+#: Background segment maintenance sweep (seals/merges/compactions), with
+#: one attribute per performed op kind carrying its count.
+STAGE_INDEX_MAINTENANCE = "index_maintenance"
+
+#: Explicit tombstone reclamation: ANN graph rebuild + segment compaction.
+STAGE_VACUUM = "vacuum"
+
 
 def vector_stage(field_name: str) -> str:
     """Span name of the ANN search over *field_name*."""

@@ -6,6 +6,13 @@ it with the paragraph-aligned strategy (512-token chunks, Section 4),
 enriches the metadata via the LLM (summary + keywords), and feeds the
 search index.  Document updates replace all previous chunks of the page;
 deletes tombstone them.
+
+Writes land in the index's segment write buffer and are queryable the
+moment :meth:`IndexingService.process_one` returns — no batch rebuild sits
+between an upsert and its visibility.  After each drain the service runs
+the index's background segment maintenance on the simulated clock (seals,
+merges, tombstone compaction), the continuous-freshness counterpart of the
+paper's nightly batch refresh.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.htmlproc.chunking import HtmlParagraphChunker
 from repro.htmlproc.parser import parse_html
+from repro.pipeline.clock import SimulatedClock
 from repro.pipeline.enrichment import MetadataEnricher
 from repro.pipeline.queue import MessageQueue
 from repro.pipeline.store import KbDocument, KnowledgeBaseStore
@@ -29,6 +37,7 @@ class IndexingReport:
     documents_indexed: int
     documents_deleted: int
     chunks_written: int
+    maintenance_ops: int = 0
 
 
 class IndexingService:
@@ -41,12 +50,14 @@ class IndexingService:
         index: SearchIndex,
         enricher: MetadataEnricher | None = None,
         chunker: HtmlParagraphChunker | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         self._store = store
         self._queue = queue
         self._index = index
         self._enricher = enricher
         self._chunker = chunker or HtmlParagraphChunker()
+        self._clock = clock
 
     def build_records(self, document: KbDocument) -> list[ChunkRecord]:
         """Parse, chunk and enrich one document into its chunk records."""
@@ -127,9 +138,24 @@ class IndexingService:
                 self._queue.abandon(message.message_id)
                 raise
             self._queue.acknowledge(message.message_id)
+        maintenance_ops = self.run_maintenance()
         return IndexingReport(
             messages=messages,
             documents_indexed=indexed,
             documents_deleted=deleted,
             chunks_written=max(0, len(self._index) - chunks_before),
+            maintenance_ops=maintenance_ops,
         )
+
+    def run_maintenance(self) -> int:
+        """Segment maintenance on the simulated clock; returns ops performed.
+
+        A no-op without a clock (the index then merges only on explicit
+        ``vacuum``) or on an index without segment maintenance.
+        """
+        if self._clock is None:
+            return 0
+        maintain = getattr(self._index, "run_maintenance", None)
+        if maintain is None:
+            return 0
+        return sum(maintain(self._clock.now()).values())

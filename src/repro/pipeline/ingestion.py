@@ -10,6 +10,13 @@ The simulation keeps the same shape: a cron tick (:meth:`poll_due` /
 :meth:`run_due_polls`) fires every ``poll_interval`` simulated seconds; each
 poll publishes one queue message per created/updated/deleted document since
 the previous poll.
+
+Where the paper's deployment then folds those changes into a nightly batch
+index refresh, this reproduction goes further: the downstream indexing
+service writes into the segmented index's live buffer, so a change is
+queryable as soon as its queue message is consumed — continuous freshness
+at the cost of background segment merges instead of a stop-the-world
+rebuild window (see :mod:`repro.search.segment`).
 """
 
 from __future__ import annotations

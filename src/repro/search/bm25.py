@@ -17,7 +17,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.search.inverted import InvertedIndex
+from repro.search.kernels import KernelView
+
+#: Query length (analyzed entries, repeats included) below which pruned
+#: top-k is not attempted.  The MaxScore admission check costs a partial
+#: sort per processed term; with only a handful of terms the single exact
+#: accumulation pass is already cheaper than anything pruning could save.
+PRUNE_MIN_TERMS = 8
 
 
 @dataclass(frozen=True)
@@ -35,11 +44,48 @@ class Bm25Parameters:
 
 
 class Bm25Scorer:
-    """Scores an analyzed query against one inverted index."""
+    """Scores an analyzed query against one inverted index.
 
-    def __init__(self, index: InvertedIndex, parameters: Bm25Parameters | None = None) -> None:
+    Two scoring paths coexist:
+
+    * the **loop** path (:meth:`score_all` / :meth:`score_all_explained`)
+      walks postings doc-at-a-time in pure Python — the reference
+      implementation, always available;
+    * the **kernel** path (:meth:`score_arrays`, and :meth:`top_n` when
+      kernels are enabled) scores contiguous postings arrays
+      (:mod:`repro.search.kernels`) term-at-a-time with vectorized numpy,
+      bit-identical to the loop path by construction and gated so by the
+      differential tests.
+
+    *index* may be a plain :class:`~repro.search.inverted.InvertedIndex`,
+    a segmented field view, or a cluster view with global statistics —
+    anything exposing the reader surface (``postings`` /
+    ``document_length`` / ``document_frequency`` / ``average_length`` /
+    ``__len__``, plus ``kernel_views`` for the kernel path).
+
+    Args:
+        index: the postings reader to score against.
+        parameters: BM25 free parameters.
+        use_kernels: force the kernel path on or off; ``None`` defers to
+            the reader's ``kernels_enabled`` attribute (False when absent).
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        parameters: Bm25Parameters | None = None,
+        use_kernels: bool | None = None,
+    ) -> None:
         self._index = index
         self._parameters = parameters or Bm25Parameters()
+        if use_kernels is None:
+            use_kernels = bool(getattr(index, "kernels_enabled", False))
+        self._use_kernels = use_kernels and hasattr(index, "kernel_views")
+
+    @property
+    def kernels_active(self) -> bool:
+        """True when :meth:`top_n` / :meth:`score_arrays` run vectorized."""
+        return self._use_kernels
 
     def idf(self, term: str) -> float:
         """Lucene-style lower-bounded inverse document frequency of *term*."""
@@ -103,6 +149,163 @@ class Bm25Scorer:
         """The *n* best-scoring documents as ``(doc_id, score)`` pairs."""
         if n <= 0:
             return []
+        if self._use_kernels:
+            return self._top_n_kernel(query_terms, n)
         scores = self.score_all(query_terms)
         ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
         return ranked[:n]
+
+    # -- kernel path -----------------------------------------------------------
+
+    def _term_sequence(self, query_terms: list[str]) -> list[tuple[str, float]]:
+        """The analyzed query as ``(term, idf)`` pairs, repeats preserved."""
+        idf_cache: dict[str, float] = {}
+        sequence: list[tuple[str, float]] = []
+        for term in query_terms:
+            idf = idf_cache.get(term)
+            if idf is None:
+                idf = idf_cache[term] = self.idf(term)
+            sequence.append((term, idf))
+        return sequence
+
+    def score_arrays(self, query_terms: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Kernel-path equivalent of :meth:`score_all`, as parallel arrays.
+
+        Returns ``(doc_ids, scores)`` covering every live document matching
+        at least one query term.  The id→score mapping is bit-identical to
+        the :meth:`score_all` dict: contributions are accumulated
+        term-at-a-time in analyzed-query order with the loop scorer's exact
+        operator sequence (see :mod:`repro.search.kernels`).
+        """
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if not self._use_kernels:
+            scores = self.score_all(query_terms)
+            if not scores:
+                return empty
+            ids = np.fromiter(scores.keys(), dtype=np.int64, count=len(scores))
+            values = np.fromiter(scores.values(), dtype=np.float64, count=len(scores))
+            return ids, values
+        views: list[KernelView] = self._index.kernel_views()
+        if not views:
+            return empty
+        sequence = self._term_sequence(query_terms)
+        k1, b = self._parameters.k1, self._parameters.b
+        average_length = self._index.average_length or 1.0
+        id_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for view in views:
+            acc, touched = view.kernel.accumulate_bm25(sequence, k1, b, average_length)
+            slots = view.live_slots(np.nonzero(touched)[0])
+            if slots.size:
+                id_parts.append(view.kernel.doc_ids[slots])
+                score_parts.append(acc[slots])
+        if not id_parts:
+            return empty
+        return np.concatenate(id_parts), np.concatenate(score_parts)
+
+    def _rank_exact(
+        self,
+        views: list[KernelView],
+        sequence: list[tuple[str, float]],
+        n: int,
+        k1: float,
+        b: float,
+        average_length: float,
+    ) -> list[tuple[int, float]]:
+        """One exact accumulation pass in query order, then select top-*n*.
+
+        Terms are accumulated in analyzed-query order, so the scores come
+        out of the single pass already bit-identical to :meth:`score_all`
+        — no rescore needed.  This is the fast path for the short queries
+        that dominate real traffic.
+        """
+        id_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for view in views:
+            acc, touched = view.kernel.accumulate_bm25(sequence, k1, b, average_length)
+            slots = view.live_slots(np.nonzero(touched)[0])
+            if slots.size:
+                id_parts.append(view.kernel.doc_ids[slots])
+                score_parts.append(acc[slots])
+        if not id_parts:
+            return []
+        ids = np.concatenate(id_parts)
+        scores = np.concatenate(score_parts)
+        if ids.size > n:
+            # Select before sorting: keep everything scoring at least the
+            # n-th best value (ties included), then tie-break only those.
+            # Exact float comparisons — the survivors and their order are
+            # identical to lexsorting the full candidate set.
+            kth = np.partition(scores, ids.size - n)[ids.size - n]
+            keep = scores >= kth
+            ids, scores = ids[keep], scores[keep]
+        ranked = np.lexsort((ids, -scores))[:n]
+        return [(int(ids[i]), float(scores[i])) for i in ranked]
+
+    def _top_n_kernel(self, query_terms: list[str], n: int) -> list[tuple[int, float]]:
+        """Pruned top-*n* over kernel views, bit-identical to the loop path.
+
+        Short queries (fewer than :data:`PRUNE_MIN_TERMS` analyzed entries)
+        take the single-pass :meth:`_rank_exact` path.  Longer ones get
+        MaxScore-style admission: terms are processed in descending
+        upper-bound order; once *n* live documents are on the scoreboard
+        and the unprocessed terms' summed bounds cannot lift an unseen
+        document past the current n-th best partial score, admission stops
+        — no document first matched by a later term can reach the top-n.
+        The surviving candidate set is then *exactly rescored* in
+        analyzed-query order, so every returned score carries the same
+        bits as :meth:`score_all`, and ties break identically.
+        """
+        views: list[KernelView] = self._index.kernel_views()
+        if not views:
+            return []
+        sequence = self._term_sequence(query_terms)
+        k1, b = self._parameters.k1, self._parameters.b
+        average_length = self._index.average_length or 1.0
+        if len(sequence) < PRUNE_MIN_TERMS:
+            return self._rank_exact(views, sequence, n, k1, b, average_length)
+        bounds = [
+            max(view.kernel.term_bound(term, idf, k1, b, average_length) for view in views)
+            for term, idf in sequence
+        ]
+        order = sorted(range(len(sequence)), key=lambda i: (-bounds[i], i))
+        accs = [np.zeros(len(view.kernel), dtype=np.float64) for view in views]
+        toucheds = [np.zeros(len(view.kernel), dtype=bool) for view in views]
+        for position, entry_index in enumerate(order):
+            entry = sequence[entry_index]
+            for view, acc, touched in zip(views, accs, toucheds):
+                view.kernel.accumulate_bm25(
+                    [entry], k1, b, average_length, acc=acc, touched=touched
+                )
+            partials = [
+                acc[touched if view.live is None else (touched & view.live)]
+                for view, acc, touched in zip(views, accs, toucheds)
+            ]
+            live_count = sum(part.size for part in partials)
+            if live_count < n:
+                continue
+            pooled = np.concatenate(partials)
+            theta = float(np.partition(pooled, live_count - n)[live_count - n])
+            remaining = sum(bounds[i] for i in order[position + 1 :])
+            # Deflate theta a hair: partial sums reassociate relative to the
+            # final accumulation order, so an ulp-high theta must not prune.
+            if remaining < theta * (1.0 - 1e-9):
+                break
+        id_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for view, touched in zip(views, toucheds):
+            candidates = touched if view.live is None else (touched & view.live)
+            slots = np.nonzero(candidates)[0]
+            if not slots.size:
+                continue
+            acc, _ = view.kernel.accumulate_bm25(
+                sequence, k1, b, average_length, candidate_mask=candidates
+            )
+            id_parts.append(view.kernel.doc_ids[slots])
+            score_parts.append(acc[slots])
+        if not id_parts:
+            return []
+        ids = np.concatenate(id_parts)
+        scores = np.concatenate(score_parts)
+        ranked = np.lexsort((ids, -scores))[:n]
+        return [(int(ids[i]), float(scores[i])) for i in ranked]

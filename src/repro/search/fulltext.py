@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.obs import spans
 from repro.obs.trace import RequestContext, null_context
 from repro.search.bm25 import Bm25Parameters, Bm25Scorer
@@ -76,6 +78,8 @@ class FullTextSearch:
     ) -> list[RetrievedChunk]:
         if n <= 0:
             return []
+        if not explain and getattr(self._index, "kernels_enabled", False):
+            return self._search_kernel(query, n, filters)
         combined: dict[int, float] = {}
         per_field: dict[int, dict[str, float]] = {}
         for field_name in self._fields:
@@ -111,4 +115,66 @@ class FullTextSearch:
                 components=per_field.get(internal, {}),
             )
             for internal, score in ranked
+        ]
+
+    def _search_kernel(
+        self, query: str, n: int, filters: dict[str, str] | None
+    ) -> list[RetrievedChunk]:
+        """Vectorized multi-field scoring, bit-identical to the loop path.
+
+        Per-field kernel scores land in a dense accumulator indexed by
+        internal id, added field-by-field in the same order as the loop
+        path — each document's combined score is therefore the same
+        sequence of ``+= weight * score`` additions, hence the same bits.
+        Liveness/filter checks move *after* combination (scores of distinct
+        documents are independent, so late masking changes nothing), which
+        keeps the hot loop free of per-document Python calls.
+        """
+        field_results: list[tuple[str, float, np.ndarray, np.ndarray]] = []
+        max_internal = -1
+        for field_name in self._fields:
+            inverted = self._index.inverted_index(field_name)
+            terms = inverted.analyze_query(query)
+            if not terms:
+                continue
+            scorer = Bm25Scorer(inverted, self._parameters)
+            ids, scores = scorer.score_arrays(terms)
+            if ids.size:
+                weight = self._profile.weight(field_name)
+                field_results.append((field_name, weight, ids, scores))
+                max_internal = max(max_internal, int(ids.max()))
+        if max_internal < 0:
+            return []
+        combined = np.zeros(max_internal + 1, dtype=np.float64)
+        touched = np.zeros(max_internal + 1, dtype=bool)
+        for _, weight, ids, scores in field_results:
+            combined[ids] += weight * scores
+            touched[ids] = True
+        candidates = np.nonzero(touched)[0]
+        ranked = np.lexsort((candidates, -combined[candidates]))
+        selected: list[tuple[int, float]] = []
+        for position in ranked:
+            internal = int(candidates[position])
+            if not self._index.is_live(internal):
+                continue
+            if not self._index.matches_filters(internal, filters):
+                continue
+            selected.append((internal, float(combined[internal])))
+            if len(selected) == n:
+                break
+        if not selected:
+            return []
+        selected_ids = np.array([internal for internal, _ in selected], dtype=np.int64)
+        per_field: dict[int, dict[str, float]] = {}
+        for field_name, _, ids, scores in field_results:
+            mask = np.isin(ids, selected_ids)
+            for internal, score in zip(ids[mask], scores[mask]):
+                per_field.setdefault(int(internal), {})[f"bm25_{field_name}"] = float(score)
+        return [
+            RetrievedChunk(
+                record=self._index.record(internal),
+                score=score,
+                components=per_field.get(internal, {}),
+            )
+            for internal, score in selected
         ]

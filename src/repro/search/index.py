@@ -3,9 +3,17 @@
 :class:`SearchIndex` is the in-process equivalent of the Azure AI Search
 index the paper builds (Section 4).  It owns:
 
-* one :class:`~repro.search.inverted.InvertedIndex` per *searchable* field;
+* the full-text postings of every *searchable* field — segmented by
+  default (sealed immutable segments + write buffer, see
+  :mod:`repro.search.segment`) so live ingestion never rebuilds what
+  queries are reading, or one monolithic
+  :class:`~repro.search.inverted.InvertedIndex` per field when configured
+  ``segmented=False`` (the differential-gate reference layout);
 * one ANN index (HNSW by default, exact k-NN optionally) per *vector*
-  field, fed by the configured embedding model;
+  field, fed by the configured embedding model.  Vector structures stay
+  index-level and incremental — HNSW supports live inserts natively, and
+  per-segment graphs could not reproduce the single-graph results
+  byte-for-byte (the graph depends on the full insertion sequence);
 * the chunk records themselves, for retrieval of *retrievable* fields;
 * exact-match filtering on *filterable* fields.
 
@@ -13,7 +21,11 @@ Updates: the ingestion flow re-indexes modified documents every polling
 cycle, so the index supports document-level delete.  HNSW has no efficient
 hard delete, so deletions tombstone the internal ids; vector queries
 oversample and drop tombstones, and :meth:`vacuum` rebuilds the graphs when
-the tombstone ratio crosses a threshold.
+the tombstone ratio crosses a threshold.  Sealed-segment postings are
+likewise tombstoned in place (a bit flip plus exact statistics ledgers) and
+reclaimed by background merges on the simulated clock
+(:meth:`run_maintenance`) — `vacuum()` is just the most aggressive merge
+policy plus the ANN rebuild.
 """
 
 from __future__ import annotations
@@ -25,8 +37,12 @@ import numpy as np
 from repro.ann.exact import ExactKnnIndex
 from repro.ann.hnsw import HnswIndex
 from repro.embeddings.model import EmbeddingModel
+from repro.obs import spans
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import RequestContext
 from repro.search.inverted import InvertedIndex
 from repro.search.schema import ChunkRecord, IndexSchema, uniask_schema
+from repro.search.segment import IndexConfig, SegmentedTextStore
 from repro.text.analyzer import FULL_ANALYZER, ItalianAnalyzer
 
 
@@ -39,6 +55,8 @@ class SearchIndex:
         ann_backend: ``"hnsw"`` (production) or ``"exact"`` (ground truth).
         hnsw_m / hnsw_ef_construction / hnsw_ef_search: HNSW parameters.
         seed: seed forwarded to HNSW level draws.
+        index_config: kernel/segment layout knobs (defaults on for both).
+        registry: metrics registry for the maintenance counters (optional).
     """
 
     def __init__(
@@ -51,11 +69,14 @@ class SearchIndex:
         hnsw_ef_search: int = 80,
         seed: int = 42,
         analyzer: ItalianAnalyzer | None = None,
+        index_config: IndexConfig | None = None,
+        registry=None,
     ) -> None:
         if ann_backend not in ("hnsw", "exact"):
             raise ValueError("ann_backend must be 'hnsw' or 'exact'")
         self.schema = schema or uniask_schema()
         self.embedder = embedder
+        self.config = index_config or IndexConfig()
         self._ann_backend = ann_backend
         self._hnsw_m = hnsw_m
         self._hnsw_ef_construction = hnsw_ef_construction
@@ -70,12 +91,25 @@ class SearchIndex:
         self._generation = 0
 
         self.analyzer = analyzer if analyzer is not None else FULL_ANALYZER
-        self._inverted: dict[str, InvertedIndex] = {
-            name: InvertedIndex(self.analyzer) for name in self.schema.searchable_fields
-        }
+        self._store: SegmentedTextStore | None = None
+        self._inverted: dict[str, InvertedIndex] = {}
+        if self.config.segmented:
+            self._store = SegmentedTextStore(
+                self.schema.searchable_fields, self.analyzer, self.config
+            )
+        else:
+            self._inverted = {
+                name: InvertedIndex(self.analyzer, use_kernels=self.config.use_kernels)
+                for name in self.schema.searchable_fields
+            }
         self._vectors: dict[str, HnswIndex | ExactKnnIndex] = {
             name: self._new_ann_index() for name in self.schema.vector_fields
         }
+        self._maintenance_counter = (registry or NULL_REGISTRY).counter(
+            "uniask_index_maintenance_total",
+            "Index maintenance operations by kind (seal/merge/compact/vacuum).",
+            ("op",),
+        )
 
     # -- sizing ------------------------------------------------------------
 
@@ -92,13 +126,41 @@ class SearchIndex:
         )
 
     @property
+    def kernels_enabled(self) -> bool:
+        """Whether the vectorized BM25 scoring path is configured on."""
+        return self.config.use_kernels
+
+    @property
     def generation(self) -> int:
         """Monotonic write counter; bumps on every content-changing write.
 
         Caches stamp entries with the generation they were computed against
         and treat a mismatch as an invalidation signal (see
-        :mod:`repro.cache.retrieval_cache`).
+        :mod:`repro.cache.retrieval_cache`).  Maintenance (seals and
+        merges) preserves content exactly and deliberately does *not* bump
+        this counter, so cached answers survive background compaction.
         """
+        return self._generation
+
+    @property
+    def segment_count(self) -> int:
+        """Number of sealed segments (0 for the monolithic layout)."""
+        return len(self._store.segments) if self._store is not None else 0
+
+    @property
+    def buffered_count(self) -> int:
+        """Documents in the unsealed write buffer (0 when monolithic)."""
+        return self._store.buffered_count() if self._store is not None else 0
+
+    def segment_stamp(self) -> tuple | int:
+        """Per-segment cache-invalidation stamp.
+
+        Segmented: a tuple of ``(segment_id, epoch)`` pairs plus the buffer
+        write counter — a write invalidates only the component it touched.
+        Monolithic: falls back to the index-wide :attr:`generation`.
+        """
+        if self._store is not None:
+            return self._store.segment_stamp()
         return self._generation
 
     @property
@@ -116,6 +178,9 @@ class SearchIndex:
         Re-adding an existing ``chunk_id`` replaces the previous version.
         ``vectors`` optionally supplies pre-computed embeddings per vector
         field (used when loading a persisted index), bypassing the embedder.
+        The chunk is queryable the moment this method returns: segmented
+        postings land in the write buffer (no rebuild of sealed segments)
+        and ANN inserts are incremental.
         """
         if record.chunk_id in self._internal_by_chunk:
             self._tombstone(self._internal_by_chunk[record.chunk_id])
@@ -127,8 +192,14 @@ class SearchIndex:
         self._internal_by_chunk[record.chunk_id] = internal
         self._internals_by_doc.setdefault(record.doc_id, []).append(internal)
 
-        for name, inverted in self._inverted.items():
-            inverted.add(internal, record.value(name))
+        if self._store is not None:
+            self._store.add(
+                internal, {name: record.value(name) for name in self.schema.searchable_fields}
+            )
+            self._drain_maintenance_ops()
+        else:
+            for name, inverted in self._inverted.items():
+                inverted.add(internal, record.value(name))
         for name, ann in self._vectors.items():
             if vectors is not None and name in vectors:
                 vector = np.asarray(vectors[name], dtype=np.float64)
@@ -159,19 +230,68 @@ class SearchIndex:
             self._generation += 1
         return removed
 
-    def vacuum(self, max_tombstone_ratio: float = 0.0) -> bool:
-        """Rebuild vector graphs dropping tombstones.
+    def flush(self) -> None:
+        """Seal the current write buffer (no-op when monolithic or empty)."""
+        if self._store is not None:
+            self._store.flush()
+            self._drain_maintenance_ops()
 
-        Returns True when a rebuild happened (ratio above the threshold).
+    def run_maintenance(self, now: float, ctx: RequestContext | None = None) -> dict[str, int]:
+        """Background segment maintenance on the simulated clock.
+
+        Folds tombstone-heavy and surplus segments together (see
+        :meth:`~repro.search.segment.SegmentedTextStore.run_maintenance`);
+        returns the op counts performed.  Content-preserving, so neither
+        the :attr:`generation` nor cached answers are invalidated.
         """
+        if self._store is None:
+            return {}
+        if ctx is not None:
+            with ctx.trace.span(spans.STAGE_INDEX_MAINTENANCE) as span:
+                ops = self._store.run_maintenance(now)
+                for op, count in ops.items():
+                    span.set(op, count)
+        else:
+            ops = self._store.run_maintenance(now)
+        self._drain_maintenance_ops()
+        return ops
+
+    def vacuum(
+        self, max_tombstone_ratio: float | None = None, ctx: RequestContext | None = None
+    ) -> bool:
+        """Reclaim tombstones: rebuild vector graphs, compact segments.
+
+        ``max_tombstone_ratio`` is the trigger threshold: the rebuild runs
+        only when :attr:`tombstone_ratio` exceeds it.  ``None`` (the
+        default) uses ``IndexConfig.vacuum_tombstone_ratio``, so a no-arg
+        vacuum on a clean or lightly-tombstoned index is a cheap no-op;
+        pass ``0.0`` explicitly to force reclamation of any tombstone.
+
+        Returns True when a rebuild happened.
+        """
+        if max_tombstone_ratio is None:
+            max_tombstone_ratio = self.config.vacuum_tombstone_ratio
         if self.tombstone_ratio <= max_tombstone_ratio:
             return False
+        if ctx is not None:
+            with ctx.trace.span(spans.STAGE_VACUUM) as span:
+                span.set("tombstones", len(self._deleted))
+                self._vacuum_rebuild()
+        else:
+            self._vacuum_rebuild()
+        self._maintenance_counter.labels("vacuum").inc()
+        return True
+
+    def _vacuum_rebuild(self) -> None:
         self._generation += 1
         live = {i: r for i, r in self._records.items() if i not in self._deleted}
         self._vectors = {name: self._new_ann_index() for name in self.schema.vector_fields}
         for internal, record in live.items():
             for name, ann in self._vectors.items():
                 ann.add(internal, self.embedder.embed(record.value(name)))
+        if self._store is not None:
+            self._store.compact_all()
+            self._drain_maintenance_ops()
         for internal in list(self._deleted):
             self._records.pop(internal, None)
         for doc_id in list(self._internals_by_doc):
@@ -181,7 +301,6 @@ class SearchIndex:
             else:
                 del self._internals_by_doc[doc_id]
         self._deleted.clear()
-        return True
 
     # -- reads ---------------------------------------------------------------
 
@@ -197,8 +316,10 @@ class SearchIndex:
         """All live internal ids."""
         return [i for i in self._records if i not in self._deleted]
 
-    def inverted_index(self, field_name: str) -> InvertedIndex:
-        """The postings of searchable field *field_name*."""
+    def inverted_index(self, field_name: str):
+        """The postings reader of searchable field *field_name*."""
+        if self._store is not None:
+            return self._store.view(field_name)
         return self._inverted[field_name]
 
     def vector_search(
@@ -213,6 +334,27 @@ class SearchIndex:
         hits = ann.search(query_vector, fetch)
         live = [(internal, distance) for internal, distance in hits if internal not in self._deleted]
         return live[:k]
+
+    def vector_search_batch(
+        self, field_name: str, query_vectors: np.ndarray, k: int
+    ) -> list[list[tuple[int, float]]] | None:
+        """Batched :meth:`vector_search` (None when the backend can't batch).
+
+        Only the exact (brute-force) backend supports batching — the whole
+        similarity step collapses into one matrix-matrix product.
+        """
+        ann = self._vectors[field_name]
+        if not hasattr(ann, "search_batch"):
+            return None
+        queries = np.asarray(query_vectors, dtype=np.float64)
+        if k <= 0 or len(ann) == 0:
+            return [[] for _ in range(queries.shape[0])]
+        fetch = k + len(self._deleted)
+        batches = ann.search_batch(queries, fetch)
+        return [
+            [(internal, distance) for internal, distance in hits if internal not in self._deleted][:k]
+            for hits in batches
+        ]
 
     def matches_filters(self, internal: int, filters: dict[str, str] | None) -> bool:
         """Exact-match filter evaluation on filterable fields."""
@@ -236,8 +378,20 @@ class SearchIndex:
         self._deleted.add(internal)
         record = self._records[internal]
         self._internal_by_chunk.pop(record.chunk_id, None)
-        for inverted in self._inverted.values():
-            inverted.remove(internal)
+        if self._store is not None:
+            self._store.remove(
+                internal, {name: record.value(name) for name in self.schema.searchable_fields}
+            )
+        else:
+            for inverted in self._inverted.values():
+                inverted.remove(internal)
+
+    def _drain_maintenance_ops(self) -> None:
+        if self._store is None or not self._store.op_counts:
+            return
+        for op, count in self._store.op_counts.items():
+            self._maintenance_counter.labels(op).inc(count)
+        self._store.op_counts.clear()
 
     def _new_ann_index(self) -> HnswIndex | ExactKnnIndex:
         if self._ann_backend == "exact":

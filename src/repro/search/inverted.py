@@ -12,17 +12,29 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.search.kernels import KernelPostings, KernelView
 from repro.text.analyzer import FULL_ANALYZER, ItalianAnalyzer
 
 
 class InvertedIndex:
-    """Postings for one field, keyed by internal integer doc ids."""
+    """Postings for one field, keyed by internal integer doc ids.
 
-    def __init__(self, analyzer: ItalianAnalyzer = FULL_ANALYZER) -> None:
+    With ``use_kernels`` the index additionally exposes a frozen
+    contiguous-array view of its postings (:meth:`kernel_views`) that the
+    BM25 scorer consumes for vectorized scoring.  The kernel is built
+    lazily and dropped on any write: freezing is O(postings), which is
+    exactly the stop-the-world coupling the segmented index
+    (:mod:`repro.search.segment`) exists to remove — there, only the small
+    write buffer ever re-freezes.
+    """
+
+    def __init__(self, analyzer: ItalianAnalyzer = FULL_ANALYZER, use_kernels: bool = False) -> None:
         self._analyzer = analyzer
         self._postings: dict[str, dict[int, int]] = {}
         self._doc_lengths: dict[int, int] = {}
         self._total_length = 0
+        self.kernels_enabled = use_kernels
+        self._kernel: KernelPostings | None = None
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -56,6 +68,7 @@ class InvertedIndex:
         """Index *text* under *doc_id* (doc must not already be present)."""
         if doc_id in self._doc_lengths:
             raise ValueError(f"doc {doc_id} already indexed; remove it first")
+        self._kernel = None
         terms = self._analyzer.analyze(text)
         self._doc_lengths[doc_id] = len(terms)
         self._total_length += len(terms)
@@ -67,6 +80,7 @@ class InvertedIndex:
         length = self._doc_lengths.pop(doc_id, None)
         if length is None:
             return
+        self._kernel = None
         self._total_length -= length
         empty_terms = []
         for term, postings in self._postings.items():
@@ -87,6 +101,33 @@ class InvertedIndex:
         """Analyzed length of *doc_id* (0 when absent)."""
         return self._doc_lengths.get(doc_id, 0)
 
+    def doc_ids(self) -> list[int]:
+        """The indexed document ids, in insertion order."""
+        return list(self._doc_lengths)
+
     def analyze_query(self, query: str) -> list[str]:
         """Analyze a query string with this field's analyzer."""
         return self._analyzer.analyze(query)
+
+    # -- kernel access --------------------------------------------------------
+
+    @property
+    def analyzer(self) -> ItalianAnalyzer:
+        """The analyzer this field indexes and queries with."""
+        return self._analyzer
+
+    def to_kernel(self, doc_ids=None) -> KernelPostings:
+        """Freeze the current postings into contiguous arrays.
+
+        ``doc_ids`` optionally fixes the slot order (used when several
+        fields of one segment must share slot alignment).
+        """
+        return KernelPostings.build(self._doc_lengths, self._postings, doc_ids=doc_ids)
+
+    def kernel_views(self) -> list[KernelView]:
+        """The scorable kernel views of this index (one, lazily frozen)."""
+        if not self._doc_lengths:
+            return []
+        if self._kernel is None:
+            self._kernel = self.to_kernel()
+        return [KernelView(self._kernel)]

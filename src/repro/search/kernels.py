@@ -1,0 +1,269 @@
+"""Vectorized retrieval kernels: contiguous postings + batch BM25.
+
+The pure-Python scorer in :mod:`repro.search.bm25` walks postings
+doc-at-a-time — one dict lookup and a handful of float operations per
+(term, document) pair, all interpreted.  This module stores the same
+postings as contiguous numpy arrays and scores them term-at-a-time with
+vectorized arithmetic, which is where the order-of-magnitude retrieval
+win comes from (see ``benchmarks/bench_kernels.py``).
+
+**Bit-exactness contract.**  The kernel is not "approximately equal" to
+the loop scorer — it is gated *byte-identical* (scores and tie-breaks) by
+the differential tests.  That works because every float operation of the
+loop formulation
+
+    length_norm = 1 - b + b * (|d| / avgdl)
+    contribution = idf * tf * (k1 + 1) / (tf + k1 * length_norm)
+    score[d] += contribution            # terms in analyzed-query order
+
+is reproduced elementwise with the same operator order and the same
+IEEE-754 double rounding (numpy elementwise arithmetic is correctly
+rounded exactly like CPython floats), and the per-document accumulation
+order — query-term order, one addition per matched term — is preserved by
+accumulating one term at a time into a dense slot-indexed array.  ``idf``
+stays a scalar computed with :func:`math.log` (``np.log`` is *not*
+guaranteed to round identically to libm).
+
+A :class:`KernelPostings` is immutable once built: that is the data-layout
+contract that makes sealed index segments (:mod:`repro.search.segment`)
+safe to share between queries without locking, and it is why live updates
+go through a mutable write buffer instead of patching arrays in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Multiplicative safety margin applied to floating-point score upper
+#: bounds before they are used to prune documents.  The bound arithmetic
+#: itself rounds, so a raw bound could undershoot the true maximum
+#: contribution by a few ulps; inflating it keeps pruning *safe* (a pruned
+#: document provably cannot reach the top-k) at a negligible recall cost.
+BOUND_SAFETY = 1.0 + 1e-9
+
+
+class KernelPostings:
+    """Contiguous postings of one field over one immutable document set.
+
+    Layout:
+
+    * ``doc_ids`` — the member document ids, ascending (``int64``);
+    * ``lengths`` — analyzed field length per slot (``float64``, aligned
+      with ``doc_ids``);
+    * per term: a ``slots`` array (positions into ``doc_ids``) and a
+      parallel ``tfs`` array (``float64`` term frequencies).
+
+    Documents are addressed by *slot* during scoring so the length
+    normalization is one gather; ids are materialized only on output.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "lengths",
+        "total_length",
+        "_slots",
+        "_tfs",
+        "_max_tf",
+        "_min_len",
+    )
+
+    def __init__(
+        self,
+        doc_ids: np.ndarray,
+        lengths: np.ndarray,
+        slots_by_term: dict[str, np.ndarray],
+        tfs_by_term: dict[str, np.ndarray],
+    ) -> None:
+        self.doc_ids = doc_ids
+        self.lengths = lengths
+        self.total_length = int(lengths.sum()) if lengths.size else 0
+        self._slots = slots_by_term
+        self._tfs = tfs_by_term
+        self._max_tf: dict[str, float] = {}
+        self._min_len: dict[str, float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        doc_lengths: dict[int, int],
+        postings: dict[str, dict[int, int]],
+        doc_ids: Sequence[int] | None = None,
+    ) -> "KernelPostings":
+        """Freeze dict-shaped postings into contiguous arrays.
+
+        ``doc_ids`` optionally fixes the slot order (ascending ids when
+        omitted); it must cover exactly the keys of *doc_lengths*.
+        """
+        if doc_ids is None:
+            ids = np.array(sorted(doc_lengths), dtype=np.int64)
+        else:
+            ids = np.asarray(doc_ids, dtype=np.int64)
+        lengths = np.array([float(doc_lengths[int(i)]) for i in ids], dtype=np.float64)
+        slot_of = {int(doc): slot for slot, doc in enumerate(ids)}
+        slots_by_term: dict[str, np.ndarray] = {}
+        tfs_by_term: dict[str, np.ndarray] = {}
+        for term, term_postings in postings.items():
+            if not term_postings:
+                continue
+            pairs = sorted((slot_of[doc], tf) for doc, tf in term_postings.items())
+            slots_by_term[term] = np.array([slot for slot, _ in pairs], dtype=np.int64)
+            tfs_by_term[term] = np.array([float(tf) for _, tf in pairs], dtype=np.float64)
+        return cls(ids, lengths, slots_by_term, tfs_by_term)
+
+    # -- sizing / lookup ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.doc_ids.size)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct terms with at least one posting."""
+        return len(self._slots)
+
+    def terms(self) -> Iterable[str]:
+        """The indexed terms (arbitrary order)."""
+        return self._slots.keys()
+
+    def document_frequency(self, term: str) -> int:
+        """Number of member documents containing *term*."""
+        slots = self._slots.get(term)
+        return int(slots.size) if slots is not None else 0
+
+    def term_arrays(self, term: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """The ``(slots, tfs)`` arrays of *term* (None when unseen)."""
+        slots = self._slots.get(term)
+        if slots is None:
+            return None
+        return slots, self._tfs[term]
+
+    def slot_of(self, doc_id: int) -> int:
+        """The slot of *doc_id*; -1 when the document is not a member."""
+        position = int(np.searchsorted(self.doc_ids, doc_id))
+        if position < self.doc_ids.size and int(self.doc_ids[position]) == doc_id:
+            return position
+        return -1
+
+    def postings_dict(self, term: str, live: np.ndarray | None = None) -> dict[int, int]:
+        """The ``doc_id -> tf`` dict of *term*, masked by *live* slots."""
+        arrays = self.term_arrays(term)
+        if arrays is None:
+            return {}
+        slots, tfs = arrays
+        if live is not None:
+            keep = live[slots]
+            slots, tfs = slots[keep], tfs[keep]
+        ids = self.doc_ids[slots]
+        return {int(doc): int(tf) for doc, tf in zip(ids, tfs)}
+
+    def to_dicts(
+        self, live: np.ndarray | None = None
+    ) -> tuple[dict[int, int], dict[str, dict[int, int]]]:
+        """Thaw back into ``(doc_lengths, postings)`` dicts (merge path)."""
+        if live is None:
+            keep_slots = np.arange(self.doc_ids.size)
+        else:
+            keep_slots = np.nonzero(live)[0]
+        doc_lengths = {
+            int(self.doc_ids[slot]): int(self.lengths[slot]) for slot in keep_slots
+        }
+        postings: dict[str, dict[int, int]] = {}
+        for term in self._slots:
+            term_postings = self.postings_dict(term, live)
+            if term_postings:
+                postings[term] = term_postings
+        return doc_lengths, postings
+
+    # -- scoring -----------------------------------------------------------
+
+    def accumulate_bm25(
+        self,
+        term_idfs: Sequence[tuple[str, float]],
+        k1: float,
+        b: float,
+        average_length: float,
+        acc: np.ndarray | None = None,
+        touched: np.ndarray | None = None,
+        candidate_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Accumulate BM25 contributions term-at-a-time into slot arrays.
+
+        *term_idfs* carries the analyzed query terms **in query order**
+        (repeats included) with their precomputed idf, so each document's
+        additions happen in exactly the order the loop scorer performs
+        them.  With *candidate_mask*, contributions are computed only for
+        member slots of the mask (the exact-rescore pass of the pruned
+        top-k) — restricting an elementwise computation to a subset does
+        not change any retained element's bits.
+
+        Returns ``(acc, touched)``.
+        """
+        n = self.doc_ids.size
+        if acc is None:
+            acc = np.zeros(n, dtype=np.float64)
+        if touched is None:
+            touched = np.zeros(n, dtype=bool)
+        for term, idf in term_idfs:
+            arrays = self.term_arrays(term)
+            if arrays is None:
+                continue
+            slots, tfs = arrays
+            if candidate_mask is not None:
+                keep = candidate_mask[slots]
+                if not keep.any():
+                    continue
+                slots, tfs = slots[keep], tfs[keep]
+            ratio = self.lengths[slots] / average_length
+            length_norm = 1.0 - b + b * ratio
+            contribution = idf * tfs * (k1 + 1.0) / (tfs + k1 * length_norm)
+            acc[slots] += contribution
+            touched[slots] = True
+        return acc, touched
+
+    def term_bound(self, term: str, idf: float, k1: float, b: float, average_length: float) -> float:
+        """A safe upper bound on one document's contribution from *term*.
+
+        The contribution is increasing in tf and decreasing in document
+        length, so evaluating it at the term's maximum tf and minimum
+        member length bounds every posting; :data:`BOUND_SAFETY` absorbs
+        the bound arithmetic's own rounding.
+        """
+        arrays = self.term_arrays(term)
+        if arrays is None:
+            return 0.0
+        max_tf = self._max_tf.get(term)
+        if max_tf is None:
+            slots, tfs = arrays
+            max_tf = float(tfs.max())
+            self._max_tf[term] = max_tf
+            self._min_len[term] = float(self.lengths[slots].min())
+        min_len = self._min_len[term]
+        length_norm = 1.0 - b + b * (min_len / average_length)
+        bound = idf * max_tf * (k1 + 1.0) / (max_tf + k1 * length_norm)
+        return bound * BOUND_SAFETY
+
+
+class KernelView:
+    """One scorable unit: a frozen postings kernel plus its live mask.
+
+    ``live`` is a boolean array aligned with the kernel's slots; ``None``
+    means every member document is live.  Sealed segments share one
+    mutable live mask between their fields (a tombstone flips a bit,
+    nothing else moves); a plain :class:`~repro.search.inverted
+    .InvertedIndex` has no tombstones, so its view carries ``None``.
+    """
+
+    __slots__ = ("kernel", "live")
+
+    def __init__(self, kernel: KernelPostings, live: np.ndarray | None = None) -> None:
+        self.kernel = kernel
+        self.live = live
+
+    def live_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Filter a slot array down to live members."""
+        if self.live is None:
+            return slots
+        return slots[self.live[slots]]

@@ -24,6 +24,7 @@ import numpy as np
 from repro.embeddings.model import EmbeddingModel
 from repro.search.index import SearchIndex
 from repro.search.schema import ChunkRecord, FieldDefinition, IndexSchema
+from repro.search.segment import IndexConfig
 
 _FORMAT_VERSION = 1
 
@@ -62,12 +63,16 @@ def load_index(
     embedder: EmbeddingModel,
     ann_backend: str = "hnsw",
     seed: int = 42,
+    index_config: IndexConfig | None = None,
 ) -> SearchIndex:
     """Load a persisted index from *directory*.
 
     The *embedder* is used for future writes and queries; the persisted
     chunk vectors are inserted as-is, so loading never re-embeds.  Its
-    dimensionality must match the saved one.
+    dimensionality must match the saved one.  The bulk load ends with a
+    buffer seal (:meth:`~repro.search.index.SearchIndex.flush`), so a
+    loaded segmented index starts serving from sealed kernels instead of
+    one giant write buffer.
     """
     directory = Path(directory)
     manifest = json.loads((directory / "records.json").read_text())
@@ -81,7 +86,13 @@ def load_index(
     schema = IndexSchema(
         fields=tuple(FieldDefinition(**field) for field in manifest["schema"])
     )
-    index = SearchIndex(embedder=embedder, schema=schema, ann_backend=ann_backend, seed=seed)
+    index = SearchIndex(
+        embedder=embedder,
+        schema=schema,
+        ann_backend=ann_backend,
+        seed=seed,
+        index_config=index_config,
+    )
 
     with np.load(directory / "vectors.npz") as archive:
         matrices = {name: archive[name] for name in archive.files}
@@ -94,4 +105,5 @@ def load_index(
         record = ChunkRecord(**payload)
         vectors = {name: matrices[name][row] for name in matrices}
         index.add_chunk(record, vectors=vectors)
+    index.flush()
     return index

@@ -1,0 +1,153 @@
+"""Differential gate: kernels and segments change nothing observable.
+
+The vectorized kernels and the segmented layout are pure implementation
+moves — the acceptance bar is **byte identity** (``==``, never ``approx``)
+across the full 2×2 grid of ``IndexConfig(use_kernels, segmented)``:
+
+* same rendered answer pages, response times and traces;
+* same explain reports, down to the per-term BM25 bits;
+* same dashboard.
+
+The ``/metrics`` exposition is compared on the kernel axis only: the
+segmented layout legitimately counts seal/merge maintenance operations the
+monolithic one never performs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CACHE_BYPASS,
+    AskRequest,
+    IndexConfig,
+    create_backend,
+    create_engine,
+)
+from repro.cluster.config import ClusterConfig
+from repro.core.config import UniAskConfig
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.service.frontend import render_answer_page
+from repro.service.monitoring import format_dashboard
+
+QUESTIONS = (
+    "come sbloccare la carta di credito",
+    "bonifico estero commissioni",
+    "limiti prelievo bancomat",
+    "Qual e la ricetta della carbonara?",
+)
+
+GRID = [
+    pytest.param(False, False, id="loop-monolithic"),
+    pytest.param(True, False, id="kernel-monolithic"),
+    pytest.param(False, True, id="loop-segmented"),
+    pytest.param(True, True, id="kernel-segmented"),
+]
+
+
+@pytest.fixture(scope="module")
+def tiny_kb():
+    return KbGenerator(KbGeneratorConfig(num_topics=10, error_families=2, seed=31)).generate()
+
+
+@pytest.fixture(scope="module")
+def banking_lexicon():
+    return build_banking_lexicon()
+
+
+def build(tiny_kb, banking_lexicon, use_kernels: bool, segmented: bool, shards: int = 1):
+    # flush_threshold 16 forces several sealed segments plus a partial
+    # write buffer on the segmented side — the layout actually under test.
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=shards),
+        index=IndexConfig(use_kernels=use_kernels, segmented=segmented, flush_threshold=16),
+    )
+    system = create_engine(tiny_kb.store(), banking_lexicon, config=config, seed=31)
+    backend = create_backend(system, tracing=True)
+    return system, backend
+
+
+def serve_surface(system, backend, metrics: bool = True) -> str:
+    """Every output surface of a fixed workload, as one comparable blob."""
+    token = backend.login("diff-user")
+    lines = []
+    for question in QUESTIONS:
+        record = backend.serve(token, question)
+        lines.append(render_answer_page(record.answer))
+        lines.append(f"response_time={record.answer.response_time!r}")
+        lines.append(f"served_at={record.served_at!r}")
+        lines.append(record.trace.format_table())
+    lines.append(format_dashboard(backend.metrics.snapshot()))
+    if metrics:
+        lines.append(system.telemetry.render_metrics())
+    return "\n".join(lines)
+
+
+def explain_surface(system) -> str:
+    """The explain reports of the workload, serialized bit-for-bit."""
+    reports = []
+    for question in QUESTIONS:
+        request = AskRequest.of(question, explain=True, cache=CACHE_BYPASS)
+        report = system.engine.answer(request).answer.explain_report
+        assert report is not None
+        assert report.sums_exact
+        reports.append(report.to_json())
+    return "\n".join(reports)
+
+
+class TestKernelAxis:
+    """Kernels on vs off: identical everything, metrics included."""
+
+    @pytest.mark.parametrize("segmented", [False, True], ids=["monolithic", "segmented"])
+    def test_full_surface_identical(self, tiny_kb, banking_lexicon, segmented):
+        loop = serve_surface(*build(tiny_kb, banking_lexicon, False, segmented))
+        kernel = serve_surface(*build(tiny_kb, banking_lexicon, True, segmented))
+        assert kernel == loop
+
+    def test_sharded_surface_identical(self, tiny_kb, banking_lexicon):
+        loop = serve_surface(*build(tiny_kb, banking_lexicon, False, True, shards=3))
+        kernel = serve_surface(*build(tiny_kb, banking_lexicon, True, True, shards=3))
+        assert kernel == loop
+
+
+class TestSegmentAxis:
+    """Segmented vs monolithic: identical surfaces, maintenance counters aside."""
+
+    @pytest.mark.parametrize("use_kernels", [False, True], ids=["loop", "kernel"])
+    def test_surface_identical_sans_metrics(self, tiny_kb, banking_lexicon, use_kernels):
+        mono = serve_surface(*build(tiny_kb, banking_lexicon, use_kernels, False), metrics=False)
+        seg = serve_surface(*build(tiny_kb, banking_lexicon, use_kernels, True), metrics=False)
+        assert seg == mono
+
+    def test_sharded_surface_identical_sans_metrics(self, tiny_kb, banking_lexicon):
+        mono = serve_surface(
+            *build(tiny_kb, banking_lexicon, True, False, shards=3), metrics=False
+        )
+        seg = serve_surface(
+            *build(tiny_kb, banking_lexicon, True, True, shards=3), metrics=False
+        )
+        assert seg == mono
+
+
+class TestExplainBitExactness:
+    def test_explain_reports_identical_across_grid(self, tiny_kb, banking_lexicon):
+        surfaces = {}
+        for use_kernels, segmented in ((False, False), (True, False), (False, True), (True, True)):
+            system, _ = build(tiny_kb, banking_lexicon, use_kernels, segmented)
+            surfaces[(use_kernels, segmented)] = explain_surface(system)
+        baseline = surfaces[(False, False)]
+        assert baseline
+        for key, surface in surfaces.items():
+            assert surface == baseline, f"explain diverged for {key}"
+
+
+class TestDefaultsAreOn:
+    def test_default_config_runs_kernels_on_segments(self, tiny_kb, banking_lexicon):
+        config = UniAskConfig()
+        assert config.index.use_kernels and config.index.segmented
+        system = create_engine(tiny_kb.store(), banking_lexicon, config=config, seed=31)
+        assert system.index.kernels_enabled
+        # The default flush threshold (128) still seals on a corpus this
+        # size; at least one structure (segment or buffer) must be live.
+        assert system.index.segment_count > 0 or system.index.buffered_count > 0

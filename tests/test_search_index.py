@@ -64,13 +64,22 @@ class TestWrites:
     def test_vacuum_rebuilds(self, index):
         index.add_chunks([_record("a"), _record("b"), _record("c")])
         index.delete_document("a")
-        assert index.vacuum() is True
+        assert index.vacuum(0.0) is True
         assert index.tombstone_ratio == 0.0
         assert len(index) == 2
 
     def test_vacuum_noop_when_clean(self, index):
         index.add_chunk(_record("a"))
+        assert index.vacuum(0.0) is False
+
+    def test_noarg_vacuum_uses_config_threshold(self, index):
+        # 1 dead of 3 chunks = 0.33, below the 0.35 config default: no-op.
+        index.add_chunks([_record("a"), _record("b"), _record("c")])
+        index.delete_document("a")
         assert index.vacuum() is False
+        index.delete_document("b")
+        assert index.vacuum() is True
+        assert index.tombstone_ratio == 0.0
 
 
 class TestReads:
