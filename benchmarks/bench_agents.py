@@ -1,0 +1,258 @@
+"""Agent-orchestration smoke benchmark: routing accuracy + differentials.
+
+Standalone script (not pytest-collected).  Builds two deployments over the
+same seed corpus — agents off and agents on — and measures:
+
+* **routing accuracy** of the train-free intent classifier against every
+  generated ``KIND_*`` dataset (the confusion table ships in the JSON
+  artifact); the gated kinds (human, keyword, error-code) must clear the
+  95% floor and the synthetic agentic kinds must route perfectly;
+* **lookup differential** — lookup-routed questions must produce exactly
+  the agents-off answer text and outcome (the byte-identity contract,
+  measured on the serving path);
+* **per-route quality and latency** — modeled response time, answer rate
+  and recall@4 per route over the routed datasets, agents-on vs off;
+* **multi-hop exactness** — explain-report RRF contributions must sum
+  bit-exactly to the fused scores on the multi-hop dataset;
+* **structured end-to-end** — error-code questions must be answered from
+  the extracted table with the page's resolution text.
+
+The script exits non-zero when any gate fails, so CI can run it as a
+routing-regression smoke.
+
+Usage (CI smoke runs the tiny variant)::
+
+    PYTHONPATH=src python benchmarks/bench_agents.py \
+        --topics 16 --out BENCH_agents.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.agents.config import AgentsConfig  # noqa: E402
+from repro.agents.intent import IntentClassifier  # noqa: E402
+from repro.agents.memory import SessionTurn  # noqa: E402
+from repro.agents.routes import (  # noqa: E402
+    ROUTE_CONVERSATIONAL,
+    ROUTE_FOLLOW_UP,
+    ROUTE_LOOKUP,
+    ROUTE_MULTI_HOP,
+    ROUTE_STRUCTURED,
+)
+from repro.api import AskOptions, AskRequest  # noqa: E402
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.core.factory import build_uniask_system  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import (  # noqa: E402
+    KIND_CONVERSATIONAL,
+    KIND_ERROR_CODE,
+    KIND_FOLLOW_UP,
+    KIND_HUMAN,
+    KIND_KEYWORD,
+    KIND_MULTI_HOP,
+    HumanDatasetConfig,
+    KeywordDatasetConfig,
+    generate_conversational_queries,
+    generate_error_code_queries,
+    generate_follow_up_dialogues,
+    generate_human_dataset,
+    generate_keyword_dataset,
+    generate_multi_hop_queries,
+)
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+from repro.eval.metrics import recall_at  # noqa: E402
+from repro.search.results import dedupe_by_document  # noqa: E402
+
+GATES = {
+    KIND_HUMAN: (ROUTE_LOOKUP, 0.95),
+    KIND_KEYWORD: (ROUTE_LOOKUP, 0.95),
+    KIND_ERROR_CODE: (ROUTE_STRUCTURED, 0.95),
+    KIND_MULTI_HOP: (ROUTE_MULTI_HOP, 1.0),
+    KIND_CONVERSATIONAL: (ROUTE_CONVERSATIONAL, 1.0),
+    KIND_FOLLOW_UP: (ROUTE_FOLLOW_UP, 1.0),
+}
+
+HISTORY = (
+    SessionTurn(
+        question="Come posso sbloccare la carta di credito?",
+        resolved_question="Come posso sbloccare la carta di credito?",
+        route=ROUTE_LOOKUP,
+        outcome="answered",
+    ),
+)
+
+
+def build_datasets(kb, seed: int):
+    human = generate_human_dataset(kb, HumanDatasetConfig(num_questions=60, seed=seed))
+    keyword, _ = generate_keyword_dataset(
+        kb, KeywordDatasetConfig(num_queries=40, log_searches=2500, seed=seed)
+    )
+    dialogues = generate_follow_up_dialogues(kb, count=8, seed=seed)
+    return {
+        KIND_HUMAN: (human, ()),
+        KIND_KEYWORD: (keyword, ()),
+        KIND_ERROR_CODE: (generate_error_code_queries(kb, count=12, seed=seed), ()),
+        KIND_MULTI_HOP: (generate_multi_hop_queries(kb, count=12, seed=seed), ()),
+        KIND_CONVERSATIONAL: (generate_conversational_queries(count=8, seed=seed), ()),
+        KIND_FOLLOW_UP: ([d.follow_up for d in dialogues], HISTORY),
+    }
+
+
+def routing_accuracy(datasets):
+    classifier = IntentClassifier()
+    confusion: dict[str, dict[str, int]] = {}
+    accuracies: dict[str, float] = {}
+    failures: list[str] = []
+    for kind, (queries, history) in datasets.items():
+        counts: Counter = Counter()
+        for query in queries:
+            counts[classifier.classify(query.text, history=history).route] += 1
+        confusion[kind] = dict(sorted(counts.items()))
+        expected, floor = GATES[kind]
+        accuracy = counts.get(expected, 0) / max(1, sum(counts.values()))
+        accuracies[kind] = accuracy
+        if accuracy < floor:
+            failures.append(
+                f"routing accuracy {kind}: {accuracy:.1%} < floor {floor:.0%}"
+            )
+    return confusion, accuracies, failures
+
+
+def measure_route(backend, token, queries, k: int = 4) -> dict:
+    """Serve *queries* through the backend (modeled latency) and score them."""
+    times, recalls = [], []
+    answered = 0
+    for query in queries:
+        record = backend.serve(
+            token, AskRequest(query.text, AskOptions(cache="bypass"))
+        )
+        answer = record.answer
+        times.append(answer.response_time)
+        if answer.outcome == "answered":
+            answered += 1
+        if query.relevant_docs:
+            ranked = [c.doc_id for c in dedupe_by_document(list(answer.documents))]
+            recalls.append(recall_at(ranked, query.relevant_docs, k))
+    return {
+        "queries": len(queries),
+        "mean_response_time": sum(times) / max(1, len(times)),
+        "answered_fraction": answered / max(1, len(queries)),
+        "recall_at_4": (sum(recalls) / len(recalls)) if recalls else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_agents.json")
+    args = parser.parse_args()
+
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=3, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    plain = build_uniask_system(kb.store(), lexicon, seed=args.seed)
+    routed = build_uniask_system(
+        kb.store(),
+        lexicon,
+        config=UniAskConfig(agents=AgentsConfig(enabled=True)),
+        seed=args.seed,
+    )
+    datasets = build_datasets(kb, args.seed)
+
+    failures: list[str] = []
+    confusion, accuracies, routing_failures = routing_accuracy(datasets)
+    failures.extend(routing_failures)
+    for kind, accuracy in sorted(accuracies.items()):
+        print(f"routing {kind:15s}: {accuracy:.1%}")
+
+    # Lookup differential: agents-on must serve the agents-off answer.
+    mismatches = 0
+    human = datasets[KIND_HUMAN][0]
+    for query in human:
+        off = plain.engine.answer(AskRequest(query.text, AskOptions(cache="bypass"))).answer
+        on = routed.engine.answer(AskRequest(query.text, AskOptions(cache="bypass"))).answer
+        if on.answer_text != off.answer_text or on.outcome != off.outcome:
+            mismatches += 1
+    if mismatches:
+        failures.append(f"lookup differential: {mismatches} mismatched answers")
+    print(f"lookup differential: {mismatches} mismatches over {len(human)} questions")
+
+    # Per-route quality/latency, routed vs unrouted, through the backend's
+    # modeled serving latency.
+    from repro.service.backend import BackendService
+
+    plain_backend = BackendService(plain.engine, plain.clock)
+    routed_backend = BackendService(routed.engine, routed.clock)
+    plain_token = plain_backend.login("bench-off")
+    routed_token = routed_backend.login("bench-on")
+    per_route = {}
+    for kind in (KIND_HUMAN, KIND_ERROR_CODE, KIND_MULTI_HOP, KIND_CONVERSATIONAL):
+        queries = datasets[kind][0]
+        per_route[kind] = {
+            "agents_on": measure_route(routed_backend, routed_token, queries),
+            "agents_off": measure_route(plain_backend, plain_token, queries),
+        }
+        on = per_route[kind]["agents_on"]
+        print(
+            f"route {kind:15s}: {on['answered_fraction']:.0%} answered, "
+            f"mean t={on['mean_response_time']:.3f}s (agents on)"
+        )
+
+    # Multi-hop exactness: explain sums must be bit-exact on every question.
+    inexact = 0
+    for query in datasets[KIND_MULTI_HOP][0]:
+        report = routed.engine.answer(
+            AskRequest(query.text, AskOptions(cache="bypass", explain=True))
+        ).answer.explain_report
+        if report is None or not report.sums_exact:
+            inexact += 1
+    if inexact:
+        failures.append(f"multi-hop explain: {inexact} reports with inexact sums")
+    print(f"multi-hop explain: {inexact} inexact reports")
+
+    # Structured end-to-end: the table answers with the page's resolution.
+    structured_misses = 0
+    for query in datasets[KIND_ERROR_CODE][0]:
+        answer = routed.engine.answer(
+            AskRequest(query.text, AskOptions(cache="bypass"))
+        ).answer
+        if answer.route != ROUTE_STRUCTURED or "L'errore" not in answer.answer_text:
+            structured_misses += 1
+    if structured_misses:
+        failures.append(
+            f"structured route: {structured_misses} error-code questions not "
+            "answered from the table"
+        )
+    print(f"structured route: {structured_misses} misses")
+
+    payload = {
+        "config": {"topics": args.topics, "seed": args.seed},
+        "routing_accuracy": accuracies,
+        "confusion": confusion,
+        "lookup_differential_mismatches": mismatches,
+        "per_route": per_route,
+        "multi_hop_inexact_reports": inexact,
+        "structured_misses": structured_misses,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("agents smoke: routing gates met, differentials clean, sums exact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

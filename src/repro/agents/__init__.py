@@ -1,0 +1,82 @@
+"""Multi-agent query orchestration in front of the UniAsk engine.
+
+The subsystem reproduces the agent roster of ReportGenAI-style systems
+over the banking knowledge base: an :class:`~repro.agents.orchestrator.Orchestrator`
+classifies intent and routes each question to a specialist — canned
+conversational replies, the ordinary lookup pipeline, multi-hop
+decomposition fused through the existing RRF machinery, a from-scratch
+structured mini query engine over the KB's error/procedure tables with a
+Validator repair loop, and session follow-up resolution against bounded
+per-session memory.
+
+Off by default: an agents-off deployment is byte-identical to one built
+before this subsystem existed (see :class:`~repro.agents.config.AgentsConfig`).
+
+Implementation note: ``repro.api.types`` and ``repro.core.config`` import
+the leaf modules :mod:`repro.agents.routes` / :mod:`repro.agents.config`,
+which executes this ``__init__`` — so only those leaves load eagerly here;
+every re-export that reaches into ``repro.core`` resolves lazily via
+module ``__getattr__`` to keep the import graph acyclic (the same idiom
+as ``repro.api``).
+"""
+
+from repro.agents.config import AgentsConfig
+from repro.agents.routes import (
+    ALL_ROUTES,
+    ROUTE_CONVERSATIONAL,
+    ROUTE_FOLLOW_UP,
+    ROUTE_LOOKUP,
+    ROUTE_MULTI_HOP,
+    ROUTE_STRUCTURED,
+)
+
+#: Lazily resolved re-exports (module path, attribute); these modules
+#: transitively import ``repro.core.answer``, so importing them at module
+#: level here would cycle through ``repro.core.__init__``.
+_LAZY = {
+    "ConversationalAgent": ("repro.agents.conversational", "ConversationalAgent"),
+    "Decomposition": ("repro.agents.multihop", "Decomposition"),
+    "FollowUpAgent": ("repro.agents.followup", "FollowUpAgent"),
+    "IntentClassifier": ("repro.agents.intent", "IntentClassifier"),
+    "MultiHopAgent": ("repro.agents.multihop", "MultiHopAgent"),
+    "Orchestrator": ("repro.agents.orchestrator", "Orchestrator"),
+    "PlanError": ("repro.agents.structured", "PlanError"),
+    "PlanValidator": ("repro.agents.structured", "PlanValidator"),
+    "Predicate": ("repro.agents.structured", "Predicate"),
+    "ResolvedFollowUp": ("repro.agents.followup", "ResolvedFollowUp"),
+    "RoutePrediction": ("repro.agents.intent", "RoutePrediction"),
+    "SessionMemory": ("repro.agents.memory", "SessionMemory"),
+    "SessionTurn": ("repro.agents.memory", "SessionTurn"),
+    "StructuredAgent": ("repro.agents.structured", "StructuredAgent"),
+    "StructuredCatalog": ("repro.agents.structured", "StructuredCatalog"),
+    "StructuredResult": ("repro.agents.structured", "StructuredResult"),
+    "TablePlan": ("repro.agents.structured", "TablePlan"),
+    "TtlLruStore": ("repro.agents.memory", "TtlLruStore"),
+    "execute_plan": ("repro.agents.structured", "execute_plan"),
+    "render_structured_answer": ("repro.agents.structured", "render_structured_answer"),
+}
+
+__all__ = [
+    "ALL_ROUTES",
+    "AgentsConfig",
+    "ROUTE_CONVERSATIONAL",
+    "ROUTE_FOLLOW_UP",
+    "ROUTE_LOOKUP",
+    "ROUTE_MULTI_HOP",
+    "ROUTE_STRUCTURED",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_path, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_path), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,60 @@
+"""The Conversational agent: answers small talk without retrieval.
+
+ReportGenAI's Conversational agent handles the turns that need no data
+access at all — greetings, thanks, "what can you do?".  Sending those
+through retrieval is pure waste (and the honest-refusal path would answer
+a greeting with an apology about the documentation).  Replies are canned,
+deterministic Italian: no LLM call, no RNG, no clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_GREETING_WORDS = ("ciao", "buongiorno", "buonasera", "salve", "hello", "hi")
+_THANKS_WORDS = ("grazie", "ringrazio")
+
+GREETING_REPLY = (
+    "Ciao! Sono UniAsk, l'assistente per la ricerca nella base di conoscenza "
+    "della banca. Scrivimi una domanda operativa e cercherò la procedura "
+    "corretta nella documentazione interna."
+)
+THANKS_REPLY = (
+    "Prego! Se hai altre domande sulle procedure operative della banca sono "
+    "a disposizione."
+)
+CAPABILITY_REPLY = (
+    "Sono UniAsk, il motore di ricerca AI della knowledge base bancaria: "
+    "rispondo a domande operative in linguaggio naturale citando le pagine "
+    "della documentazione interna, cerco i codici di errore applicativi e "
+    "confronto procedure diverse. Prova a chiedermi, ad esempio, come "
+    "sbloccare una carta di credito."
+)
+FALLBACK_REPLY = (
+    "Sono qui per aiutarti con la documentazione operativa della banca: "
+    "scrivimi la tua domanda e cercherò la risposta nella knowledge base."
+)
+
+
+@dataclass(frozen=True)
+class ConversationalReply:
+    """One canned conversational answer."""
+
+    text: str
+    kind: str  # "greeting" / "thanks" / "capability" / "fallback"
+
+
+class ConversationalAgent:
+    """Deterministic no-retrieval replies for conversational turns."""
+
+    def respond(self, question: str) -> ConversationalReply:
+        """The canned reply for a conversational *question*."""
+        lowered = question.lower()
+        words = lowered.replace(",", " ").replace("!", " ").replace("?", " ").split()
+        if any(word in _THANKS_WORDS for word in words):
+            return ConversationalReply(text=THANKS_REPLY, kind="thanks")
+        if words and words[0] in _GREETING_WORDS and len(words) <= 4:
+            return ConversationalReply(text=GREETING_REPLY, kind="greeting")
+        if any(word in _GREETING_WORDS for word in words[:1]) or not words:
+            return ConversationalReply(text=GREETING_REPLY, kind="greeting")
+        return ConversationalReply(text=CAPABILITY_REPLY, kind="capability")

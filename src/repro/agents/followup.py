@@ -1,0 +1,87 @@
+"""The FollowUp agent: anaphora resolution against session memory.
+
+Two kinds of continuation reach this agent:
+
+* **anaphoric qualifiers** — "E per i clienti business?" after "Come posso
+  sbloccare la carta di credito?".  The qualifier is grafted onto the
+  previous turn's resolved question, so retrieval sees the full topic
+  instead of a contentless fragment.
+* **clarification replies** — when the previous answer ended with a typed
+  clarification request (:data:`~repro.llm.base.RESPONSE_KIND_CLARIFICATION`),
+  the next message in the session is the user *supplying the missing
+  details*; it is appended to the original question rather than treated as
+  a fresh one.
+
+Resolution is deterministic string surgery — the resolved question then
+takes the ordinary lookup pipeline, so follow-up answers inherit every
+guardrail unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.agents.memory import SessionTurn
+
+#: Leading connective tokens stripped off an anaphoric qualifier.  Only the
+#: discourse glue goes ("E", "ed", "invece", "quindi", "anche"); the
+#: content-bearing remainder ("per i clienti business") is kept verbatim.
+_LEAD_CONNECTIVES_RE = re.compile(
+    r"^(?:e|ed|invece|quindi|anche|e\s+invece|e\s+anche|lo\s+stesso(?:\s+vale)?)\s+",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class ResolvedFollowUp:
+    """One resolved follow-up turn.
+
+    Attributes:
+        question: the rewritten, self-contained question handed to the
+            lookup pipeline.
+        source_question: the previous turn's question it resolved against.
+        merged_clarification: True when the turn answered a pending
+            clarification request (merge semantics) rather than adding an
+            anaphoric qualifier.
+    """
+
+    question: str
+    source_question: str
+    merged_clarification: bool
+
+
+class FollowUpAgent:
+    """Rewrites session continuations into self-contained questions."""
+
+    def resolve(self, question: str, last_turn: SessionTurn | None) -> ResolvedFollowUp:
+        """Resolve *question* against the session's most recent turn.
+
+        Without a previous turn there is nothing to resolve: the question
+        comes back unchanged (the Orchestrator then runs it as a lookup).
+        """
+        if last_turn is None:
+            return ResolvedFollowUp(
+                question=question, source_question="", merged_clarification=False
+            )
+        base = last_turn.resolved_question.strip().rstrip("?").rstrip()
+        if last_turn.clarification_pending:
+            detail = question.strip()
+            return ResolvedFollowUp(
+                question=f"{base} {detail}" if detail else last_turn.resolved_question,
+                source_question=last_turn.resolved_question,
+                merged_clarification=True,
+            )
+        qualifier = _LEAD_CONNECTIVES_RE.sub("", question.strip(), count=1)
+        qualifier = qualifier.strip().rstrip("?").rstrip()
+        if not qualifier:
+            return ResolvedFollowUp(
+                question=last_turn.resolved_question,
+                source_question=last_turn.resolved_question,
+                merged_clarification=False,
+            )
+        return ResolvedFollowUp(
+            question=f"{base} {qualifier}?",
+            source_question=last_turn.resolved_question,
+            merged_clarification=False,
+        )

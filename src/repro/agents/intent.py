@@ -1,0 +1,150 @@
+"""Train-free intent classification.
+
+The Orchestrator's first move is deciding *how* a question should be
+answered.  There is no labelled routing corpus in a bank's first
+deployment, so the classifier is deliberately train-free: a small cascade
+of surface heuristics over the question (plus the session history for
+follow-up detection), validated against the ``KIND_*`` labels of
+:mod:`repro.corpus.queries` by the routing-accuracy suite — the gate is
+≥ 95% on the human / keyword / error-code kinds of the seed UAT dataset.
+
+Precision ordering matters: the cascade tries the *narrow* routes first
+(conversational markers, session anaphora, error codes and table
+questions, explicit comparison connectives) and only then falls through to
+``lookup``, the safe default that behaves exactly like the pre-agent
+pipeline.  A misrouted lookup question would change its answer, so every
+narrow route keys on markers that the synthetic human/keyword query
+generators provably never emit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.agents.routes import (
+    ROUTE_CONVERSATIONAL,
+    ROUTE_FOLLOW_UP,
+    ROUTE_LOOKUP,
+    ROUTE_MULTI_HOP,
+    ROUTE_STRUCTURED,
+)
+
+#: Error-code identifiers ("ERR-1003", "err 1003").
+ERROR_CODE_RE = re.compile(r"\berr[\s-]?(\d{3,5})\b", re.IGNORECASE)
+
+#: Table-style questions over the structured catalog: an interrogative
+#: quantifier directly followed by a table noun ("Quali errori...",
+#: "Quante procedure...").  The human templates never *start* with these
+#: (their "Qual è la procedura per..." is singular and non-initial-plural),
+#: so the pattern cannot steal lookup questions.
+_TABLE_QUESTION_RE = re.compile(
+    r"^(?:quali|quanti|quante|elenca|lista)\s+(?:gli\s+|le\s+|i\s+)?"
+    r"(?:errori|codici(?:\s+(?:di\s+)?errore)?|procedure)\b",
+    re.IGNORECASE,
+)
+
+#: Explicit comparison/conjunction connectives of multi-hop questions.
+_MULTI_HOP_RES = (
+    re.compile(r"\bdifferenz[ae]\b.*\btra\b.+\be\b", re.IGNORECASE),
+    re.compile(r"^confronta\b.+\b(?:con|e)\b", re.IGNORECASE),
+    re.compile(r"\bsia\b.+\b(?:sia|che)\b.+\?", re.IGNORECASE),
+    re.compile(r"\be\s+inoltre\s+come\b", re.IGNORECASE),
+)
+
+#: Leading connectives of anaphoric follow-up turns.
+_FOLLOW_UP_RE = re.compile(
+    r"^(?:e|ed|anche|invece|quindi|e\s+per|e\s+se|lo\s+stesso)\b", re.IGNORECASE
+)
+
+_GREETINGS = (
+    "ciao",
+    "buongiorno",
+    "buonasera",
+    "salve",
+    "hello",
+    "hi",
+)
+_THANKS = (
+    "grazie",
+    "grazie mille",
+    "ti ringrazio",
+    "perfetto grazie",
+    "ok grazie",
+)
+_CAPABILITY_PHRASES = (
+    "chi sei",
+    "cosa sai fare",
+    "cosa puoi fare",
+    "come funzioni",
+    "come ti chiami",
+    "che cosa sei",
+    "a cosa servi",
+)
+
+
+def _normalize(question: str) -> str:
+    return re.sub(r"[^\wàèéìòù\s-]", " ", question.lower()).strip()
+
+
+@dataclass(frozen=True)
+class RoutePrediction:
+    """The classifier's verdict for one question.
+
+    Attributes:
+        route: one of the ``ROUTE_*`` constants.
+        reason: the matched heuristic, for spans and the confusion table.
+    """
+
+    route: str
+    reason: str
+
+
+class IntentClassifier:
+    """The heuristic cascade behind the Orchestrator's routing decision."""
+
+    def classify(
+        self, question: str, history: Sequence = ()
+    ) -> RoutePrediction:
+        """Predict the route of *question* given the session *history*.
+
+        *history* is the session's remembered turns (oldest first); the
+        follow-up route is only reachable when it is non-empty — without a
+        previous turn there is nothing to resolve anaphora against.
+        """
+        normalized = _normalize(question)
+        words = normalized.split()
+
+        if self._is_conversational(normalized, words):
+            return RoutePrediction(ROUTE_CONVERSATIONAL, "smalltalk_marker")
+
+        if history:
+            last = history[-1]
+            if getattr(last, "clarification_pending", False):
+                return RoutePrediction(ROUTE_FOLLOW_UP, "clarification_pending")
+            if _FOLLOW_UP_RE.match(question.strip()) and len(words) <= 12:
+                return RoutePrediction(ROUTE_FOLLOW_UP, "anaphora_connective")
+
+        if ERROR_CODE_RE.search(question):
+            return RoutePrediction(ROUTE_STRUCTURED, "error_code")
+        if _TABLE_QUESTION_RE.match(question.strip()):
+            return RoutePrediction(ROUTE_STRUCTURED, "table_question")
+
+        for pattern in _MULTI_HOP_RES:
+            if pattern.search(question):
+                return RoutePrediction(ROUTE_MULTI_HOP, "comparison_connective")
+
+        return RoutePrediction(ROUTE_LOOKUP, "default")
+
+    def _is_conversational(self, normalized: str, words: list[str]) -> bool:
+        if not words:
+            return True
+        if normalized in _GREETINGS or normalized in _THANKS:
+            return True
+        # Short messages that *start* with a greeting/thanks marker
+        # ("ciao, ci sei?", "grazie mille!") — long questions that merely
+        # open politely still deserve retrieval.
+        if len(words) <= 4 and (words[0] in _GREETINGS or words[0] in ("grazie",)):
+            return True
+        return any(phrase in normalized for phrase in _CAPABILITY_PHRASES)

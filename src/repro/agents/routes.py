@@ -1,0 +1,40 @@
+"""Route taxonomy of the multi-agent orchestration layer.
+
+Route names are stable identifiers: the ``uniask_agent_route_total``
+metric, the audit log's ``route`` field, explain reports and the CLI all
+key on them, so treat renames as breaking changes.
+
+The taxonomy mirrors ReportGenAI's agent roster (Orchestrator, SQLMaker,
+Validator, FollowUp, Conversational) projected onto UniAsk's query mix:
+
+* ``conversational`` — small talk, thanks, capability questions; answered
+  directly, **without retrieval**.
+* ``lookup`` — ordinary knowledge-base questions; takes the existing
+  retrieve → generate → validate path unchanged.
+* ``multi_hop`` — comparative/conjunctive questions decomposed into
+  sub-queries whose per-sub-query rankings are fused through the existing
+  RRF machinery.
+* ``structured`` — questions over the KB's typed tables (error codes,
+  procedures) compiled into the mini query engine of
+  :mod:`repro.agents.structured`, with a Validator/repair loop.
+* ``follow_up`` — anaphoric continuations ("E per i clienti business?")
+  resolved against the bounded per-session memory.
+"""
+
+from __future__ import annotations
+
+ROUTE_CONVERSATIONAL = "conversational"
+ROUTE_LOOKUP = "lookup"
+ROUTE_MULTI_HOP = "multi_hop"
+ROUTE_STRUCTURED = "structured"
+ROUTE_FOLLOW_UP = "follow_up"
+
+#: Every route the orchestrator may choose (or a caller may force via
+#: ``AskOptions(route=...)``).
+ALL_ROUTES = (
+    ROUTE_CONVERSATIONAL,
+    ROUTE_LOOKUP,
+    ROUTE_MULTI_HOP,
+    ROUTE_STRUCTURED,
+    ROUTE_FOLLOW_UP,
+)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.agents.routes import ALL_ROUTES
 from repro.core.answer import Citation, UniAskAnswer
 from repro.obs.trace import Trace
 
@@ -44,6 +45,13 @@ class AskOptions:
             retrieval caches (provenance must describe *this* execution)
             and record per-term/per-shard breakdowns; with the default
             False the pipeline runs exactly the pre-explain code.
+        route: explicit agent-route override (a ``ROUTE_*`` constant of
+            :mod:`repro.agents.routes`); "" lets the Orchestrator's intent
+            classifier decide.  Inert in agents-off deployments.
+        session_id: conversation identifier for follow-up resolution; the
+            backend injects its session token here, so anaphoric turns
+            resolve against the right conversation.  "" disables session
+            memory for the request.
     """
 
     filters: dict[str, str] | None = None
@@ -51,10 +59,14 @@ class AskOptions:
     cache: str = CACHE_DEFAULT
     request_id: str = ""
     explain: bool = False
+    route: str = ""
+    session_id: str = ""
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_POLICIES:
             raise ValueError(f"cache policy must be one of {CACHE_POLICIES}")
+        if self.route and self.route not in ALL_ROUTES:
+            raise ValueError(f"route must be one of {ALL_ROUTES} (or empty)")
 
 
 @dataclass(frozen=True)
@@ -125,3 +137,8 @@ class AskResponse:
     def explain(self):
         """The :class:`~repro.obs.explain.ExplainReport`, when requested."""
         return self.answer.explain_report
+
+    @property
+    def route(self) -> str:
+        """The agent route that served the question ("" when agents are off)."""
+        return self.answer.route

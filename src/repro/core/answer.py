@@ -74,6 +74,13 @@ class UniAskAnswer:
             semantic hits (1.0 for exact hits, 0.0 otherwise).
         explain_report: full score provenance of the retrieval (None unless
             the request asked for ``explain``; see :mod:`repro.obs.explain`).
+        route: the agent route that served the question (one of the
+            ``ROUTE_*`` constants of :mod:`repro.agents.routes`), or ""
+            in agents-off deployments — the pre-agents pipeline never sets
+            it, keeping serialized answers byte-identical.
+        generation_kind: the typed classification of the LLM reply that
+            produced ``raw_answer`` (a ``RESPONSE_KIND_*`` constant of
+            :mod:`repro.llm.base`), or "" when generation was skipped.
     """
 
     question: str
@@ -90,6 +97,8 @@ class UniAskAnswer:
     cache_hit: str = ""
     cache_similarity: float = 0.0
     explain_report: ExplainReport | None = None
+    route: str = ""
+    generation_kind: str = ""
 
     @property
     def answered(self) -> bool:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.agents.config import AgentsConfig
 from repro.cache.config import CacheConfig
 from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
@@ -37,5 +38,6 @@ class UniAskConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
+    agents: AgentsConfig = field(default_factory=AgentsConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

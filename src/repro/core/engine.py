@@ -27,6 +27,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import replace
 
+from repro.agents.routes import ROUTE_CONVERSATIONAL, ROUTE_FOLLOW_UP, ROUTE_LOOKUP
 from repro.api.types import CACHE_BYPASS, CACHE_REFRESH, AskOptions, AskRequest, AskResponse
 from repro.cache.answer_cache import AnswerCache
 from repro.core.answer import (
@@ -91,6 +92,7 @@ class UniAskEngine:
         config: UniAskConfig | None = None,
         telemetry: Telemetry | None = None,
         answer_cache: AnswerCache | None = None,
+        orchestrator=None,
     ) -> None:
         self.config = config or UniAskConfig()
         self._searcher = searcher
@@ -99,6 +101,10 @@ class UniAskEngine:
         self._content_filter = content_filter or ContentFilter()
         self._last_scatter = None
         self.answer_cache = answer_cache
+        #: The agent Orchestrator (:class:`repro.agents.Orchestrator`), or
+        #: None in agents-off deployments — then every request takes
+        #: exactly the pre-agents staged pipeline.
+        self.orchestrator = orchestrator
         self.telemetry = telemetry or NULL_TELEMETRY
         registry = self.telemetry.registry
         self._m_requests = registry.counter(
@@ -162,7 +168,15 @@ class UniAskEngine:
         self._last_scatter = None
         try:
             with trace.span(spans.STAGE_ASK, question_chars=len(request.question)) as root:
-                answer = self._answer_cached(request.question, options, ctx)
+                route = ""
+                if self.orchestrator is not None:
+                    route = self.orchestrator.resolve_route(
+                        request.question, options, ctx
+                    ).route
+                answer = self._answer_cached(request.question, options, ctx, route)
+                if route:
+                    answer = replace(answer, route=route)
+                    root.set("route", route)
                 if options.explain:
                     answer = replace(answer, explain_report=self._explain(answer))
                 root.set("outcome", answer.outcome)
@@ -176,6 +190,8 @@ class UniAskEngine:
             answer = replace(answer, partial_results=True)
         if trace.enabled:
             answer = replace(answer, trace=trace)
+        if self.orchestrator is not None and route:
+            self.orchestrator.finish(request.question, answer, options, route)
         return AskResponse(answer=answer, request=request)
 
     def ask(
@@ -202,7 +218,7 @@ class UniAskEngine:
     # -- stages --------------------------------------------------------------
 
     def _answer_cached(
-        self, question: str, options: AskOptions, ctx: RequestContext
+        self, question: str, options: AskOptions, ctx: RequestContext, route: str = ""
     ) -> UniAskAnswer:
         """Run the staged pipeline behind the answer cache, when one is wired.
 
@@ -210,6 +226,14 @@ class UniAskEngine:
         lookup but overwrites the entry with the fresh answer.  Lookups and
         stores are stamped with the searcher's current index generation, so
         any corpus write since computation invalidates the entry lazily.
+
+        *route* is the resolved agent route ("" when agents are off).
+        Conversational replies are cheaper than a cache probe and
+        follow-up answers depend on session state no key captures, so
+        both run cacheless; the remaining routes namespace the key, so
+        a structured answer is never served to a multi-hop request over
+        the same terms (the lookup route keeps the plain key — it *is*
+        the pre-agents pipeline).
         """
         cache = self.answer_cache
         if (
@@ -217,14 +241,16 @@ class UniAskEngine:
             or not cache.config.answer_tier_active
             or options.cache == CACHE_BYPASS
             or options.explain
+            or route in (ROUTE_CONVERSATIONAL, ROUTE_FOLLOW_UP)
         ):
             # Explain requests run cacheless both ways: a cached answer has
             # no fresh provenance to report, and an explain answer (per-term
             # components, attached report) must not be what later plain
             # requests are served from.
-            return self._ask_staged(question, options.filters, ctx)
+            return self._ask_routed(question, options, ctx, route)
 
-        key = cache.key(question, options.filters)
+        namespace = "" if route in ("", ROUTE_LOOKUP) else route
+        key = cache.key(question, options.filters, namespace=namespace)
         epoch = getattr(self._searcher.index, "generation", 0)
         embedder = self._searcher.index.embedder
         if options.cache != CACHE_REFRESH:
@@ -236,7 +262,7 @@ class UniAskEngine:
                     hit.answer, cache_hit=hit.kind, cache_similarity=hit.similarity
                 )
 
-        answer = self._ask_staged(question, options.filters, ctx)
+        answer = self._ask_routed(question, options, ctx, route)
         if self._cacheable(answer):
             embedding = (
                 embedder.embed(question) if cache.config.semantic_tier_active else None
@@ -244,6 +270,18 @@ class UniAskEngine:
             with ctx.trace.span(spans.STAGE_CACHE_STORE):
                 cache.store(key, answer, epoch, embedding=embedding)
         return answer
+
+    def _ask_routed(
+        self, question: str, options: AskOptions, ctx: RequestContext, route: str
+    ) -> UniAskAnswer:
+        """Dispatch to the route's specialist agent, or the staged pipeline.
+
+        The empty route (agents off) and the lookup route are the same
+        code path by construction: lookup *is* today's pipeline.
+        """
+        if self.orchestrator is None or route in ("", ROUTE_LOOKUP):
+            return self._ask_staged(question, options.filters, ctx)
+        return self.orchestrator.execute(self, question, options, ctx, route)
 
     def _explain(self, answer: UniAskAnswer):
         """Fold the answer's retrieval components into an ExplainReport."""
@@ -255,6 +293,7 @@ class UniAskEngine:
             list(answer.documents),
             rrf_c=config.rrf_c,
             mode=config.mode,
+            route=answer.route,
         )
 
     def _cacheable(self, answer: UniAskAnswer) -> bool:
@@ -284,6 +323,18 @@ class UniAskEngine:
             )
 
         documents = self._retrieve(question, filters, ctx)
+        return self._complete_from_documents(question, documents, ctx)
+
+    def _complete_from_documents(
+        self, question: str, documents: list[RetrievedChunk], ctx: RequestContext
+    ) -> UniAskAnswer:
+        """Generate, validate and cite over an already retrieved ranking.
+
+        The tail of the staged pipeline, split out so agent routes that
+        produce their own ranking (multi-hop fusion, the structured
+        fallback) inherit generation, guardrails and citation resolution
+        unchanged.
+        """
         if not documents:
             return UniAskAnswer(
                 question=question,
@@ -307,6 +358,7 @@ class UniAskEngine:
                 context=tuple(context),
             )
         raw_answer = response.content
+        generation_kind = getattr(response, "kind", "")
 
         report = self._validate(question, raw_answer, context, ctx)
         if not report.passed:
@@ -318,6 +370,7 @@ class UniAskEngine:
                 documents=tuple(documents),
                 context=tuple(context),
                 guardrail_report=report,
+                generation_kind=generation_kind,
             )
 
         citations = self._resolve_citations(raw_answer, context, ctx)
@@ -330,6 +383,7 @@ class UniAskEngine:
             documents=tuple(documents),
             context=tuple(context),
             guardrail_report=report,
+            generation_kind=generation_kind,
         )
 
     def _screen(self, question: str, ctx: RequestContext) -> ContentFilterResult:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.agents.orchestrator import Orchestrator
 from repro.cache.answer_cache import AnswerCache
 from repro.cluster.router import ClusterSearcher
 from repro.cluster.sharded_index import ShardedSearchIndex
@@ -65,11 +66,19 @@ class UniAskSystem:
     config: UniAskConfig = field(default_factory=UniAskConfig)
     telemetry: Telemetry = field(default_factory=Telemetry)
     answer_cache: AnswerCache | None = None
+    orchestrator: Orchestrator | None = None
 
     def refresh(self) -> None:
-        """One operational cycle: run due ingestion polls, drain the queue."""
+        """One operational cycle: run due ingestion polls, drain the queue.
+
+        Agents-enabled deployments also re-extract the structured table
+        catalog, so the mini query engine sees corpus writes at the same
+        cadence the search index does.
+        """
         self.ingestion.run_due_polls()
         self.indexing.drain()
+        if self.orchestrator is not None:
+            self.orchestrator.refresh_catalog(self.store)
 
 
 def build_uniask_system(
@@ -169,6 +178,19 @@ def build_uniask_system(
         [CitationGuardrail(), RougeGuardrail(config.rouge_threshold), ClarificationGuardrail()],
         registry=registry,
     )
+    orchestrator = None
+    if config.agents.enabled:
+        # Constructed only when enabled: the Orchestrator registers the
+        # route counter on construction, so an agents-off deployment's
+        # metrics exposition stays byte-identical to the pre-agents one.
+        from repro.agents.structured import StructuredCatalog
+
+        orchestrator = Orchestrator(
+            config.agents,
+            catalog=StructuredCatalog.from_store(store),
+            clock=clock,
+            registry=registry,
+        )
     engine = UniAskEngine(
         searcher=searcher,
         llm=llm,
@@ -177,6 +199,7 @@ def build_uniask_system(
         config=config,
         telemetry=telemetry,
         answer_cache=answer_cache,
+        orchestrator=orchestrator,
     )
 
     system = UniAskSystem(
@@ -195,6 +218,7 @@ def build_uniask_system(
         config=config,
         telemetry=telemetry,
         answer_cache=answer_cache,
+        orchestrator=orchestrator,
     )
     if ingest_now:
         system.refresh()

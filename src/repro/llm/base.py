@@ -19,6 +19,17 @@ from repro.obs.trace import RequestContext, null_context
 #: The chat roles accepted by the API.
 ROLES = ("system", "user", "assistant")
 
+#: Typed classification of a completion: an ordinary grounded answer.
+RESPONSE_KIND_ANSWER = "answer"
+
+#: The completion asks the user for more details instead of (or on top of)
+#: answering — the FollowUp agent merges the session's next message into
+#: the original question when it sees this kind.
+RESPONSE_KIND_CLARIFICATION = "clarification_request"
+
+#: The completion is an honest refusal (no grounded answer available).
+RESPONSE_KIND_REFUSAL = "refusal"
+
 
 @dataclass(frozen=True)
 class ChatMessage:
@@ -47,11 +58,18 @@ class ChatUsage:
 
 @dataclass(frozen=True)
 class ChatResponse:
-    """The assistant's reply plus usage metadata."""
+    """The assistant's reply plus usage metadata.
+
+    ``kind`` is the typed classification of the reply (one of the
+    ``RESPONSE_KIND_*`` constants); clients that cannot classify their
+    output leave the default, which downstream consumers treat as an
+    ordinary answer.
+    """
 
     content: str
     usage: ChatUsage = field(default_factory=ChatUsage)
     finish_reason: str = "stop"
+    kind: str = RESPONSE_KIND_ANSWER
 
 
 @runtime_checkable

@@ -33,7 +33,14 @@ import random
 import re
 
 from repro.embeddings.concepts import ConceptLexicon, concept_overlap
-from repro.llm.base import ChatMessage, ChatResponse, ChatUsage
+from repro.llm.base import (
+    RESPONSE_KIND_ANSWER,
+    RESPONSE_KIND_CLARIFICATION,
+    RESPONSE_KIND_REFUSAL,
+    ChatMessage,
+    ChatResponse,
+    ChatUsage,
+)
 from repro.llm.prompts import (
     TASK_ANSWER,
     TASK_BLIND_ANSWER,
@@ -181,8 +188,9 @@ class SimulatedChatLLM:
         user_text = "\n".join(m.content for m in messages if m.role == "user")
         rng = self._rng_for(system_text + "\x00" + user_text, temperature)
 
+        kind = RESPONSE_KIND_ANSWER
         if TASK_ANSWER in system_text:
-            content = self._rag_answer(user_text, temperature, rng)
+            content, kind = self._rag_answer(user_text, temperature, rng)
         elif TASK_SUMMARY in system_text:
             content = self._summarize(user_text)
         elif TASK_KEYWORDS in system_text:
@@ -193,6 +201,7 @@ class SimulatedChatLLM:
             content = self._related_queries(system_text, user_text)
         else:
             content = self._pack["refusal"]
+            kind = RESPONSE_KIND_REFUSAL
 
         content = self._counter.truncate(content, max_tokens) if max_tokens else content
         prompt_tokens = self._counter.count(system_text) + self._counter.count(user_text)
@@ -203,18 +212,29 @@ class SimulatedChatLLM:
         self._m_completions.inc()
         self._m_tokens.labels("prompt").inc(usage.prompt_tokens)
         self._m_tokens.labels("completion").inc(usage.completion_tokens)
-        return ChatResponse(content=content, usage=usage)
+        return ChatResponse(content=content, usage=usage, kind=kind)
 
     # -- RAG answering -------------------------------------------------------
 
-    def _rag_answer(self, user_text: str, temperature: float, rng: random.Random) -> str:
+    def _rag_answer(
+        self, user_text: str, temperature: float, rng: random.Random
+    ) -> tuple[str, str]:
+        """The (content, kind) of one RAG answer.
+
+        The typed kind classifies the observable behaviour — grounded or
+        hallucinated prose is an *answer*, honest refusals are *refusals*,
+        and an appended request for details marks the whole reply a
+        *clarification request* — so downstream agents (the FollowUp
+        agent's merge semantics, guardrail metrics) can route on the
+        outcome instead of re-parsing the text.
+        """
         match = _CONTEXT_RE.search(user_text)
         if not match:
-            return self._pack["refusal"]
+            return self._pack["refusal"], RESPONSE_KIND_REFUSAL
         try:
             documents = json.loads(match.group(1))
         except json.JSONDecodeError:
-            return self._pack["refusal"]
+            return self._pack["refusal"], RESPONSE_KIND_REFUSAL
         question = match.group(2).strip()
 
         scored = []
@@ -232,18 +252,18 @@ class SimulatedChatLLM:
             # fluent, ungrounded answer instead of an honest refusal.
             best = scored[0][0] if scored else 0.0
             if best > self._relevance_threshold / 2 and rng.random() < 0.25:
-                return self._hallucinate(question, rng)
-            return self._pack["refusal"]
+                return self._hallucinate(question, rng), RESPONSE_KIND_ANSWER
+            return self._pack["refusal"], RESPONSE_KIND_REFUSAL
 
         answer = self._compose_grounded_answer(question, supporting, rng)
 
         if rng.random() < self._p_off_context * failure_scale:
-            return self._hallucinate(question, rng)
+            return self._hallucinate(question, rng), RESPONSE_KIND_ANSWER
         if rng.random() < self._p_missing_citation * failure_scale:
             answer = re.sub(r"\s*\[doc\d+\]", "", answer)
         if rng.random() < self._p_clarification * failure_scale:
-            answer += self._pack["clarification"]
-        return answer
+            return answer + self._pack["clarification"], RESPONSE_KIND_CLARIFICATION
+        return answer, RESPONSE_KIND_ANSWER
 
     def _relevance(self, question: str, passage: str) -> float:
         """How strongly the passage supports the question.

@@ -178,12 +178,17 @@ class ExplainReport:
         rrf_c: the RRF smoothing constant of the deployment.
         mode: the retrieval mode (``hybrid``/``text``/``vector``).
         entries: one explanation per chunk of the final ranking.
+        route: the agent route that produced the ranking ("" in agents-off
+            deployments; a multi-hop report's ``rrf_hop_*`` contributions
+            sum bit-exactly to the fused score just like single-query
+            ``rrf_*`` legs do).
     """
 
     question: str
     rrf_c: float
     mode: str
     entries: tuple[ChunkExplanation, ...]
+    route: str = ""
 
     @property
     def sums_exact(self) -> bool:
@@ -199,14 +204,21 @@ class ExplainReport:
         return self.entry(rank).diff(self.entry(by))
 
     def to_dict(self) -> dict:
-        """JSON-ready representation of the whole report."""
-        return {
+        """JSON-ready representation of the whole report.
+
+        The ``route`` key only appears for agent-routed reports, keeping
+        agents-off JSON byte-identical to the pre-agents format.
+        """
+        report = {
             "question": self.question,
             "rrf_c": self.rrf_c,
             "mode": self.mode,
             "sums_exact": self.sums_exact,
             "entries": [entry.to_dict() for entry in self.entries],
         }
+        if self.route:
+            report["route"] = self.route
+        return report
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize the report to a JSON string."""
@@ -219,9 +231,10 @@ class ExplainReport:
             top: entries to detail (the rest are summarized in one line).
             terms: per-term BM25 contributions to show per field.
         """
+        route = f", route={self.route}" if self.route else ""
         lines = [
             f"explain: {self.question!r} (mode={self.mode}, rrf_c={self.rrf_c:g}, "
-            f"sums_exact={self.sums_exact})"
+            f"sums_exact={self.sums_exact}{route})"
         ]
         for entry in self.entries[:top]:
             shard = f" shard={entry.shard}" if entry.shard is not None else ""
@@ -279,6 +292,7 @@ def build_explain_report(
     results: list[RetrievedChunk],
     rrf_c: float,
     mode: str = "hybrid",
+    route: str = "",
 ) -> ExplainReport:
     """Fold the component breakdowns of *results* into an explain report.
 
@@ -324,5 +338,5 @@ def build_explain_report(
             )
         )
     return ExplainReport(
-        question=question, rrf_c=rrf_c, mode=mode, entries=tuple(entries)
+        question=question, rrf_c=rrf_c, mode=mode, entries=tuple(entries), route=route
     )

@@ -28,6 +28,7 @@ import random
 import warnings
 from dataclasses import dataclass, replace
 
+from repro.agents.memory import TtlLruStore
 from repro.api.types import CACHE_DEFAULT, AskOptions, AskRequest
 from repro.cache.answer_cache import HIT_COALESCED
 from repro.cache.coalescing import SingleFlight
@@ -160,6 +161,14 @@ class StageLatencyModel:
             return 0.002 + 0.000002 * int(attrs.get("entries", 0))
         if name == spans.STAGE_CACHE_STORE:
             return 0.0005
+        if name == spans.STAGE_AGENT_ROUTE:
+            return 0.001  # a handful of regex probes over the question
+        if name == spans.STAGE_AGENT_REWRITE:
+            return 0.0005
+        if name == spans.STAGE_STRUCTURED_PLAN:
+            return 0.001
+        if name == spans.STAGE_STRUCTURED_EXEC:
+            return 0.0005 + 0.0001 * int(attrs.get("rows", 0))
         # Aggregate spans cost nothing themselves; any other *leaf* span is
         # work and gets the default floor.
         if span.is_leaf:
@@ -225,6 +234,9 @@ class BackendService:
         telemetry: Telemetry | None = None,
         cache_config: CacheConfig | None = None,
         quality_monitor=None,
+        session_capacity: int = 4096,
+        session_ttl_seconds: float | None = 86400.0,
+        record_capacity: int = 100_000,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -237,8 +249,18 @@ class BackendService:
         self.telemetry = telemetry
         self.metrics = metrics or MetricsCollector(registry=telemetry.registry)
         self.feedback_store = FeedbackStore()
-        self._sessions: dict[str, tuple[str, str]] = {}  # token -> (user_id, role)
-        self._records: dict[str, QueryRecord] = {}
+        # Per-session state is bounded on the service clock (the answer
+        # cache's TTL + LRU eviction idiom): long-running deployments no
+        # longer accumulate every token and query record ever issued.  An
+        # idle session expires *session_ttl_seconds* after its last
+        # authenticated call; query records are LRU-only (feedback may
+        # arrive arbitrarily late, so they never expire by age).
+        self._sessions: TtlLruStore[str, tuple[str, str]] = TtlLruStore(
+            session_capacity, session_ttl_seconds, clock=clock
+        )
+        self._records: TtlLruStore[str, QueryRecord] = TtlLruStore(
+            record_capacity, None, clock=clock
+        )
         self._base_latency = base_latency
         self._seconds_per_kilo_token = seconds_per_kilo_token
         self._latency_jitter = latency_jitter
@@ -352,6 +374,13 @@ class BackendService:
         query_id = f"q-{self._query_counter:07d}"
         question = request.question
         options = request.options
+        if self._engine.orchestrator is not None and not options.session_id:
+            # Agents-enabled deployments thread the session token through
+            # as the conversation id, so follow-up turns resolve against
+            # the caller's own session memory.  Left untouched when agents
+            # are off: the request object stays byte-identical.
+            options = replace(options, session_id=token)
+            request = replace(request, options=options)
 
         coalescing = self.single_flight is not None
         arrival = self._clock.now()
@@ -521,6 +550,10 @@ class BackendService:
         # audit lines must match the pre-cache format exactly.
         if answer.cache_hit:
             audit_fields["cache"] = answer.cache_hit
+        # Same contract for routing: agents-off audit lines never carry the
+        # field, so they match the pre-agents format byte for byte.
+        if answer.route:
+            audit_fields["route"] = answer.route
         if extra_audit:
             audit_fields.update(extra_audit)
         self.telemetry.audit.info("request", **audit_fields)
@@ -629,6 +662,9 @@ class BackendService:
         session = self._sessions.get(token)
         if session is None:
             raise AuthenticationError("invalid session token")
+        # Activity keeps a session alive: the idle TTL restarts on every
+        # authenticated call, not just at login.
+        self._sessions.touch(token)
         return session[0]
 
     def _authorize(self, token: str, required_role: str) -> str:

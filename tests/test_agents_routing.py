@@ -1,0 +1,209 @@
+"""Routing-accuracy suite: the intent classifier vs every ``KIND_*`` label.
+
+The train-free classifier is validated against the synthetic query
+generators of :mod:`repro.corpus.queries`.  The hard gates of the agents
+subsystem are the three kinds whose answers must not change when agents
+are enabled by default:
+
+* ``human``   → ``lookup``     (≥ 95%)
+* ``keyword`` → ``lookup``     (≥ 95%)
+* ``error_code`` → ``structured`` (≥ 95%)
+
+The agentic kinds (multi-hop, conversational, follow-up) are produced by
+deterministic generators built around the classifier's own connectives, so
+they are gated at 100%.  The remaining kinds are reported in the confusion
+table without a gate — a keyword-less out-of-scope question *should* fall
+through to lookup, where the guardrails handle it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.agents.intent import IntentClassifier
+from repro.agents.memory import SessionTurn
+from repro.agents.routes import (
+    ROUTE_CONVERSATIONAL,
+    ROUTE_FOLLOW_UP,
+    ROUTE_LOOKUP,
+    ROUTE_MULTI_HOP,
+    ROUTE_STRUCTURED,
+)
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.queries import (
+    KIND_CONVERSATIONAL,
+    KIND_ERROR_CODE,
+    KIND_FOLLOW_UP,
+    KIND_HUMAN,
+    KIND_KEYWORD,
+    KIND_MULTI_HOP,
+    KIND_OUT_OF_SCOPE,
+    KIND_UNANSWERABLE,
+    HumanDatasetConfig,
+    KeywordDatasetConfig,
+    generate_conversational_queries,
+    generate_error_code_queries,
+    generate_follow_up_dialogues,
+    generate_human_dataset,
+    generate_keyword_dataset,
+    generate_multi_hop_queries,
+    generate_out_of_scope_queries,
+    generate_unanswerable_queries,
+)
+
+#: The gated kinds and their expected routes.
+HARD_GATES = {
+    KIND_HUMAN: (ROUTE_LOOKUP, 0.95),
+    KIND_KEYWORD: (ROUTE_LOOKUP, 0.95),
+    KIND_ERROR_CODE: (ROUTE_STRUCTURED, 0.95),
+    KIND_MULTI_HOP: (ROUTE_MULTI_HOP, 1.0),
+    KIND_CONVERSATIONAL: (ROUTE_CONVERSATIONAL, 1.0),
+    KIND_FOLLOW_UP: (ROUTE_FOLLOW_UP, 1.0),
+}
+
+#: A previous session turn, so follow-up questions have anaphora context.
+HISTORY = (
+    SessionTurn(
+        question="Come posso sbloccare la carta di credito?",
+        resolved_question="Come posso sbloccare la carta di credito?",
+        route=ROUTE_LOOKUP,
+        outcome="answered",
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KbGenerator(
+        KbGeneratorConfig(num_topics=16, error_families=3, seed=29)
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def labeled_queries(kb):
+    """Every kind's queries, paired with the history each kind runs under."""
+    human = generate_human_dataset(kb, HumanDatasetConfig(num_questions=200, seed=29))
+    keyword, _ = generate_keyword_dataset(
+        kb, KeywordDatasetConfig(num_queries=80, log_searches=4000, seed=29)
+    )
+    dialogues = generate_follow_up_dialogues(kb, count=12, seed=29)
+    return {
+        KIND_HUMAN: (human, ()),
+        KIND_KEYWORD: (keyword, ()),
+        KIND_ERROR_CODE: (generate_error_code_queries(kb, count=18, seed=29), ()),
+        KIND_MULTI_HOP: (generate_multi_hop_queries(kb, count=20, seed=29), ()),
+        KIND_CONVERSATIONAL: (generate_conversational_queries(count=10, seed=29), ()),
+        KIND_FOLLOW_UP: ([d.follow_up for d in dialogues], HISTORY),
+        KIND_OUT_OF_SCOPE: (generate_out_of_scope_queries(count=10, seed=29), ()),
+        KIND_UNANSWERABLE: (generate_unanswerable_queries(kb, count=20, seed=29), ()),
+    }
+
+
+@pytest.fixture(scope="module")
+def confusion(labeled_queries):
+    """kind → Counter(route) over every generated query."""
+    classifier = IntentClassifier()
+    table: dict[str, Counter] = {}
+    for kind, (queries, history) in labeled_queries.items():
+        counts: Counter = Counter()
+        for query in queries:
+            counts[classifier.classify(query.text, history=history).route] += 1
+        table[kind] = counts
+    return table
+
+
+def format_confusion(table: dict[str, Counter]) -> str:
+    lines = ["kind -> route counts"]
+    for kind in sorted(table):
+        parts = ", ".join(f"{route}={n}" for route, n in sorted(table[kind].items()))
+        lines.append(f"  {kind:15s}: {parts}")
+    return "\n".join(lines)
+
+
+class TestRoutingAccuracy:
+    @pytest.mark.parametrize("kind", sorted(HARD_GATES))
+    def test_gated_kind_meets_accuracy_floor(self, confusion, kind):
+        expected_route, floor = HARD_GATES[kind]
+        counts = confusion[kind]
+        total = sum(counts.values())
+        assert total > 0
+        accuracy = counts.get(expected_route, 0) / total
+        assert accuracy >= floor, (
+            f"{kind}: {accuracy:.1%} routed to {expected_route} "
+            f"(floor {floor:.0%})\n{format_confusion(confusion)}"
+        )
+
+    def test_confusion_table_covers_every_generated_kind(self, confusion):
+        assert set(confusion) == {
+            KIND_HUMAN,
+            KIND_KEYWORD,
+            KIND_ERROR_CODE,
+            KIND_MULTI_HOP,
+            KIND_CONVERSATIONAL,
+            KIND_FOLLOW_UP,
+            KIND_OUT_OF_SCOPE,
+            KIND_UNANSWERABLE,
+        }
+
+    def test_out_of_scope_never_routes_conversational(self, confusion):
+        # Out-of-scope chit-chat must reach the guardrails via lookup, not
+        # get a canned smalltalk reply that hides the refusal.
+        assert confusion[KIND_OUT_OF_SCOPE].get(ROUTE_CONVERSATIONAL, 0) == 0
+
+    def test_unanswerable_stays_on_lookup(self, confusion):
+        counts = confusion[KIND_UNANSWERABLE]
+        assert counts.get(ROUTE_LOOKUP, 0) == sum(counts.values())
+
+
+class TestClassifierCascade:
+    def test_follow_up_requires_history(self):
+        classifier = IntentClassifier()
+        text = "E per i clienti business?"
+        assert classifier.classify(text, history=()).route == ROUTE_LOOKUP
+        assert classifier.classify(text, history=HISTORY).route == ROUTE_FOLLOW_UP
+
+    def test_clarification_pending_forces_follow_up(self):
+        classifier = IntentClassifier()
+        pending = (
+            SessionTurn(
+                question="Come posso procedere?",
+                resolved_question="Come posso procedere?",
+                route=ROUTE_LOOKUP,
+                outcome="answered",
+                clarification_pending=True,
+            ),
+        )
+        # Without the pending flag this long reply would be a plain lookup.
+        reply = "Si tratta del conto corrente di un cliente retail aperto ieri in filiale"
+        assert classifier.classify(reply, history=pending).route == ROUTE_FOLLOW_UP
+
+    def test_error_code_beats_follow_up_wording(self):
+        classifier = IntentClassifier()
+        # Smalltalk markers come first, then anaphora, then identifiers.
+        assert classifier.classify("errore ERR-1003").route == ROUTE_STRUCTURED
+        assert (
+            classifier.classify("E l'errore ERR-1003?", history=HISTORY).route
+            == ROUTE_FOLLOW_UP
+        )
+
+    def test_table_question_routes_structured(self):
+        classifier = IntentClassifier()
+        assert (
+            classifier.classify("Quali errori sono noti per CreditFlow?").route
+            == ROUTE_STRUCTURED
+        )
+        assert (
+            classifier.classify("Quante procedure riguardano DocuBank?").route
+            == ROUTE_STRUCTURED
+        )
+
+    def test_singular_procedure_question_stays_lookup(self):
+        # The human templates' "Qual è la procedura per..." must never be
+        # stolen by the structured route.
+        classifier = IntentClassifier()
+        prediction = classifier.classify(
+            "Qual è la procedura per sbloccare la carta di credito?"
+        )
+        assert prediction.route == ROUTE_LOOKUP

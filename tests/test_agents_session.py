@@ -1,0 +1,206 @@
+"""Session state: TTL+LRU bounds, follow-up memory, clarification merges.
+
+Covers the :class:`~repro.agents.memory.TtlLruStore` container (the
+cache-eviction idiom extracted for reuse), the FollowUp agent's
+deterministic anaphora resolution, the typed-clarification merge loop,
+and the backend's newly bounded per-session state on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.config import AgentsConfig
+from repro.agents.followup import FollowUpAgent
+from repro.agents.memory import SessionMemory, SessionTurn, TtlLruStore
+from repro.agents.routes import ROUTE_FOLLOW_UP, ROUTE_LOOKUP
+from repro.api import AskRequest, create_backend, create_engine
+from repro.core.config import UniAskConfig
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.pipeline.clock import SimulatedClock
+from repro.service.backend import AuthenticationError, BackendService
+
+
+def turn(question: str, clarification: bool = False) -> SessionTurn:
+    return SessionTurn(
+        question=question,
+        resolved_question=question,
+        route=ROUTE_LOOKUP,
+        outcome="answered",
+        clarification_pending=clarification,
+    )
+
+
+class TestTtlLruStore:
+    def test_capacity_evicts_least_recently_used(self):
+        store: TtlLruStore[str, int] = TtlLruStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # refreshes a's recency
+        store.put("c", 3)
+        assert "b" not in store
+        assert store.get("a") == 1 and store.get("c") == 3
+        assert store.evictions == 1
+
+    def test_ttl_expires_on_the_simulated_clock(self):
+        clock = SimulatedClock()
+        store: TtlLruStore[str, int] = TtlLruStore(capacity=8, ttl_seconds=10.0, clock=clock)
+        store.put("a", 1)
+        clock.advance(9.0)
+        assert store.get("a") == 1
+        clock.advance(1.0)
+        assert store.get("a") is None
+        assert store.expirations == 1
+        assert len(store) == 0
+
+    def test_touch_restarts_the_ttl(self):
+        clock = SimulatedClock()
+        store: TtlLruStore[str, int] = TtlLruStore(capacity=8, ttl_seconds=10.0, clock=clock)
+        store.put("a", 1)
+        clock.advance(9.0)
+        store.touch("a")
+        clock.advance(9.0)
+        assert store.get("a") == 1
+
+    def test_dict_style_access(self):
+        store: TtlLruStore[str, int] = TtlLruStore(capacity=4)
+        store["a"] = 1
+        assert store["a"] == 1
+        with pytest.raises(KeyError):
+            store["missing"]
+        assert store.pop("a") == 1
+        assert store.pop("a", 9) == 9
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TtlLruStore(capacity=0)
+        with pytest.raises(ValueError):
+            TtlLruStore(capacity=1, ttl_seconds=0.0)
+
+
+class TestSessionMemory:
+    def test_turns_bounded_per_session(self):
+        memory = SessionMemory(capacity=4, ttl_seconds=None, turns_per_session=2)
+        for number in range(3):
+            memory.observe("s1", turn(f"q{number}"))
+        remembered = memory.turns("s1")
+        assert [t.question for t in remembered] == ["q1", "q2"]
+        assert memory.last_turn("s1").question == "q2"
+
+    def test_sessions_expire_on_the_clock(self):
+        clock = SimulatedClock()
+        memory = SessionMemory(capacity=4, ttl_seconds=60.0, turns_per_session=4, clock=clock)
+        memory.observe("s1", turn("q0"))
+        clock.advance(59.0)
+        memory.observe("s1", turn("q1"))  # activity re-stamps the TTL
+        clock.advance(59.0)
+        assert len(memory.turns("s1")) == 2
+        clock.advance(2.0)
+        assert memory.turns("s1") == ()
+        assert memory.last_turn("s1") is None
+
+    def test_session_capacity_evicts_oldest(self):
+        memory = SessionMemory(capacity=2, ttl_seconds=None, turns_per_session=4)
+        memory.observe("s1", turn("a"))
+        memory.observe("s2", turn("b"))
+        memory.observe("s3", turn("c"))
+        assert memory.turns("s1") == ()
+        assert len(memory.turns("s2")) == 1 and len(memory.turns("s3")) == 1
+
+    def test_empty_session_id_is_ignored(self):
+        memory = SessionMemory()
+        memory.observe("", turn("a"))
+        assert len(memory) == 0
+        assert memory.turns("") == ()
+
+
+class TestFollowUpResolution:
+    def test_without_history_question_unchanged(self):
+        resolved = FollowUpAgent().resolve("E per i clienti business?", None)
+        assert resolved.question == "E per i clienti business?"
+        assert not resolved.merged_clarification
+
+    def test_qualifier_grafted_onto_previous_turn(self):
+        resolved = FollowUpAgent().resolve(
+            "E per i clienti business?",
+            turn("Come posso sbloccare la carta di credito?"),
+        )
+        assert resolved.question == (
+            "Come posso sbloccare la carta di credito per i clienti business?"
+        )
+        assert not resolved.merged_clarification
+
+    def test_clarification_reply_merges_details(self):
+        resolved = FollowUpAgent().resolve(
+            "Si tratta di un conto corrente cointestato",
+            turn("Come posso procedere con la chiusura?", clarification=True),
+        )
+        assert resolved.question == (
+            "Come posso procedere con la chiusura "
+            "Si tratta di un conto corrente cointestato"
+        )
+        assert resolved.merged_clarification
+
+    def test_bare_connective_repeats_previous_question(self):
+        previous = turn("Come posso sbloccare la carta di credito?")
+        resolved = FollowUpAgent().resolve("E quindi?", previous)
+        assert resolved.question.startswith("Come posso sbloccare la carta di credito")
+
+
+class TestBackendSessionBounds:
+    @pytest.fixture(scope="class")
+    def system(self):
+        kb = KbGenerator(
+            KbGeneratorConfig(num_topics=12, error_families=2, seed=23)
+        ).generate()
+        return create_engine(
+            kb.store(),
+            build_banking_lexicon(),
+            config=UniAskConfig(agents=AgentsConfig(enabled=True)),
+            seed=23,
+        )
+
+    def test_idle_sessions_expire(self, system):
+        backend = BackendService(
+            system.engine, system.clock, session_ttl_seconds=600.0
+        )
+        token = backend.login("user-1")
+        backend.serve(token, "come sbloccare la carta di credito")
+        # Serving advances the simulated clock by the modeled latency, so
+        # the idle gaps stay well inside the TTL.
+        system.clock.advance(500.0)
+        backend.serve(token, "limiti prelievo bancomat")  # activity restamps
+        system.clock.advance(500.0)
+        backend.serve(token, "bonifico estero commissioni")
+        system.clock.advance(601.0)
+        with pytest.raises(AuthenticationError):
+            backend.serve(token, "apertura conto online")
+
+    def test_session_capacity_bounds_logins(self, system):
+        backend = BackendService(system.engine, system.clock, session_capacity=2)
+        first = backend.login("user-1")
+        backend.login("user-2")
+        backend.login("user-3")
+        with pytest.raises(AuthenticationError):
+            backend.serve(first, "come sbloccare la carta di credito")
+
+    def test_backend_threads_session_into_follow_up_route(self, system):
+        backend = BackendService(system.engine, system.clock)
+        token = backend.login("user-fup")
+        first = backend.serve(token, "Come posso sbloccare la carta di credito?")
+        assert first.answer.route == ROUTE_LOOKUP
+        second = backend.serve(token, "E per i clienti business?")
+        assert second.answer.route == ROUTE_FOLLOW_UP
+        # The served answer keeps the user's words, not the rewrite.
+        assert second.answer.question == "E per i clienti business?"
+
+    def test_sessions_are_isolated(self, system):
+        backend = BackendService(system.engine, system.clock)
+        token_a = backend.login("user-a")
+        token_b = backend.login("user-b")
+        backend.serve(token_a, "Come posso sbloccare la carta di credito?")
+        # user-b has no previous turn: the connective cannot resolve, so
+        # the classifier (empty history) keeps the question on lookup.
+        record = backend.serve(token_b, "E per i clienti business?")
+        assert record.answer.route == ROUTE_LOOKUP
