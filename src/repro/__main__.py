@@ -15,6 +15,10 @@ Commands:
   ``/healthz``/``/readyz`` probes, SLO burn-rate alerts, and optionally
   the JSONL audit log (``--audit PATH``); exits non-zero when any
   page-severity (critical) alert is firing;
+* ``profile`` — serve a query stream through a profiling-enabled backend
+  and print the aggregated call-tree profile (``--format top|folded|
+  speedscope|json``), optionally with the saturation dashboard section
+  (``--saturation``); ``ask --profile`` profiles a single request instead;
 * ``canary`` — run the canary probe suite once through a demo deployment
   and report quality metrics against the (freshly frozen) baseline;
   exits non-zero when a quality alert fires;
@@ -86,7 +90,8 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         AskOptions(
             trace=args.trace,
             explain=args.explain,
-            request_id="cli-ask" if args.trace else "",
+            profile=args.profile,
+            request_id="cli-ask" if (args.trace or args.profile) else "",
             route=args.route,
         ),
     )
@@ -104,6 +109,16 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     if args.explain and answer.explain_report is not None:
         print()
         print(answer.explain_report.format_report())
+    if args.profile:
+        from repro.obs.profile import ContinuousProfiler
+
+        profiler = ContinuousProfiler()
+        profiler.record(answer.trace)
+        print()
+        print(profiler.format_top())
+        if answer.work:
+            shown = " ".join(f"{kind}={units}" for kind, units in sorted(answer.work.items()))
+            print(f"\nwork: {shown}")
     if answer.cache_hit:
         print(f"\n[cache] served from cache (kind={answer.cache_hit})")
     if answer.partial_results:
@@ -242,6 +257,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.backend import BackendService, ROLE_OPS
+
+    _, system = _build_system(args.topics, args.seed, shards=args.shards, replicas=args.replicas)
+    backend = BackendService(
+        system.engine, system.clock, tracing=True, profiling=True, capacity=True
+    )
+    token = backend.login("cli-user")
+    questions = [
+        "come sbloccare la carta di credito",
+        "bonifico estero commissioni",
+        "limiti prelievo bancomat",
+        "apertura conto online",
+        "quadratura di cassa",
+    ]
+    for i in range(args.queries):
+        backend.serve(token, questions[i % len(questions)])
+    ops_token = backend.login("cli-ops", role=ROLE_OPS)
+    print(f"# profiled {args.queries} requests\n", file=sys.stderr)
+    payload = backend.ops("profile", ops_token, format=args.format, limit=args.limit)
+    if isinstance(payload, str):
+        print(payload)
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.saturation and backend.capacity is not None:
+        from repro.obs.capacity import format_saturation
+
+        print()
+        print(format_saturation(backend.capacity.snapshot()))
+    return 0
+
+
 def _cmd_canary(args: argparse.Namespace) -> int:
     from repro.eval.groundedness import GroundednessJudge
     from repro.obs.quality import CanaryRunner, CanarySuite, format_canary_report
@@ -308,6 +357,11 @@ def main(argv: list[str] | None = None) -> int:
         help="print the per-chunk score-provenance report of the retrieval",
     )
     ask.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the request: hottest stage paths plus deterministic work counters",
+    )
+    ask.add_argument(
         "--agents",
         action="store_true",
         help="enable the multi-agent orchestration layer (intent routing)",
@@ -342,6 +396,26 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--replicas", type=int, default=2, help="replicas per shard")
     metrics.add_argument("--audit", default="", help="write the JSONL audit log to this path")
     metrics.set_defaults(func=_cmd_metrics)
+
+    profile = commands.add_parser(
+        "profile", help="continuous profile of a served query stream"
+    )
+    profile.add_argument("--queries", type=int, default=12, help="requests to profile")
+    profile.add_argument("--shards", type=int, default=1, help="serve from N index shards")
+    profile.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    profile.add_argument(
+        "--format",
+        choices=("top", "folded", "speedscope", "json"),
+        default="top",
+        help="output format of the aggregated profile",
+    )
+    profile.add_argument("--limit", type=int, default=25, help="rows in the top table")
+    profile.add_argument(
+        "--saturation",
+        action="store_true",
+        help="also print the saturation (USE) dashboard section",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     canary = commands.add_parser("canary", help="run the canary probe suite once")
     canary.add_argument("--probes", type=int, default=24, help="canary suite size")

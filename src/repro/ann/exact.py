@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ann.distance import batch_cosine_distance
+from repro.obs.work import WORK_ANN_DISTANCE_EVALS
 
 _INITIAL_CAPACITY = 16
 
@@ -67,10 +68,16 @@ class ExactKnnIndex:
         self._matrix[self._count] = np.asarray(vector, dtype=np.float64)
         self._count += 1
 
-    def search(self, query: np.ndarray, k: int) -> list[tuple[int, float]]:
-        """Return the *k* nearest stored items to *query* by cosine distance."""
+    def search(self, query: np.ndarray, k: int, work=None) -> list[tuple[int, float]]:
+        """Return the *k* nearest stored items to *query* by cosine distance.
+
+        *work* optionally books ``ann_distance_evals`` — brute force
+        evaluates every stored vector, so the count is the matrix height.
+        """
         if k <= 0 or not self._count:
             return []
+        if work is not None:
+            work.add(WORK_ANN_DISTANCE_EVALS, self._count)
         distances = batch_cosine_distance(np.asarray(query, dtype=np.float64), self.matrix)
         k = min(k, self._count)
         # Ties break on insertion id, which makes the ground truth fully

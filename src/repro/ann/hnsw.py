@@ -26,6 +26,7 @@ import random
 import numpy as np
 
 from repro.ann.distance import DISTANCES, DistanceFn
+from repro.obs.work import WORK_ANN_DISTANCE_EVALS
 
 
 class _Node:
@@ -138,23 +139,31 @@ class HnswIndex:
         if level > top:
             self._entry_point = item_id
 
-    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> list[tuple[int, float]]:
+    def search(
+        self, query: np.ndarray, k: int, ef: int | None = None, work=None
+    ) -> list[tuple[int, float]]:
         """Return approximately the *k* nearest items to *query*.
 
         Results are ``(item_id, distance)`` sorted by ascending distance.
         ``ef`` overrides the index default candidate width for this query.
+        *work* is an optional :class:`~repro.obs.work.WorkCounters`; the
+        graph walk is the source of truth for ``ann_distance_evals`` (one
+        unit per distance computation, descent and base layer alike).
         """
         if k <= 0 or self._entry_point is None:
             return []
         ef = max(ef if ef is not None else self.ef_search, k)
         query = np.asarray(query, dtype=np.float64)
+        evals = [0] if work is not None else None
 
         current = self._entry_point
         for layer in range(self._nodes[current].level, 0, -1):
-            current = self._greedy_closest(query, current, layer)
+            current = self._greedy_closest(query, current, layer, evals)
 
-        candidates = self._search_layer(query, [current], ef, 0)
+        candidates = self._search_layer(query, [current], ef, 0, evals)
         candidates.sort()
+        if evals is not None and evals[0]:
+            work.add(WORK_ANN_DISTANCE_EVALS, evals[0])
         return [(item_id, distance) for distance, item_id in candidates[:k]]
 
     # -- internals ---------------------------------------------------------
@@ -162,22 +171,33 @@ class HnswIndex:
     def _draw_level(self) -> int:
         return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
 
-    def _greedy_closest(self, query: np.ndarray, start: int, layer: int) -> int:
+    def _greedy_closest(
+        self, query: np.ndarray, start: int, layer: int, evals: list[int] | None = None
+    ) -> int:
         """Greedy ef=1 descent on one layer: follow improving edges."""
         current = start
         current_distance = self._distance(query, self._nodes[current].vector)
+        if evals is not None:
+            evals[0] += 1
         improved = True
         while improved:
             improved = False
             for neighbor_id in self._nodes[current].neighbors[layer]:
                 distance = self._distance(query, self._nodes[neighbor_id].vector)
+                if evals is not None:
+                    evals[0] += 1
                 if distance < current_distance:
                     current, current_distance = neighbor_id, distance
                     improved = True
         return current
 
     def _search_layer(
-        self, query: np.ndarray, entry_points: list[int], ef: int, layer: int
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        ef: int,
+        layer: int,
+        evals: list[int] | None = None,
     ) -> list[tuple[float, int]]:
         """Algorithm 2: best-first search with dynamic list of width *ef*."""
         visited = set(entry_points)
@@ -185,6 +205,8 @@ class HnswIndex:
         results: list[tuple[float, int]] = []  # max-heap via negated distance
         for point in entry_points:
             distance = self._distance(query, self._nodes[point].vector)
+            if evals is not None:
+                evals[0] += 1
             heapq.heappush(candidates, (distance, point))
             heapq.heappush(results, (-distance, point))
 
@@ -198,6 +220,8 @@ class HnswIndex:
                     continue
                 visited.add(neighbor_id)
                 neighbor_distance = self._distance(query, self._nodes[neighbor_id].vector)
+                if evals is not None:
+                    evals[0] += 1
                 worst = -results[0][0]
                 if len(results) < ef or neighbor_distance < worst:
                     heapq.heappush(candidates, (neighbor_distance, neighbor_id))

@@ -52,6 +52,12 @@ class AskOptions:
             backend injects its session token here, so anaphoric turns
             resolve against the right conversation.  "" disables session
             memory for the request.
+        profile: request deterministic work accounting (and, implicitly,
+            a per-stage trace — profiling piggybacks on spans).  The
+            accrued counts ride back on ``response.work`` as a
+            ``{kind: units}`` dict (see :mod:`repro.obs.work`); with the
+            default False no counter is allocated and the pipeline runs
+            exactly the pre-profiling code.
     """
 
     filters: dict[str, str] | None = None
@@ -61,6 +67,7 @@ class AskOptions:
     explain: bool = False
     route: str = ""
     session_id: str = ""
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_POLICIES:
@@ -142,3 +149,8 @@ class AskResponse:
     def route(self) -> str:
         """The agent route that served the question ("" when agents are off)."""
         return self.answer.route
+
+    @property
+    def work(self) -> dict[str, int] | None:
+        """Deterministic work counts (``{kind: units}``), when profiling."""
+        return self.answer.work

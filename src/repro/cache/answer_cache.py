@@ -30,6 +30,12 @@ from repro.cache.config import CacheConfig
 from repro.cache.key import CacheKey, answer_cache_key
 from repro.core.answer import UniAskAnswer
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.work import (
+    WORK_CACHE_EXACT_HITS,
+    WORK_CACHE_EXACT_MISSES,
+    WORK_CACHE_SEMANTIC_HITS,
+    WORK_CACHE_SEMANTIC_MISSES,
+)
 from repro.pipeline.clock import SimulatedClock
 from repro.text.analyzer import FULL_ANALYZER
 
@@ -158,6 +164,7 @@ class AnswerCache:
         key: CacheKey,
         epoch: int,
         embed_fn: Callable[[], np.ndarray] | None = None,
+        work=None,
     ) -> CacheHit | None:
         """Serve *key* at *epoch*, trying exact first, then semantic.
 
@@ -165,20 +172,31 @@ class AnswerCache:
         embedding; it is called at most once, and only when the semantic
         tier is active and the store holds candidate entries.  Returns
         None on a miss (counted once, whichever tiers were tried).
+
+        *work* optionally books one ``cache_exact_hits``/``…_misses``
+        unit for the exact consult and one ``cache_semantic_hits``/
+        ``…_misses`` unit when the semantic tier was actually tried.
         """
         now = self._clock.now()
         entry = self._entries.get(key)
+        if entry is not None and not self._valid(key, entry, epoch, now):
+            entry = None
         if entry is not None:
-            if not self._valid(key, entry, epoch, now):
-                entry = None
-            else:
-                self._entries.move_to_end(key)
-                self.stats.hits_exact += 1
-                self._m_events.labels("hit_exact").inc()
-                return CacheHit(answer=entry.answer, kind=HIT_EXACT, similarity=1.0)
+            if work is not None:
+                work.add(WORK_CACHE_EXACT_HITS)
+            self._entries.move_to_end(key)
+            self.stats.hits_exact += 1
+            self._m_events.labels("hit_exact").inc()
+            return CacheHit(answer=entry.answer, kind=HIT_EXACT, similarity=1.0)
+        if work is not None:
+            work.add(WORK_CACHE_EXACT_MISSES)
 
         if self.config.semantic_tier_active and embed_fn is not None:
             hit = self._semantic_lookup(key, epoch, now, embed_fn)
+            if work is not None:
+                work.add(
+                    WORK_CACHE_SEMANTIC_HITS if hit is not None else WORK_CACHE_SEMANTIC_MISSES
+                )
             if hit is not None:
                 self.stats.hits_semantic += 1
                 self._m_events.labels("hit_semantic").inc()
@@ -246,7 +264,9 @@ class AnswerCache:
         The stored answer is stripped of its per-request envelope (trace,
         response time, hit markers) so every future hit starts clean.
         """
-        answer = replace(answer, trace=None, response_time=0.0, cache_hit="", cache_similarity=0.0)
+        answer = replace(
+            answer, trace=None, response_time=0.0, cache_hit="", cache_similarity=0.0, work=None
+        )
         if key in self._entries:
             del self._entries[key]  # refresh re-inserts at the LRU tail
         self._entries[key] = _Entry(

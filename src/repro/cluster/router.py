@@ -30,6 +30,11 @@ from repro.cluster.sharded_index import ShardedSearchIndex
 from repro.obs import spans
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import RequestContext, null_context
+from repro.obs.work import (
+    WORK_RETRIEVAL_CACHE_HITS,
+    WORK_RETRIEVAL_CACHE_MISSES,
+    WORK_SCATTER_LEGS,
+)
 from repro.pipeline.clock import SimulatedClock
 from repro.search.fulltext import FullTextSearch, ScoringProfile
 from repro.search.fusion import reciprocal_rank_fusion
@@ -304,6 +309,7 @@ class ClusterSearcher:
                 query, filters, config.mode, config.text_n, config.vector_k
             )
         probes: list[ShardProbe] = []
+        work = ctx.work
         now = self._clock.now()
         with ctx.trace.span(spans.STAGE_SCATTER, shards=self._index.num_shards) as scatter:
             for shard_id in self._index.shard_ids:
@@ -312,10 +318,13 @@ class ClusterSearcher:
                 with ctx.trace.span(spans.shard_stage(shard_id)) as span:
                     gathered = 0
                     served_from_cache = False
+                    mark = work.snapshot() if work is not None else None
                     if probe.ok:
+                        if work is not None:
+                            work.add(WORK_SCATTER_LEGS)
                         leg_text, leg_vector, served_from_cache = self._shard_legs(
                             shard_id, cache_key, query, query_vector, filters,
-                            explain=ctx.explain,
+                            explain=ctx.explain, work=work,
                         )
                         text_candidates.extend(leg_text)
                         gathered += len(leg_text)
@@ -332,6 +341,9 @@ class ClusterSearcher:
                     )
                     if served_from_cache:
                         span.set("cached", True)
+                    if work is not None:
+                        for kind, units in work.delta(mark).items():
+                            span.set(f"work_{kind}", units)
             scatter.set("failed", sum(1 for probe in probes if not probe.ok))
         report = ScatterReport(probes=tuple(probes))
         self._last_report = report
@@ -355,6 +367,7 @@ class ClusterSearcher:
         query_vector,
         filters: dict[str, str] | None,
         explain: bool = False,
+        work=None,
     ):
         """The text and vector leg results of one shard, cached when possible.
 
@@ -363,7 +376,10 @@ class ClusterSearcher:
         simulated service time (charged at the gather barrier), not a
         serial sum of local stage costs.  With *explain* the legs run under
         a traceless explain context (per-term BM25 breakdowns) and every
-        gathered chunk is tagged with its shard of origin.
+        gathered chunk is tagged with its shard of origin.  With *work* the
+        legs run under a traceless work-carrying context so kernel-level
+        counters attribute to the request; the retrieval-cache consult
+        books one ``retrieval_cache_hits``/``retrieval_cache_misses`` unit.
 
         Returns ``(text_leg, [(field, vector_leg), ...], served_from_cache)``.
         """
@@ -371,10 +387,19 @@ class ClusterSearcher:
         if cache_key is not None:
             generation = self._leg_generation(shard_id)
             cached = self.retrieval_cache.get(shard_id, cache_key, generation)
+            if work is not None:
+                work.add(
+                    WORK_RETRIEVAL_CACHE_HITS
+                    if cached is not None
+                    else WORK_RETRIEVAL_CACHE_MISSES
+                )
             if cached is not None:
                 return cached.text, cached.vector, True
 
-        leg_ctx = _EXPLAIN_LEG_CONTEXT if explain else None
+        if work is not None:
+            leg_ctx = RequestContext(explain=explain, work=work)
+        else:
+            leg_ctx = _EXPLAIN_LEG_CONTEXT if explain else None
         leg_text: list[RetrievedChunk] = []
         leg_vector: dict[str, list[RetrievedChunk]] = {}
         if config.mode in ("hybrid", "text"):

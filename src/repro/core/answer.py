@@ -81,6 +81,11 @@ class UniAskAnswer:
         generation_kind: the typed classification of the LLM reply that
             produced ``raw_answer`` (a ``RESPONSE_KIND_*`` constant of
             :mod:`repro.llm.base`), or "" when generation was skipped.
+        work: deterministic work counts (``{kind: units}``, sorted keys;
+            see :mod:`repro.obs.work`) accrued serving this request, or
+            None unless the request asked for profiling — the pre-profiling
+            pipeline never sets it, keeping serialized answers
+            byte-identical.
     """
 
     question: str
@@ -99,6 +104,7 @@ class UniAskAnswer:
     explain_report: ExplainReport | None = None
     route: str = ""
     generation_kind: str = ""
+    work: dict[str, int] | None = None
 
     @property
     def answered(self) -> bool:

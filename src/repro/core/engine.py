@@ -50,6 +50,7 @@ from repro.llm.prompts import build_answer_prompt, context_from_results
 from repro.obs import spans
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import RequestContext, null_context
+from repro.obs.work import WorkCounters
 from repro.search.hybrid import HybridSemanticSearch
 from repro.search.results import RetrievedChunk
 
@@ -150,20 +151,27 @@ class UniAskEngine:
             request = AskRequest(question=request)
         options = request.options
         if ctx is None:
-            if options.trace:
+            work = WorkCounters() if options.profile else None
+            if options.trace or options.profile:
+                # Profiling piggybacks on spans, so it implies a trace.
                 ctx = RequestContext.traced(
-                    request_id=options.request_id, explain=options.explain
+                    request_id=options.request_id, explain=options.explain, work=work
                 )
             elif options.explain:
                 ctx = RequestContext(request_id=options.request_id, explain=True)
             else:
                 ctx = null_context()
-        elif options.explain and not ctx.explain:
-            # Never mutate the caller's context (it may be the shared null
-            # singleton); rewrap it with the explain flag raised.
-            ctx = RequestContext(
-                trace=ctx.trace, request_id=ctx.request_id, explain=True
-            )
+        else:
+            explain = ctx.explain or options.explain
+            work = ctx.work
+            if options.profile and work is None:
+                work = WorkCounters()
+            if explain is not ctx.explain or work is not ctx.work:
+                # Never mutate the caller's context (it may be the shared null
+                # singleton); rewrap it with the raised flags.
+                ctx = RequestContext(
+                    trace=ctx.trace, request_id=ctx.request_id, explain=explain, work=work
+                )
         trace = ctx.trace
         self._last_scatter = None
         try:
@@ -178,7 +186,7 @@ class UniAskEngine:
                     answer = replace(answer, route=route)
                     root.set("route", route)
                 if options.explain:
-                    answer = replace(answer, explain_report=self._explain(answer))
+                    answer = replace(answer, explain_report=self._explain(answer, ctx))
                 root.set("outcome", answer.outcome)
         except BaseException:
             # A stage that raises must not leave the previous request's
@@ -190,6 +198,8 @@ class UniAskEngine:
             answer = replace(answer, partial_results=True)
         if trace.enabled:
             answer = replace(answer, trace=trace)
+        if ctx.work is not None:
+            answer = replace(answer, work=ctx.work.snapshot())
         if self.orchestrator is not None and route:
             self.orchestrator.finish(request.question, answer, options, route)
         return AskResponse(answer=answer, request=request)
@@ -254,9 +264,16 @@ class UniAskEngine:
         epoch = getattr(self._searcher.index, "generation", 0)
         embedder = self._searcher.index.embedder
         if options.cache != CACHE_REFRESH:
+            work = ctx.work
             with ctx.trace.span(spans.STAGE_CACHE_LOOKUP, entries=len(cache)) as span:
-                hit = cache.lookup(key, epoch, embed_fn=lambda: embedder.embed(question))
+                mark = work.snapshot() if work is not None else None
+                hit = cache.lookup(
+                    key, epoch, embed_fn=lambda: embedder.embed(question), work=work
+                )
                 span.set("hit", hit.kind if hit is not None else "")
+                if work is not None:
+                    for kind, units in work.delta(mark).items():
+                        span.set(f"work_{kind}", units)
             if hit is not None:
                 return replace(
                     hit.answer, cache_hit=hit.kind, cache_similarity=hit.similarity
@@ -283,7 +300,7 @@ class UniAskEngine:
             return self._ask_staged(question, options.filters, ctx)
         return self.orchestrator.execute(self, question, options, ctx, route)
 
-    def _explain(self, answer: UniAskAnswer):
+    def _explain(self, answer: UniAskAnswer, ctx: RequestContext):
         """Fold the answer's retrieval components into an ExplainReport."""
         from repro.obs.explain import build_explain_report
 
@@ -294,6 +311,7 @@ class UniAskEngine:
             rrf_c=config.rrf_c,
             mode=config.mode,
             route=answer.route,
+            work=ctx.work.snapshot() if ctx.work is not None else None,
         )
 
     def _cacheable(self, answer: UniAskAnswer) -> bool:

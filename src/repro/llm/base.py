@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.obs import spans
 from repro.obs.trace import RequestContext, null_context
+from repro.obs.work import WORK_LLM_COMPLETION_TOKENS, WORK_LLM_PROMPT_TOKENS
 
 #: The chat roles accepted by the API.
 ROLES = ("system", "user", "assistant")
@@ -101,12 +102,17 @@ def traced_complete(
     raising client marks the span as errored before propagating.  With the
     null context this is a plain ``client.complete`` call — the prompt-size
     accounting is skipped entirely, keeping the untraced hot path free of
-    observability cost.
+    observability cost.  When ``ctx.work`` is set the response's token
+    usage is booked as ``llm_prompt_tokens``/``llm_completion_tokens``
+    (the completion API is the source of truth), even if tracing is off.
     """
     ctx = ctx or null_context()
     trace = ctx.trace
+    work = ctx.work
     if not trace.enabled:
-        return client.complete(messages, temperature=temperature, max_tokens=max_tokens)
+        response = client.complete(messages, temperature=temperature, max_tokens=max_tokens)
+        _book_usage(work, response)
+        return response
     with trace.span(
         stage,
         messages=len(messages),
@@ -118,7 +124,21 @@ def traced_complete(
             completion_tokens=response.usage.completion_tokens,
             finish_reason=response.finish_reason,
         )
+        if work is not None:
+            span.annotate(
+                work_llm_prompt_tokens=response.usage.prompt_tokens,
+                work_llm_completion_tokens=response.usage.completion_tokens,
+            )
+        _book_usage(work, response)
     return response
+
+
+def _book_usage(work, response: ChatResponse) -> None:
+    """Book one completion's token usage into *work* (no-op when None)."""
+    if work is None:
+        return
+    work.add(WORK_LLM_PROMPT_TOKENS, response.usage.prompt_tokens)
+    work.add(WORK_LLM_COMPLETION_TOKENS, response.usage.completion_tokens)
 
 
 def system(content: str) -> ChatMessage:

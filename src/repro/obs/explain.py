@@ -182,6 +182,9 @@ class ExplainReport:
             deployments; a multi-hop report's ``rrf_hop_*`` contributions
             sum bit-exactly to the fused score just like single-query
             ``rrf_*`` legs do).
+        work: deterministic work counts accrued up to the point the report
+            was built (``{kind: units}``, see :mod:`repro.obs.work`), or
+            None when the request ran without profiling.
     """
 
     question: str
@@ -189,6 +192,7 @@ class ExplainReport:
     mode: str
     entries: tuple[ChunkExplanation, ...]
     route: str = ""
+    work: dict[str, int] | None = None
 
     @property
     def sums_exact(self) -> bool:
@@ -206,8 +210,9 @@ class ExplainReport:
     def to_dict(self) -> dict:
         """JSON-ready representation of the whole report.
 
-        The ``route`` key only appears for agent-routed reports, keeping
-        agents-off JSON byte-identical to the pre-agents format.
+        The ``route`` key only appears for agent-routed reports, and the
+        ``work`` block only for profiled requests, keeping the
+        pre-agents / pre-profiling JSON byte-identical.
         """
         report = {
             "question": self.question,
@@ -218,6 +223,8 @@ class ExplainReport:
         }
         if self.route:
             report["route"] = self.route
+        if self.work is not None:
+            report["work"] = dict(self.work)
         return report
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -236,6 +243,9 @@ class ExplainReport:
             f"explain: {self.question!r} (mode={self.mode}, rrf_c={self.rrf_c:g}, "
             f"sums_exact={self.sums_exact}{route})"
         ]
+        if self.work:
+            shown = ", ".join(f"{kind}={units}" for kind, units in sorted(self.work.items()))
+            lines.append(f"work: {shown}")
         for entry in self.entries[:top]:
             shard = f" shard={entry.shard}" if entry.shard is not None else ""
             lines.append(
@@ -293,6 +303,7 @@ def build_explain_report(
     rrf_c: float,
     mode: str = "hybrid",
     route: str = "",
+    work: dict[str, int] | None = None,
 ) -> ExplainReport:
     """Fold the component breakdowns of *results* into an explain report.
 
@@ -338,5 +349,10 @@ def build_explain_report(
             )
         )
     return ExplainReport(
-        question=question, rrf_c=rrf_c, mode=mode, entries=tuple(entries), route=route
+        question=question,
+        rrf_c=rrf_c,
+        mode=mode,
+        entries=tuple(entries),
+        route=route,
+        work=work,
     )

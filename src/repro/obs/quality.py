@@ -24,7 +24,12 @@ truth sampled from :mod:`repro.corpus.queries` through the live engine —
 cache-bypassed, so they measure the pipeline and not the cache — and
 record recall@k / MRR / groundedness / guardrail-rate gauges into the
 metrics registry.  The first run freezes the baseline; later runs alert on
-relative degradation beyond per-metric tolerances.
+relative degradation beyond per-metric tolerances.  With
+``record_work=True`` each probe is additionally served with profiling
+enabled and its deterministic work counts recorded (per probe and in
+aggregate), so *work drift* — a kernel suddenly scanning more postings, an
+index refresh doubling segments touched — pages through the same alert
+surface as quality drift.
 
 Both mechanisms emit :class:`QualityAlert` values which
 :func:`repro.service.alerting.evaluate_quality_alerts` adapts into the
@@ -628,6 +633,11 @@ class CanaryReport:
             when no judge was configured).
         partial_results: probes served by a degraded cluster.
         started_at: simulated clock reading when the run started.
+        work: aggregate deterministic work counts (``{kind: units}``)
+            booked by the probes, when the runner records work — the
+            pipeline is deterministic, so any movement against the
+            baseline is real drift (index growth, config change, a
+            regressed kernel), never noise.  None when not recorded.
     """
 
     probes_run: int
@@ -640,10 +650,11 @@ class CanaryReport:
     groundedness: float
     partial_results: int
     started_at: float
+    work: dict[str, int] | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready representation (CI artifacts)."""
-        return {
+        payload = {
             "probes_run": self.probes_run,
             "recall_at_4": self.recall_at_4,
             "mrr": self.mrr,
@@ -655,6 +666,9 @@ class CanaryReport:
             "partial_results": self.partial_results,
             "started_at": self.started_at,
         }
+        if self.work is not None:
+            payload["work"] = dict(self.work)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -670,6 +684,10 @@ class CanaryThresholds:
     max_guardrail_rise: float = 0.20
     max_citation_drop: float = 0.25
     max_groundedness_drop: float = 0.25
+    #: Maximum tolerated *relative* movement (either direction) of a work
+    #: counter against the baseline run.  The pipeline is deterministic, so
+    #: the default of 0.0 flags any change at all.
+    max_work_drift: float = 0.0
 
 
 class CanaryRunner:
@@ -692,6 +710,10 @@ class CanaryRunner:
         thresholds: degradation tolerances against the baseline.
         baseline: explicit baseline report (otherwise the first run).
         monitor: quality monitor receiving each run's alerts.
+        record_work: serve each probe with profiling enabled and record
+            its deterministic work counts — per probe in
+            :attr:`last_work`, aggregated on the report — so work drift
+            (a silent capacity regression) alerts like quality drift.
     """
 
     def __init__(
@@ -704,6 +726,7 @@ class CanaryRunner:
         thresholds: CanaryThresholds | None = None,
         baseline: CanaryReport | None = None,
         monitor: QualityMonitor | None = None,
+        record_work: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -714,8 +737,11 @@ class CanaryRunner:
         self.thresholds = thresholds or CanaryThresholds()
         self.baseline = baseline
         self._monitor = monitor
+        self._record_work = record_work
         self.last_report: CanaryReport | None = None
         self.last_alerts: tuple[QualityAlert, ...] = ()
+        #: Per-probe work counts of the latest run (``{probe_id: {kind: units}}``).
+        self.last_work: dict[str, dict[str, int]] = {}
         self._next_due = 0.0
         registry = registry or NULL_REGISTRY
         self._m_runs = registry.counter(
@@ -728,6 +754,11 @@ class CanaryRunner:
         )
         self._g_alerts = registry.gauge(
             "uniask_canary_alerts", "Quality alerts raised by the latest canary run."
+        )
+        self._g_work = registry.gauge(
+            "uniask_canary_work_units",
+            "Aggregate deterministic work units of the latest canary run, by kind.",
+            ("kind",),
         )
 
     def due(self, now: float) -> bool:
@@ -755,6 +786,8 @@ class CanaryRunner:
         fired = 0
         cited = 0
         partial = 0
+        work_totals: dict[str, int] = {}
+        work_per_probe: dict[str, dict[str, int]] = {}
         from repro.eval.metrics import hit_rate_at, recall_at, reciprocal_rank
 
         for probe in self._suite.probes:
@@ -781,10 +814,15 @@ class CanaryRunner:
                         cache=CACHE_BYPASS,
                         request_id=probe.probe_id,
                         session_id=session_id,
+                        profile=self._record_work,
                     ),
                 )
             )
             answer = response.answer
+            if self._record_work and response.work is not None:
+                work_per_probe[probe.probe_id] = dict(response.work)
+                for kind, units in response.work.items():
+                    work_totals[kind] = work_totals.get(kind, 0) + units
             ranked = [
                 chunk.doc_id for chunk in dedupe_by_document(list(answer.documents))
             ]
@@ -824,13 +862,18 @@ class CanaryRunner:
             ),
             partial_results=partial,
             started_at=now,
+            work=dict(sorted(work_totals.items())) if self._record_work else None,
         )
         self.last_report = report
+        self.last_work = work_per_probe
         self._m_runs.inc()
         for metric, value in report.to_dict().items():
-            if metric == "started_at":
+            if metric in ("started_at", "work"):
                 continue
             self._g_metric.labels(metric).set(float(value))
+        if report.work:
+            for kind, units in report.work.items():
+                self._g_work.labels(kind).set(float(units))
         if self.baseline is None:
             self.baseline = report
         alerts = self.evaluate(report)
@@ -876,6 +919,24 @@ class CanaryRunner:
                 baseline.groundedness,
                 t.max_groundedness_drop,
             )
+        if report.work is not None and baseline.work is not None:
+            for kind in sorted(set(baseline.work) | set(report.work)):
+                reference = baseline.work.get(kind, 0)
+                current = report.work.get(kind, 0)
+                if current == reference:
+                    continue
+                if abs(current - reference) / max(abs(reference), 1) > t.max_work_drift:
+                    alerts.append(
+                        QualityAlert(
+                            name=f"canary_work_{kind}",
+                            severity=SEVERITY_WARNING,
+                            message=(
+                                f"canary work {kind} moved to {current} from "
+                                f"baseline {reference} (tolerance "
+                                f"{t.max_work_drift:.0%} relative)"
+                            ),
+                        )
+                    )
         if report.guardrail_fire_rate - baseline.guardrail_fire_rate > t.max_guardrail_rise:
             alerts.append(
                 QualityAlert(

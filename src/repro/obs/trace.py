@@ -105,6 +105,7 @@ class _SpanScope:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self._span.status = STATUS_ERROR
+            self._span.attributes["error_type"] = exc_type.__name__
         self._trace._close(self._span)
         return False
 
@@ -190,16 +191,34 @@ class Trace:
         return (span for span in self._spans if span.is_leaf)
 
     def stage_durations(self) -> dict[str, float]:
-        """Leaf-stage durations keyed by span name (duplicates summed)."""
+        """Completed leaf-stage durations keyed by span name (duplicates
+        summed).
+
+        Spans still open — a request that raised mid-stage — are excluded
+        rather than silently counted as 0.0s; check
+        :attr:`open_span_count` to tell a truncated trace from a short one.
+        """
         durations: dict[str, float] = {}
         for span in self.leaf_spans():
+            if span.end is None:
+                continue
             durations[span.name] = durations.get(span.name, 0.0) + span.duration
         return durations
 
     @property
+    def open_span_count(self) -> int:
+        """Spans opened but never closed (non-zero only for truncated
+        traces, e.g. a request that raised mid-stage)."""
+        return sum(1 for span in self._spans if span.end is None)
+
+    @property
     def total_duration(self) -> float:
-        """Summed duration of the top-level spans."""
-        return sum(span.duration for span in self._spans if span.depth == 0)
+        """Summed duration of the completed top-level spans."""
+        return sum(
+            span.duration
+            for span in self._spans
+            if span.depth == 0 and span.end is not None
+        )
 
     def format_table(self) -> str:
         """Render the per-stage timing table (the ``--trace`` CLI output)."""
@@ -261,16 +280,25 @@ class RequestContext:
             ``components`` so :mod:`repro.obs.explain` can assemble the
             per-chunk report.  Off by default: the explain=False path runs
             exactly the pre-explain code.
+        work: the request's :class:`~repro.obs.work.WorkCounters`, or None
+            (the default) when work accounting is off — every instrumented
+            site guards with ``if work is not None`` so the disabled path
+            is byte-identical to the pre-accounting pipeline.
     """
 
-    __slots__ = ("trace", "request_id", "explain")
+    __slots__ = ("trace", "request_id", "explain", "work")
 
     def __init__(
-        self, trace: Trace | None = None, request_id: str = "", explain: bool = False
+        self,
+        trace: Trace | None = None,
+        request_id: str = "",
+        explain: bool = False,
+        work=None,
     ) -> None:
         self.trace = trace if trace is not None else NULL_TRACE
         self.request_id = request_id
         self.explain = explain
+        self.work = work
 
     @property
     def tracing(self) -> bool:
@@ -279,10 +307,15 @@ class RequestContext:
 
     @classmethod
     def traced(
-        cls, clock=None, cost=None, request_id: str = "", explain: bool = False
+        cls, clock=None, cost=None, request_id: str = "", explain: bool = False, work=None
     ) -> "RequestContext":
         """A context with tracing enabled on a fresh :class:`Trace`."""
-        return cls(trace=Trace(clock=clock, cost=cost), request_id=request_id, explain=explain)
+        return cls(
+            trace=Trace(clock=clock, cost=cost),
+            request_id=request_id,
+            explain=explain,
+            work=work,
+        )
 
 
 #: Shared disabled trace / context — the zero-cost default of every stage.

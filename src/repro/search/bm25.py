@@ -19,6 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.work import (
+    WORK_DOCS_SCORED,
+    WORK_MAXSCORE_ADMITTED,
+    WORK_MAXSCORE_PRUNED,
+    WORK_POSTINGS_SCANNED,
+    WORK_SEGMENTS_TOUCHED,
+)
 from repro.search.inverted import InvertedIndex
 from repro.search.kernels import KernelView
 
@@ -95,15 +102,22 @@ class Bm25Scorer:
         df = self._index.document_frequency(term)
         return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
 
-    def score_all(self, query_terms: list[str]) -> dict[int, float]:
-        """BM25 scores of every document matching at least one query term."""
+    def score_all(self, query_terms: list[str], work=None) -> dict[int, float]:
+        """BM25 scores of every document matching at least one query term.
+
+        *work* is an optional :class:`~repro.obs.work.WorkCounters`; the
+        loop scorer is the non-kernel source of truth for
+        ``postings_scanned`` and ``docs_scored``.
+        """
         parameters = self._parameters
         average_length = self._index.average_length or 1.0
         scores: dict[int, float] = {}
+        scanned = 0
         for term in query_terms:
             postings = self._index.postings(term)
             if not postings:
                 continue
+            scanned += len(postings)
             idf = self.idf(term)
             for doc_id, tf in postings.items():
                 length_norm = 1.0 - parameters.b + parameters.b * (
@@ -111,10 +125,15 @@ class Bm25Scorer:
                 )
                 contribution = idf * tf * (parameters.k1 + 1.0) / (tf + parameters.k1 * length_norm)
                 scores[doc_id] = scores.get(doc_id, 0.0) + contribution
+        if work is not None:
+            if scanned:
+                work.add(WORK_POSTINGS_SCANNED, scanned)
+            if scores:
+                work.add(WORK_DOCS_SCORED, len(scores))
         return scores
 
     def score_all_explained(
-        self, query_terms: list[str]
+        self, query_terms: list[str], work=None
     ) -> tuple[dict[int, float], dict[int, dict[str, float]]]:
         """Like :meth:`score_all`, plus a per-term contribution breakdown.
 
@@ -130,10 +149,12 @@ class Bm25Scorer:
         average_length = self._index.average_length or 1.0
         scores: dict[int, float] = {}
         per_term: dict[int, dict[str, float]] = {}
+        scanned = 0
         for term in query_terms:
             postings = self._index.postings(term)
             if not postings:
                 continue
+            scanned += len(postings)
             idf = self.idf(term)
             for doc_id, tf in postings.items():
                 length_norm = 1.0 - parameters.b + parameters.b * (
@@ -143,15 +164,20 @@ class Bm25Scorer:
                 scores[doc_id] = scores.get(doc_id, 0.0) + contribution
                 breakdown = per_term.setdefault(doc_id, {})
                 breakdown[term] = breakdown.get(term, 0.0) + contribution
+        if work is not None:
+            if scanned:
+                work.add(WORK_POSTINGS_SCANNED, scanned)
+            if scores:
+                work.add(WORK_DOCS_SCORED, len(scores))
         return scores, per_term
 
-    def top_n(self, query_terms: list[str], n: int) -> list[tuple[int, float]]:
+    def top_n(self, query_terms: list[str], n: int, work=None) -> list[tuple[int, float]]:
         """The *n* best-scoring documents as ``(doc_id, score)`` pairs."""
         if n <= 0:
             return []
         if self._use_kernels:
-            return self._top_n_kernel(query_terms, n)
-        scores = self.score_all(query_terms)
+            return self._top_n_kernel(query_terms, n, work=work)
+        scores = self.score_all(query_terms, work=work)
         ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
         return ranked[:n]
 
@@ -168,7 +194,9 @@ class Bm25Scorer:
             sequence.append((term, idf))
         return sequence
 
-    def score_arrays(self, query_terms: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    def score_arrays(
+        self, query_terms: list[str], work=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Kernel-path equivalent of :meth:`score_all`, as parallel arrays.
 
         Returns ``(doc_ids, scores)`` covering every live document matching
@@ -179,7 +207,7 @@ class Bm25Scorer:
         """
         empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
         if not self._use_kernels:
-            scores = self.score_all(query_terms)
+            scores = self.score_all(query_terms, work=work)
             if not scores:
                 return empty
             ids = np.fromiter(scores.keys(), dtype=np.int64, count=len(scores))
@@ -188,17 +216,25 @@ class Bm25Scorer:
         views: list[KernelView] = self._index.kernel_views()
         if not views:
             return empty
+        if work is not None:
+            work.add(WORK_SEGMENTS_TOUCHED, len(views))
         sequence = self._term_sequence(query_terms)
         k1, b = self._parameters.k1, self._parameters.b
         average_length = self._index.average_length or 1.0
         id_parts: list[np.ndarray] = []
         score_parts: list[np.ndarray] = []
+        scored = 0
         for view in views:
-            acc, touched = view.kernel.accumulate_bm25(sequence, k1, b, average_length)
+            acc, touched = view.kernel.accumulate_bm25(
+                sequence, k1, b, average_length, work=work
+            )
             slots = view.live_slots(np.nonzero(touched)[0])
             if slots.size:
+                scored += int(slots.size)
                 id_parts.append(view.kernel.doc_ids[slots])
                 score_parts.append(acc[slots])
+        if work is not None and scored:
+            work.add(WORK_DOCS_SCORED, scored)
         if not id_parts:
             return empty
         return np.concatenate(id_parts), np.concatenate(score_parts)
@@ -211,6 +247,7 @@ class Bm25Scorer:
         k1: float,
         b: float,
         average_length: float,
+        work=None,
     ) -> list[tuple[int, float]]:
         """One exact accumulation pass in query order, then select top-*n*.
 
@@ -221,12 +258,18 @@ class Bm25Scorer:
         """
         id_parts: list[np.ndarray] = []
         score_parts: list[np.ndarray] = []
+        scored = 0
         for view in views:
-            acc, touched = view.kernel.accumulate_bm25(sequence, k1, b, average_length)
+            acc, touched = view.kernel.accumulate_bm25(
+                sequence, k1, b, average_length, work=work
+            )
             slots = view.live_slots(np.nonzero(touched)[0])
             if slots.size:
+                scored += int(slots.size)
                 id_parts.append(view.kernel.doc_ids[slots])
                 score_parts.append(acc[slots])
+        if work is not None and scored:
+            work.add(WORK_DOCS_SCORED, scored)
         if not id_parts:
             return []
         ids = np.concatenate(id_parts)
@@ -242,7 +285,9 @@ class Bm25Scorer:
         ranked = np.lexsort((ids, -scores))[:n]
         return [(int(ids[i]), float(scores[i])) for i in ranked]
 
-    def _top_n_kernel(self, query_terms: list[str], n: int) -> list[tuple[int, float]]:
+    def _top_n_kernel(
+        self, query_terms: list[str], n: int, work=None
+    ) -> list[tuple[int, float]]:
         """Pruned top-*n* over kernel views, bit-identical to the loop path.
 
         Short queries (fewer than :data:`PRUNE_MIN_TERMS` analyzed entries)
@@ -259,11 +304,13 @@ class Bm25Scorer:
         views: list[KernelView] = self._index.kernel_views()
         if not views:
             return []
+        if work is not None:
+            work.add(WORK_SEGMENTS_TOUCHED, len(views))
         sequence = self._term_sequence(query_terms)
         k1, b = self._parameters.k1, self._parameters.b
         average_length = self._index.average_length or 1.0
         if len(sequence) < PRUNE_MIN_TERMS:
-            return self._rank_exact(views, sequence, n, k1, b, average_length)
+            return self._rank_exact(views, sequence, n, k1, b, average_length, work=work)
         bounds = [
             max(view.kernel.term_bound(term, idf, k1, b, average_length) for view in views)
             for term, idf in sequence
@@ -271,11 +318,12 @@ class Bm25Scorer:
         order = sorted(range(len(sequence)), key=lambda i: (-bounds[i], i))
         accs = [np.zeros(len(view.kernel), dtype=np.float64) for view in views]
         toucheds = [np.zeros(len(view.kernel), dtype=bool) for view in views]
+        stopped_at = len(order)
         for position, entry_index in enumerate(order):
             entry = sequence[entry_index]
             for view, acc, touched in zip(views, accs, toucheds):
                 view.kernel.accumulate_bm25(
-                    [entry], k1, b, average_length, acc=acc, touched=touched
+                    [entry], k1, b, average_length, acc=acc, touched=touched, work=work
                 )
             partials = [
                 acc[touched if view.live is None else (touched & view.live)]
@@ -290,19 +338,37 @@ class Bm25Scorer:
             # Deflate theta a hair: partial sums reassociate relative to the
             # final accumulation order, so an ulp-high theta must not prune.
             if remaining < theta * (1.0 - 1e-9):
+                stopped_at = position + 1
                 break
+        if work is not None:
+            # Pruned work = the postings the admission stop let us skip:
+            # every posting of every unprocessed term.  Zero when admission
+            # ran the full term list — "pruning stopped firing" is visible
+            # as this counter going to 0.
+            pruned = sum(
+                view.kernel.document_frequency(sequence[entry_index][0])
+                for entry_index in order[stopped_at:]
+                for view in views
+            )
+            if pruned:
+                work.add(WORK_MAXSCORE_PRUNED, pruned)
         id_parts: list[np.ndarray] = []
         score_parts: list[np.ndarray] = []
+        admitted = 0
         for view, touched in zip(views, toucheds):
             candidates = touched if view.live is None else (touched & view.live)
             slots = np.nonzero(candidates)[0]
             if not slots.size:
                 continue
+            admitted += int(slots.size)
             acc, _ = view.kernel.accumulate_bm25(
-                sequence, k1, b, average_length, candidate_mask=candidates
+                sequence, k1, b, average_length, candidate_mask=candidates, work=work
             )
             id_parts.append(view.kernel.doc_ids[slots])
             score_parts.append(acc[slots])
+        if work is not None and admitted:
+            work.add(WORK_MAXSCORE_ADMITTED, admitted)
+            work.add(WORK_DOCS_SCORED, admitted)
         if not id_parts:
             return []
         ids = np.concatenate(id_parts)

@@ -64,9 +64,14 @@ class FullTextSearch:
     ) -> list[RetrievedChunk]:
         """Top-*n* chunks for *query* by profile-weighted BM25."""
         ctx = ctx or null_context()
+        work = ctx.work
         with ctx.trace.span(spans.STAGE_FULLTEXT, n=n) as span:
-            results = self._search(query, n, filters, explain=ctx.explain)
+            mark = work.snapshot() if work is not None else None
+            results = self._search(query, n, filters, explain=ctx.explain, work=work)
             span.set("results", len(results))
+            if work is not None:
+                for kind, units in work.delta(mark).items():
+                    span.set(f"work_{kind}", units)
         return results
 
     def _search(
@@ -75,11 +80,12 @@ class FullTextSearch:
         n: int,
         filters: dict[str, str] | None,
         explain: bool = False,
+        work=None,
     ) -> list[RetrievedChunk]:
         if n <= 0:
             return []
         if not explain and getattr(self._index, "kernels_enabled", False):
-            return self._search_kernel(query, n, filters)
+            return self._search_kernel(query, n, filters, work=work)
         combined: dict[int, float] = {}
         per_field: dict[int, dict[str, float]] = {}
         for field_name in self._fields:
@@ -90,9 +96,9 @@ class FullTextSearch:
             scorer = Bm25Scorer(inverted, self._parameters)
             weight = self._profile.weight(field_name)
             if explain:
-                scores, per_term = scorer.score_all_explained(terms)
+                scores, per_term = scorer.score_all_explained(terms, work=work)
             else:
-                scores, per_term = scorer.score_all(terms), {}
+                scores, per_term = scorer.score_all(terms, work=work), {}
             for internal, score in scores.items():
                 if not self._index.is_live(internal):
                     continue
@@ -118,7 +124,7 @@ class FullTextSearch:
         ]
 
     def _search_kernel(
-        self, query: str, n: int, filters: dict[str, str] | None
+        self, query: str, n: int, filters: dict[str, str] | None, work=None
     ) -> list[RetrievedChunk]:
         """Vectorized multi-field scoring, bit-identical to the loop path.
 
@@ -138,7 +144,7 @@ class FullTextSearch:
             if not terms:
                 continue
             scorer = Bm25Scorer(inverted, self._parameters)
-            ids, scores = scorer.score_arrays(terms)
+            ids, scores = scorer.score_arrays(terms, work=work)
             if ids.size:
                 weight = self._profile.weight(field_name)
                 field_results.append((field_name, weight, ids, scores))

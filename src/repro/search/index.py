@@ -323,7 +323,7 @@ class SearchIndex:
         return self._inverted[field_name]
 
     def vector_search(
-        self, field_name: str, query_vector: np.ndarray, k: int
+        self, field_name: str, query_vector: np.ndarray, k: int, work=None
     ) -> list[tuple[int, float]]:
         """The *k* nearest live chunks to *query_vector* on a vector field."""
         ann = self._vectors[field_name]
@@ -331,7 +331,7 @@ class SearchIndex:
             return []
         # Oversample to survive tombstone filtering.
         fetch = k + len(self._deleted)
-        hits = ann.search(query_vector, fetch)
+        hits = ann.search(query_vector, fetch, work=work)
         live = [(internal, distance) for internal, distance in hits if internal not in self._deleted]
         return live[:k]
 

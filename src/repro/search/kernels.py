@@ -36,6 +36,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.work import WORK_POSTINGS_SCANNED
+
 #: Multiplicative safety margin applied to floating-point score upper
 #: bounds before they are used to prune documents.  The bound arithmetic
 #: itself rounds, so a raw bound could undershoot the true maximum
@@ -188,6 +190,7 @@ class KernelPostings:
         acc: np.ndarray | None = None,
         touched: np.ndarray | None = None,
         candidate_mask: np.ndarray | None = None,
+        work=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Accumulate BM25 contributions term-at-a-time into slot arrays.
 
@@ -199,6 +202,12 @@ class KernelPostings:
         top-k) — restricting an elementwise computation to a subset does
         not change any retained element's bits.
 
+        *work* is an optional :class:`~repro.obs.work.WorkCounters`; this
+        kernel is the source of truth for ``postings_scanned`` (one unit
+        per (term, posting) pair actually computed, post-mask).  Counters
+        are booked from array sizes outside the float pipeline, so the
+        scores' bits are untouched.
+
         Returns ``(acc, touched)``.
         """
         n = self.doc_ids.size
@@ -206,6 +215,7 @@ class KernelPostings:
             acc = np.zeros(n, dtype=np.float64)
         if touched is None:
             touched = np.zeros(n, dtype=bool)
+        scanned = 0
         for term, idf in term_idfs:
             arrays = self.term_arrays(term)
             if arrays is None:
@@ -216,11 +226,14 @@ class KernelPostings:
                 if not keep.any():
                     continue
                 slots, tfs = slots[keep], tfs[keep]
+            scanned += int(slots.size)
             ratio = self.lengths[slots] / average_length
             length_norm = 1.0 - b + b * ratio
             contribution = idf * tfs * (k1 + 1.0) / (tfs + k1 * length_norm)
             acc[slots] += contribution
             touched[slots] = True
+        if work is not None and scanned:
+            work.add(WORK_POSTINGS_SCANNED, scanned)
         return acc, touched
 
     def term_bound(self, term: str, idf: float, k1: float, b: float, average_length: float) -> float:

@@ -58,11 +58,16 @@ class VectorSearch:
         the embeddings of several generated queries.
         """
         ctx = ctx or null_context()
+        work = ctx.work
         rankings: dict[str, list[RetrievedChunk]] = {}
         for field_name in self._fields:
             with ctx.trace.span(spans.vector_stage(field_name), k=k) as span:
-                ranking = self._search_field(field_name, query_vector, k, filters)
+                mark = work.snapshot() if work is not None else None
+                ranking = self._search_field(field_name, query_vector, k, filters, work=work)
                 span.set("results", len(ranking))
+                if work is not None:
+                    for kind, units in work.delta(mark).items():
+                        span.set(f"work_{kind}", units)
             rankings[field_name] = ranking
         return rankings
 
@@ -105,11 +110,16 @@ class VectorSearch:
         return results
 
     def _search_field(
-        self, field_name: str, query_vector, k: int, filters: dict[str, str] | None
+        self,
+        field_name: str,
+        query_vector,
+        k: int,
+        filters: dict[str, str] | None,
+        work=None,
     ) -> list[RetrievedChunk]:
         # Oversample so that post-hoc filtering can still fill k results.
         fetch = k if not filters else 4 * k
-        hits = self._index.vector_search(field_name, query_vector, fetch)
+        hits = self._index.vector_search(field_name, query_vector, fetch, work=work)
         return self._rank_hits(field_name, hits, k, filters)
 
     def _rank_hits(

@@ -38,8 +38,11 @@ from repro.core.answer import UniAskAnswer
 from repro.core.engine import UniAskEngine
 from repro.obs import spans
 from repro.obs.audit import AuditLogger, NULL_AUDIT
+from repro.obs.capacity import CapacityMonitor
+from repro.obs.profile import ContinuousProfiler
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import RequestContext, Span, Trace
+from repro.obs.work import WORK_COALESCED_JOINS, WorkCounters
 from repro.pipeline.clock import SimulatedClock
 from repro.service.feedback import FeedbackStore, GranularFeedback
 from repro.service.monitoring import MetricsCollector
@@ -203,6 +206,17 @@ class BackendService:
             the pipeline.  With coalescing off the service keeps its
             original serial semantics: each query advances the shared
             clock by its response time.
+        profiling: enables the continuous profiler and deterministic work
+            accounting: every served request runs traced with a
+            :class:`~repro.obs.work.WorkCounters`, finished traces fold
+            into :attr:`profiler` (the ``profile`` ops route), the
+            answer's work counts land in the audit log and the
+            ``uniask_work_units_total`` counter.  Off by default — the
+            disabled service serves byte-identical output.
+        capacity: enables saturation telemetry: per-backend and
+            per-replica concurrency tracking on :attr:`capacity` (a
+            :class:`~repro.obs.capacity.CapacityMonitor`) plus the
+            ``uniask_saturation_*`` gauges.  Off by default.
     """
 
     #: route name → (handler attribute, requires the ops role).  All
@@ -217,6 +231,7 @@ class BackendService:
         "slo": ("_ops_slo", True),
         "explain": ("_ops_explain", True),
         "quality": ("_ops_quality", True),
+        "profile": ("_ops_profile", True),
         "healthz": ("_ops_healthz", False),
         "readyz": ("_ops_readyz", False),
     }
@@ -237,6 +252,8 @@ class BackendService:
         session_capacity: int = 4096,
         session_ttl_seconds: float | None = 86400.0,
         record_capacity: int = 100_000,
+        profiling: bool = False,
+        capacity: bool = False,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -283,6 +300,22 @@ class BackendService:
                 "uniask_coalesced_waits_total",
                 "Requests that joined an identical in-flight request.",
             )
+        # Profiling and saturation telemetry follow the coalescing idiom:
+        # their instruments exist only when the feature is on, so a default
+        # deployment's metrics exposition stays byte-identical.
+        self._profiling = profiling
+        self.profiler: ContinuousProfiler | None = None
+        self._m_work = None
+        if profiling:
+            self.profiler = ContinuousProfiler()
+            self._m_work = telemetry.registry.counter(
+                "uniask_work_units_total",
+                "Deterministic work units booked by served requests, by kind.",
+                ("kind",),
+            )
+        self.capacity: CapacityMonitor | None = (
+            CapacityMonitor(registry=telemetry.registry) if capacity else None
+        )
 
     # -- endpoints ------------------------------------------------------------
 
@@ -395,10 +428,16 @@ class BackendService:
                 return self._coalesced_record(query_id, user_id, question, flight, arrival)
 
         trace: Trace | None = None
-        if self._tracing or options.trace:
+        profiled = self._profiling or options.profile
+        if self._tracing or options.trace or profiled:
+            # Profiling implies a trace: the profiler aggregates span trees
+            # and the work counters surface as span attributes.
             trace = Trace(clock=SimulatedClock(start=arrival), cost=self._stage_model)
             ctx = RequestContext(
-                trace=trace, request_id=query_id, explain=options.explain
+                trace=trace,
+                request_id=query_id,
+                explain=options.explain,
+                work=WorkCounters() if profiled else None,
             )
             answer = self._engine.answer(request, ctx=ctx).answer
             response_time = trace.total_duration * self._jitter()
@@ -425,6 +464,17 @@ class BackendService:
         if flight_key is not None and not answer.cache_hit:
             self.single_flight.register(flight_key, query_id, arrival, served_at, answer)
 
+        if self.capacity is not None:
+            self.capacity.observe("backend", arrival, response_time)
+            scatter = self._engine.last_scatter_report
+            if scatter is not None:
+                for probe in scatter.probes:
+                    resource = (
+                        f"replica_{probe.replica_id}"
+                        if probe.replica_id
+                        else f"shard_{probe.shard_id}"
+                    )
+                    self.capacity.observe(resource, arrival, probe.latency, failed=not probe.ok)
         record = QueryRecord(
             query_id=query_id,
             user_id=user_id,
@@ -467,7 +517,12 @@ class BackendService:
             cache_similarity=0.0,
             response_time=response_time,
             trace=None,
+            # A joiner does no pipeline work of its own: its tally is the
+            # single-flight join (None when profiling is off, as always).
+            work={WORK_COALESCED_JOINS: 1} if self._profiling else None,
         )
+        if self.capacity is not None:
+            self.capacity.observe("backend", arrival, response_time)
         record = QueryRecord(
             query_id=query_id,
             user_id=user_id,
@@ -499,6 +554,13 @@ class BackendService:
             sampled = self.telemetry.sampler.offer(
                 record.query_id, trace, trace.total_duration
             )
+            if self.profiler is not None:
+                # The profiler piggybacks on traces the request produced
+                # anyway; retention windows roll on the service clock.
+                self.profiler.record(trace, now=record.served_at)
+        if self._m_work is not None and answer.work:
+            for kind, units in answer.work.items():
+                self._m_work.labels(kind).inc(units)
         self.metrics.record_query(
             timestamp=record.served_at,
             user_id=record.user_id,
@@ -554,6 +616,23 @@ class BackendService:
         # field, so they match the pre-agents format byte for byte.
         if answer.route:
             audit_fields["route"] = answer.route
+        # And for profiling: the work block appears only when the request
+        # actually carried counters.
+        if answer.work:
+            audit_fields["work"] = answer.work
+        # Errored spans surface with the exception type the stage raised;
+        # clean traces never carry the field.
+        if trace is not None:
+            span_errors = [
+                {
+                    "stage": span.name,
+                    "error_type": str(span.attributes.get("error_type", "")),
+                }
+                for span in trace.spans
+                if span.status != "ok"
+            ]
+            if span_errors:
+                audit_fields["span_errors"] = span_errors
         if extra_audit:
             audit_fields.update(extra_audit)
         self.telemetry.audit.info("request", **audit_fields)
@@ -583,7 +662,10 @@ class BackendService:
     # -- ops handlers (dispatched through the route table) --------------------
 
     def _ops_dashboard(self, bucket_seconds: float = 60.0):
-        return self.metrics.snapshot(bucket_seconds=bucket_seconds)
+        snapshot = self.metrics.snapshot(bucket_seconds=bucket_seconds)
+        if self.capacity is not None:
+            snapshot = replace(snapshot, saturation=self.capacity.snapshot())
+        return snapshot
 
     def _ops_cluster_status(self):
         status = getattr(self._engine.searcher, "status", None)
@@ -640,6 +722,26 @@ class BackendService:
                 for verdict in self._quality_monitor.check()
             ],
         }
+
+    def _ops_profile(self, format: str = "top", limit: int = 25):
+        """Aggregated call-tree profile — operations role only.
+
+        Formats: ``top`` (text table of hottest stage paths), ``folded``
+        (flamegraph-compatible folded stacks), ``speedscope`` (JSON
+        document loadable in speedscope), ``json`` (raw node dump).
+        """
+        profiler = self.profiler
+        if profiler is None:
+            raise ValueError("profiling is disabled for this deployment")
+        if format == "top":
+            return profiler.format_top(limit=limit)
+        if format == "folded":
+            return profiler.folded_stacks()
+        if format == "speedscope":
+            return profiler.speedscope_json()
+        if format == "json":
+            return profiler.to_dict()
+        raise ValueError(f"unknown profile format {format!r}")
 
     def _ops_healthz(self) -> dict:
         return {

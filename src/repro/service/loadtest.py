@@ -93,8 +93,18 @@ def arrival_times(config: LoadTestConfig) -> list[float]:
     return times
 
 
-def run_load_test(config: LoadTestConfig | None = None) -> LoadTestReport:
-    """Run the Figure 2 load test against a rate-limited LLM service."""
+def run_load_test(
+    config: LoadTestConfig | None = None, capacity=None
+) -> LoadTestReport:
+    """Run the Figure 2 load test against a rate-limited LLM service.
+
+    *capacity* is an optional
+    :class:`~repro.obs.capacity.CapacityMonitor`: every arrival is
+    observed under the ``llm`` resource, with the quota-sustainable
+    service time (tokens per request over the provisioned token rate) as
+    the deterministic response time, so the ramping arrival process
+    drives the saturation gauges exactly as it drives the bucket.
+    """
     config = config or LoadTestConfig()
     limiter = TokenBucketRateLimiter(
         tokens_per_minute=config.tokens_per_minute,
@@ -104,6 +114,7 @@ def run_load_test(config: LoadTestConfig | None = None) -> LoadTestReport:
     minutes = int(math.ceil(config.duration_seconds / 60.0))
     requests_per_minute = [0] * minutes
     failures_per_minute = [0] * minutes
+    service_time = config.tokens_per_request / (config.tokens_per_minute / 60.0)
 
     total = 0
     failed = 0
@@ -115,6 +126,8 @@ def run_load_test(config: LoadTestConfig | None = None) -> LoadTestReport:
         if not decision.allowed:
             failures_per_minute[minute] += 1
             failed += 1
+        if capacity is not None:
+            capacity.observe("llm", t, service_time, failed=not decision.allowed)
 
     return LoadTestReport(
         total_requests=total,
@@ -181,6 +194,7 @@ def run_cluster_load_test(
     queries: list[str],
     config: ClusterLoadTestConfig | None = None,
     audit: AuditLogger | None = None,
+    capacity=None,
 ) -> ClusterLoadTestReport:
     """Drive *searcher* through an arrival process with fault injection.
 
@@ -196,6 +210,13 @@ def run_cluster_load_test(
     :func:`replay_cluster_report` and asserts the replayed report equals
     the live one — proving the JSONL log alone carries the full result
     (raises ``RuntimeError`` otherwise).
+
+    When a :class:`~repro.obs.capacity.CapacityMonitor` is supplied as
+    *capacity*, every arrival is observed under the ``cluster`` resource
+    (response time = the gather barrier) and every shard probe under its
+    replica, so the fault-injection scenario drives the per-replica
+    saturation gauges: a killed shard shows up as error-rate on its
+    replicas, not just as partial results.
     """
     from repro.service.monitoring import percentile
 
@@ -260,6 +281,15 @@ def run_cluster_load_test(
             if is_partial:
                 partial += 1
                 partial_per_minute[min(int(t // 60.0), minutes - 1)] += 1
+            if capacity is not None:
+                capacity.observe("cluster", t, report.max_latency, failed=is_partial)
+                for probe in report.probes:
+                    resource = (
+                        f"replica_{probe.replica_id}"
+                        if probe.replica_id
+                        else f"shard_{probe.shard_id}"
+                    )
+                    capacity.observe(resource, t, probe.latency, failed=not probe.ok)
             probes = [
                 {
                     "shard": probe.shard_id,

@@ -158,6 +158,10 @@ class DashboardSnapshot:
     shard_counts: dict[str, int] = field(default_factory=dict)
     shard_health: dict[str, float] = field(default_factory=dict)
     replica_health: dict[str, float] = field(default_factory=dict)
+    #: Saturation/USE samples (:class:`~repro.obs.capacity.SaturationSample`)
+    #: of the deployment's capacity monitor; empty unless the backend was
+    #: built with ``capacity=True``, so pre-capacity pages render unchanged.
+    saturation: tuple = ()
 
 
 #: Buckets of the backend response-time histogram (seconds): the traced
@@ -495,4 +499,8 @@ def format_dashboard(snapshot: DashboardSnapshot) -> str:
             lines.append("replica health:")
             for replica in sorted(snapshot.replica_health):
                 lines.append(f"  {replica}: ok={snapshot.replica_health[replica] * 100.0:.0f}%")
+    if snapshot.saturation:
+        from repro.obs.capacity import format_saturation
+
+        lines.append(format_saturation(snapshot.saturation))
     return "\n".join(lines)

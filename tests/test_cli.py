@@ -44,6 +44,54 @@ class TestCli:
         assert "rerank" in out
         assert "top terms:" in out
 
+    def test_ask_command_with_profile(self, capsys):
+        code = main(
+            [
+                "--topics", "25", "--seed", "3",
+                "ask", "Come posso attivare la carta di credito?", "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile: 1 traces" in out
+        assert "work:" in out
+        assert "docs_scored=" in out and "llm_prompt_tokens=" in out
+
+    def test_profile_command_top(self, capsys):
+        code = main(["--topics", "25", "--seed", "3", "profile", "--queries", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile: 4 traces" in out
+        assert "path" in out and "llm" in out
+
+    def test_profile_command_folded(self, capsys):
+        code = main(
+            ["--topics", "25", "--seed", "3", "profile", "--queries", "3", "--format", "folded"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            frames, value = line.rsplit(" ", 1)
+            assert frames and int(value) >= 0
+
+    def test_profile_command_speedscope(self, capsys):
+        import json
+
+        code = main(
+            ["--topics", "25", "--seed", "3", "profile", "--queries", "2", "--format", "speedscope"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_profile_command_saturation(self, capsys):
+        code = main(
+            ["--topics", "25", "--seed", "3", "profile", "--queries", "3", "--saturation"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource" in out and "backend" in out
+
     def test_metrics_command_with_audit(self, capsys, tmp_path):
         audit_path = tmp_path / "audit.jsonl"
         code = main(

@@ -305,3 +305,71 @@ class TestLiveDriftDetection:
             monitor.observe_answer(system.engine.answer(AskRequest(question)).answer)
         names = {alert.name for alert in monitor.alerts()}
         assert "drift_guardrail_pass" in names
+
+
+class TestCanaryWorkRecording:
+    """Satellite: canary probes record deterministic work counts, so work
+    drift pages through the same surface as quality drift."""
+
+    @pytest.fixture(scope="class")
+    def suite(self, quality_kb):
+        return CanarySuite.from_kb(quality_kb, size=8, seed=17)
+
+    def test_work_recorded_per_probe_and_in_aggregate(
+        self, quality_kb, quality_lexicon, suite
+    ):
+        system = fresh_system(quality_kb, quality_lexicon)
+        runner = CanaryRunner(system.engine, suite, record_work=True)
+        report = runner.run_once(now=0.0)
+        assert report.work and report.work["llm_prompt_tokens"] > 0
+        assert set(runner.last_work) == {probe.probe_id for probe in suite.probes}
+        totals = {}
+        for counts in runner.last_work.values():
+            for kind, units in counts.items():
+                totals[kind] = totals.get(kind, 0) + units
+        assert totals == report.work
+        assert "work" in report.to_dict()
+
+    def test_repeat_runs_book_identical_work(self, quality_kb, quality_lexicon, suite):
+        system = fresh_system(quality_kb, quality_lexicon)
+        runner = CanaryRunner(system.engine, suite, record_work=True)
+        baseline = runner.run_once(now=0.0)
+        repeat = runner.run_once(now=300.0)
+        assert repeat.work == baseline.work
+        assert not [a for a in runner.last_alerts if a.name.startswith("canary_work_")]
+
+    def test_work_drift_raises_an_alert(self, quality_kb, quality_lexicon, suite):
+        system = fresh_system(quality_kb, quality_lexicon)
+        runner = CanaryRunner(system.engine, suite, record_work=True)
+        baseline = runner.run_once(now=0.0)
+        drifted = replace_report_work(baseline, {"docs_scored": baseline.work["docs_scored"] * 2})
+        alerts = runner.evaluate(drifted)
+        names = {alert.name for alert in alerts}
+        assert "canary_work_docs_scored" in names
+        # Kinds present in the baseline but absent from the drifted run
+        # also fire (a counter silently vanishing is itself drift).
+        assert "canary_work_llm_prompt_tokens" in names
+
+    def test_work_gauge_lands_in_the_registry(self, quality_kb, quality_lexicon, suite):
+        system = fresh_system(quality_kb, quality_lexicon)
+        runner = CanaryRunner(
+            system.engine, suite, record_work=True, registry=system.telemetry.registry
+        )
+        runner.run_once(now=0.0)
+        exposition = system.telemetry.render_metrics()
+        assert 'uniask_canary_work_units{kind="llm_prompt_tokens"}' in exposition
+
+    def test_off_by_default(self, quality_kb, quality_lexicon, suite):
+        system = fresh_system(quality_kb, quality_lexicon)
+        runner = CanaryRunner(system.engine, suite)
+        report = runner.run_once(now=0.0)
+        assert report.work is None
+        assert runner.last_work == {}
+        assert "work" not in report.to_dict()
+
+
+def replace_report_work(report: CanaryReport, work: dict) -> CanaryReport:
+    """A copy of *report* with its work block replaced (drift injection)."""
+    from dataclasses import replace
+
+    return replace(report, work=work)

@@ -386,3 +386,71 @@ class TestBackendTracing:
         assert record.trace is None
         assert record.answer.trace is None
         assert backend.metrics.snapshot().stage_p50 == {}
+
+
+class TestErrorAndOpenSpans:
+    """Satellites: error-type attribution and open-span exclusion."""
+
+    def test_error_span_records_exception_type(self):
+        trace = Trace(clock=SimulatedClock())
+        with pytest.raises(TimeoutError):
+            with trace.span("llm"):
+                raise TimeoutError("endpoint down")
+        span = trace.find("llm")
+        assert span.status == "error"
+        assert span.attributes["error_type"] == "TimeoutError"
+
+    def test_format_table_shows_error_status(self):
+        trace = Trace(clock=SimulatedClock())
+        with pytest.raises(ValueError):
+            with trace.span("rerank"):
+                raise ValueError("bad scores")
+        table = trace.format_table()
+        assert "status=error" in table
+        assert "error_type=ValueError" in table
+
+    def test_stage_durations_exclude_open_spans(self):
+        clock = SimulatedClock()
+        trace = Trace(clock=clock)
+        with trace.span("done"):
+            clock.advance(1.0)
+        trace.span("stuck").__enter__()  # never exited: a truncated trace
+        clock.advance(5.0)
+        assert trace.stage_durations() == {"done": pytest.approx(1.0)}
+        assert trace.open_span_count == 1
+        assert trace.total_duration == pytest.approx(1.0)
+
+    def test_complete_trace_has_no_open_spans(self):
+        clock = SimulatedClock()
+        trace = Trace(clock=clock)
+        with trace.span("ask"):
+            with trace.span("llm"):
+                clock.advance(2.0)
+        assert trace.open_span_count == 0
+        assert trace.total_duration == pytest.approx(2.0)
+
+    def test_audit_log_records_span_errors(self, system, small_kb):
+        from repro.core.engine import UniAskEngine
+        from repro.pipeline.clock import SimulatedClock as _Clock
+
+        class _ExplodingLLM:
+            def complete(self, messages, temperature=0.0, max_tokens=512):
+                raise TimeoutError("LLM endpoint timed out")
+
+        engine = UniAskEngine(searcher=system.searcher, llm=_ExplodingLLM())
+        backend = BackendService(engine, _Clock(), tracing=True, seed=5)
+        token = backend.login("user-1")
+        topic = next(iter(small_kb.topics.values()))
+        backend.query(token, f"Come posso {topic.action.canonical} {topic.entity.canonical}?")
+        line = backend.telemetry.audit.lines()[-1]
+        assert '"span_errors"' in line
+        assert "TimeoutError" in line
+
+    def test_clean_request_audit_has_no_span_errors(self, system, small_kb):
+        from repro.pipeline.clock import SimulatedClock as _Clock
+
+        backend = BackendService(system.engine, _Clock(), tracing=True, seed=5)
+        token = backend.login("user-1")
+        topic = next(iter(small_kb.topics.values()))
+        backend.query(token, f"Come posso {topic.action.canonical} {topic.entity.canonical}?")
+        assert '"span_errors"' not in backend.telemetry.audit.lines()[-1]

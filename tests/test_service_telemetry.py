@@ -66,6 +66,7 @@ class TestOpsRouteTable:
             "slo",
             "explain",
             "quality",
+            "profile",
             "healthz",
             "readyz",
         }
@@ -73,14 +74,16 @@ class TestOpsRouteTable:
             assert callable(getattr(backend, handler_name))
 
     @pytest.mark.parametrize(
-        "route", ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality"]
+        "route",
+        ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality", "profile"],
     )
     def test_privileged_routes_reject_missing_token(self, backend, route):
         with pytest.raises(AuthenticationError):
             backend.ops(route, "not-a-token")
 
     @pytest.mark.parametrize(
-        "route", ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality"]
+        "route",
+        ["dashboard", "cluster_status", "metrics", "slo", "explain", "quality", "profile"],
     )
     def test_privileged_routes_reject_employee_role(self, backend, route):
         token = backend.login("mario")  # default employee role
