@@ -1,0 +1,254 @@
+"""Closed-loop autoscaling benchmark: diurnal chaos day, ON vs OFF.
+
+Standalone script (not pytest-collected).  Plays the same simulated
+traffic day — sinusoidal arrival rate, Zipf-skewed questions, priority
+mix, replica kills and answer-cache epoch flips — through two otherwise
+identical clustered deployments:
+
+* **ON**: autoscaler + admission control enabled.  The scaler adds
+  replicas off utilization and SLO burn rate, the admission controller
+  walks the shed ladder (cached-only → BM25-only → typed rejection)
+  under pressure, and hedged retries dry up as the pool saturates.
+* **OFF**: the fixed pool.  Same chaos, same arrivals, no control loop.
+
+Gates:
+
+1. Zero unhandled exceptions on either side — every overload outcome is
+   a well-formed degraded answer or a typed ``AdmissionError``.
+2. The ON deployment's p99 observed latency stays within the latency
+   SLO the loop defends.
+3. The OFF deployment breaches that SLO (otherwise the workload proves
+   nothing).
+4. The ON run actually exercised the machinery: scale-up decisions were
+   taken and shedding was engaged at some point of the day.
+
+Usage (CI smoke runs the short variant)::
+
+    PYTHONPATH=src python benchmarks/bench_autoscale.py \
+        --topics 24 --duration 1200 --out BENCH_autoscale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import create_backend, create_engine  # noqa: E402
+from repro.autoscale.config import AdmissionConfig, AutoscaleConfig  # noqa: E402
+from repro.autoscale.loadgen import (  # noqa: E402
+    ChaosEvent,
+    DiurnalLoadConfig,
+    DiurnalLoadReport,
+    run_diurnal_load,
+)
+from repro.cache.config import CacheConfig  # noqa: E402
+from repro.cluster.config import ClusterConfig  # noqa: E402
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+
+
+def _build(kb, lexicon, args, enabled: bool):
+    autoscale = AutoscaleConfig(
+        enabled=enabled,
+        latency_slo_seconds=args.slo,
+        admission=AdmissionConfig(enabled=enabled, target_load=args.target_load),
+    )
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=args.shards, replicas=args.replicas),
+        cache=CacheConfig(enabled=True),  # the loadgen drives the clock itself
+        autoscale=autoscale,
+    )
+    system = create_engine(kb.store(), lexicon, config=config, seed=args.seed)
+    backend = create_backend(system, seed=args.seed)
+    return system, backend
+
+
+def _chaos(args) -> tuple[ChaosEvent, ...]:
+    """Chaos schedule as fractions of the day, so every duration scales."""
+    d = args.duration
+    return (
+        ChaosEvent(at=0.35 * d, kind="kill", shard_id=0),  # on the ramp to peak
+        ChaosEvent(at=0.46 * d, kind="kill", shard_id=0),  # correlated failure:
+        ChaosEvent(at=0.48 * d, kind="kill", shard_id=1),  # both shards hit...
+        ChaosEvent(at=0.50 * d, kind="epoch_flip"),  # ...as the herd lands at peak
+        ChaosEvent(at=0.60 * d, kind="revive", shard_id=0),
+        ChaosEvent(at=0.62 * d, kind="revive", shard_id=1),
+        ChaosEvent(at=0.75 * d, kind="epoch_flip"),  # herd on the way down
+    )
+
+
+def _run_side(kb, lexicon, questions, args, enabled: bool) -> tuple[DiurnalLoadReport, dict]:
+    label = "ON" if enabled else "OFF"
+    print(f"running {label} side ({args.duration:g}s simulated)...", file=sys.stderr)
+    system, backend = _build(kb, lexicon, args, enabled)
+    token = backend.login("bench")
+    ops_token = backend.login("bench-ops", role="ops")
+    started = time.perf_counter()
+    report = run_diurnal_load(
+        backend,
+        system.cluster,
+        system.clock,
+        token,
+        questions,
+        DiurnalLoadConfig(
+            duration_seconds=args.duration,
+            base_rate=args.base_rate,
+            amplitude=args.amplitude,
+            period_seconds=args.duration,
+            seed=args.seed,
+            chaos=_chaos(args),
+        ),
+    )
+    control = {
+        "autoscale": backend.ops("autoscale", token=ops_token),
+        "admission": backend.ops("admission", token=ops_token),
+        "wall_seconds": time.perf_counter() - started,
+    }
+    return report, control
+
+
+def _report_dict(report: DiurnalLoadReport) -> dict:
+    return {
+        "total_requests": report.total_requests,
+        "served": report.served,
+        "rejected": report.rejected,
+        "degraded_cached": report.degraded_cached,
+        "degraded_bm25": report.degraded_bm25,
+        "shed_rate": round(report.shed_rate, 4),
+        "latency_p50": round(report.latency_p50, 3),
+        "latency_p95": round(report.latency_p95, 3),
+        "latency_p99": round(report.latency_p99, 3),
+        "min_pool": report.min_pool,
+        "max_pool": report.max_pool,
+        "replica_kills": report.replica_kills,
+        "epoch_flips": report.epoch_flips,
+        "rejected_by_priority": report.rejected_by_priority,
+        "unhandled_errors": list(report.unhandled_errors),
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=3, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.queries, seed=args.seed)
+        )
+    ]
+
+    on, on_control = _run_side(kb, lexicon, questions, args, enabled=True)
+    off, off_control = _run_side(kb, lexicon, questions, args, enabled=False)
+
+    result = {
+        "config": {
+            "topics": args.topics,
+            "queries": args.queries,
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "duration_seconds": args.duration,
+            "base_rate": args.base_rate,
+            "amplitude": args.amplitude,
+            "target_load": args.target_load,
+            "latency_slo_seconds": args.slo,
+            "seed": args.seed,
+        },
+        "on": _report_dict(on),
+        "off": _report_dict(off),
+        "on_control": on_control,
+    }
+
+    decisions = on_control["autoscale"].get("decision_count", 0)
+    scale_ups = sum(
+        1
+        for d in on_control["autoscale"].get("decisions", [])
+        if d["action"] == "add_replica"
+    )
+    shed_engaged = (on.rejected + on.degraded_cached + on.degraded_bm25) > 0
+
+    print()
+    print("=" * 64)
+    print(
+        f"AUTOSCALE BENCH — {on.total_requests} requests over "
+        f"{args.duration:g}s simulated, SLO p99 <= {args.slo:g}s"
+    )
+    print("=" * 64)
+    for label, report in (("ON ", on), ("OFF", off)):
+        print(
+            f"{label}: p50 {report.latency_p50:7.3f}s  p95 {report.latency_p95:7.3f}s  "
+            f"p99 {report.latency_p99:7.3f}s  pool {report.min_pool}-{report.max_pool}  "
+            f"shed {report.shed_rate:.1%}  rejected {report.rejected}"
+        )
+    print(
+        f"control: {decisions} decisions ({scale_ups} scale-ups), "
+        f"shedding engaged = {shed_engaged}"
+    )
+
+    if on.unhandled_errors or off.unhandled_errors:
+        raise SystemExit(
+            "unhandled exceptions during the chaos day: "
+            f"ON={list(on.unhandled_errors)[:3]} OFF={list(off.unhandled_errors)[:3]}"
+        )
+    if on.latency_p99 > args.slo:
+        raise SystemExit(
+            f"autoscaled deployment breached the SLO: p99 {on.latency_p99:.3f}s "
+            f"> {args.slo:g}s — the control loop failed to absorb the day"
+        )
+    if off.latency_p99 <= args.slo:
+        raise SystemExit(
+            f"fixed deployment stayed within the SLO (p99 {off.latency_p99:.3f}s "
+            f"<= {args.slo:g}s) — the workload does not saturate the fixed pool, "
+            "so the comparison is vacuous; raise --base-rate or shrink the pool"
+        )
+    if scale_ups == 0:
+        raise SystemExit("the autoscaler never added a replica — the loop is dead")
+    if not shed_engaged:
+        raise SystemExit(
+            "admission control never degraded or rejected anything — "
+            "the shed ladder went unexercised"
+        )
+    if off.rejected != 0:
+        raise SystemExit("the OFF side has no admission controller yet rejected requests")
+    print("verdict: PASS")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=36, help="corpus size (topics)")
+    parser.add_argument("--queries", type=int, default=60, help="distinct questions")
+    parser.add_argument("--shards", type=int, default=2, help="cluster shards")
+    parser.add_argument("--replicas", type=int, default=1, help="initial replicas per shard")
+    parser.add_argument(
+        "--duration", type=float, default=1800.0, help="simulated seconds (one diurnal cycle)"
+    )
+    parser.add_argument("--base-rate", type=float, default=1.4, help="mean arrivals/s")
+    parser.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
+    parser.add_argument(
+        "--target-load",
+        type=float,
+        default=0.9,
+        help="admission target load (Little's L at full quality)",
+    )
+    parser.add_argument("--slo", type=float, default=8.0, help="latency SLO (simulated s)")
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument("--out", default="BENCH_autoscale.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

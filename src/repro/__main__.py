@@ -93,6 +93,8 @@ def _cmd_ask(args: argparse.Namespace) -> int:
             profile=args.profile,
             request_id="cli-ask" if (args.trace or args.profile) else "",
             route=args.route,
+            priority=args.priority,
+            deadline_ms=args.deadline_ms,
         ),
     )
     for _ in range(max(1, args.repeat)):
@@ -375,6 +377,19 @@ def main(argv: list[str] | None = None) -> int:
         "--show-route",
         action="store_true",
         help="print the route the orchestrator chose for the question",
+    )
+    ask.add_argument(
+        "--priority",
+        default="interactive",
+        choices=["interactive", "batch", "canary"],
+        help="QoS priority class of the request (admission sheds canary and batch first)",
+    )
+    ask.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="client deadline in milliseconds; an admission-enabled backend degrades "
+        "or rejects requests whose deadline full service cannot meet",
     )
     ask.set_defaults(func=_cmd_ask)
 

@@ -27,6 +27,10 @@ from repro.api.types import (
     CACHE_DEFAULT,
     CACHE_POLICIES,
     CACHE_REFRESH,
+    PRIORITIES,
+    PRIORITY_BATCH,
+    PRIORITY_CANARY,
+    PRIORITY_INTERACTIVE,
     AskOptions,
     AskRequest,
     AskResponse,
@@ -38,7 +42,12 @@ from repro.core.answer import ALL_OUTCOMES, OUTCOME_ANSWERED, Citation, UniAskAn
 #: import ``repro.core.engine`` directly or transitively, so importing
 #: them here at module level would create a cycle.
 _LAZY = {
+    "AdmissionConfig": ("repro.autoscale.config", "AdmissionConfig"),
+    "AdmissionError": ("repro.core.errors", "AdmissionError"),
+    "AutoscaleConfig": ("repro.autoscale.config", "AutoscaleConfig"),
     "ClusterConfig": ("repro.cluster.config", "ClusterConfig"),
+    "OpsRequest": ("repro.service.ops", "OpsRequest"),
+    "OpsResponse": ("repro.service.ops", "OpsResponse"),
     "GenerationConfig": ("repro.core.config", "GenerationConfig"),
     "HybridSearchConfig": ("repro.search.hybrid", "HybridSearchConfig"),
     "IndexConfig": ("repro.search.segment", "IndexConfig"),
@@ -49,9 +58,12 @@ _LAZY = {
 
 __all__ = [
     "ALL_OUTCOMES",
+    "AdmissionConfig",
+    "AdmissionError",
     "AskOptions",
     "AskRequest",
     "AskResponse",
+    "AutoscaleConfig",
     "CACHE_BYPASS",
     "CACHE_DEFAULT",
     "CACHE_POLICIES",
@@ -63,6 +75,12 @@ __all__ = [
     "HybridSearchConfig",
     "IndexConfig",
     "OUTCOME_ANSWERED",
+    "OpsRequest",
+    "OpsResponse",
+    "PRIORITIES",
+    "PRIORITY_BATCH",
+    "PRIORITY_CANARY",
+    "PRIORITY_INTERACTIVE",
     "TelemetryConfig",
     "UniAskAnswer",
     "UniAskConfig",

@@ -41,8 +41,26 @@ def create_backend(system: "UniAskSystem", tracing: bool = False, **kwargs):
     Wires the service onto the system's clock, telemetry and cache
     configuration; extra keyword arguments (latency model parameters,
     seeds) pass through to the service constructor.
+
+    QoS wiring follows the system's config: an admission-enabled
+    deployment gets an
+    :class:`~repro.autoscale.admission.AdmissionController`, an
+    autoscale-enabled cluster threads ``system.autoscaler`` into the
+    serve loop.  Both stay None — and the service byte-identical — when
+    the config leaves them off.  Explicit ``admission=`` / ``autoscaler=``
+    keyword arguments win over the config-driven wiring.
     """
     from repro.service.backend import BackendService
+
+    if "admission" not in kwargs and system.config.autoscale.admission.enabled:
+        from repro.autoscale.admission import AdmissionController
+
+        kwargs["admission"] = AdmissionController(
+            config=system.config.autoscale.admission,
+            registry=system.telemetry.registry,
+        )
+    if "autoscaler" not in kwargs and system.autoscaler is not None:
+        kwargs["autoscaler"] = system.autoscaler
 
     return BackendService(
         system.engine,

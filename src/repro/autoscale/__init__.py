@@ -1,0 +1,72 @@
+"""Closed-loop autoscaling and admission control.
+
+The capacity answer to Section 9's operability story: the saturation
+telemetry (:mod:`repro.obs.capacity`) and the multi-window SLO burn
+rates (:mod:`repro.obs.slo`) stop being dashboards and start being
+**actuators** —
+
+- :class:`~repro.autoscale.autoscaler.Autoscaler` adds and removes shard
+  replicas off burn rate and utilization, rebalances hot shards through
+  the placement ring's minimal-movement moves, and shrinks the cluster
+  router's hedging budget as utilization rises;
+- :class:`~repro.autoscale.admission.AdmissionController` runs every
+  request through a staged shedding ladder — full pipeline, cached-only,
+  BM25-only degraded answer, typed rejection with retry-after — with
+  priority classes so canary and batch traffic sheds before interactive;
+- :mod:`~repro.autoscale.loadgen` drives the whole loop through a
+  chaos-capable diurnal traffic day to prove the tail latency holds.
+
+Everything is off by default: a deployment that never enables the
+subsystem serves byte-identical output (asserted in
+``tests/test_autoscale_differential.py``).
+"""
+
+from __future__ import annotations
+
+from repro.autoscale.admission import (
+    DECISION_NAMES,
+    LEVEL_CACHED_ONLY,
+    LEVEL_DEGRADED,
+    LEVEL_FULL,
+    LEVEL_REJECT,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.autoscale.autoscaler import Autoscaler, ScaleDecision
+from repro.autoscale.config import AdmissionConfig, AutoscaleConfig
+from repro.autoscale.hedging import AdaptiveHedgeBudget
+
+__all__ = [
+    "AdaptiveHedgeBudget",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "ChaosEvent",
+    "DECISION_NAMES",
+    "DiurnalLoadConfig",
+    "DiurnalLoadReport",
+    "LEVEL_CACHED_ONLY",
+    "LEVEL_DEGRADED",
+    "LEVEL_FULL",
+    "LEVEL_REJECT",
+    "ScaleDecision",
+    "run_diurnal_load",
+]
+
+
+def __getattr__(name: str):
+    # The load generator pulls in the API request types; loading it lazily
+    # keeps `import repro.autoscale` cheap for deployments that only need
+    # the controller classes.
+    if name in (
+        "ChaosEvent",
+        "DiurnalLoadConfig",
+        "DiurnalLoadReport",
+        "run_diurnal_load",
+    ):
+        from repro.autoscale import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

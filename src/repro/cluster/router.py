@@ -194,6 +194,12 @@ class ClusterSearcher:
         cluster_config: serving parameters (deadlines, replicas, hedging).
         clock: the deployment's simulated clock; replica health windows
             (mark-down cooldowns) are evaluated against it.
+        hedge_budget: optional
+            :class:`~repro.autoscale.hedging.AdaptiveHedgeBudget`; when
+            set, each hedge opportunity first asks the budget, and a
+            denied probe behaves exactly as if no sibling were
+            available.  The default None keeps the pre-autoscale hedge
+            behaviour byte-identical.
         profile: scoring profile forwarded to each shard's text leg.
         cache_config: enables the per-shard retrieval-result cache when
             its retrieval tier is active (None or inactive tiers leave the
@@ -210,6 +216,7 @@ class ClusterSearcher:
         profile: ScoringProfile | None = None,
         registry: MetricsRegistry | None = None,
         cache_config: CacheConfig | None = None,
+        hedge_budget=None,
     ) -> None:
         self.config = config or HybridSearchConfig()
         if self.config.use_reranker and reranker is None:
@@ -232,6 +239,7 @@ class ClusterSearcher:
             "uniask_partial_scatters_total",
             "Queries degraded to partial results (some shard missed its deadline).",
         )
+        self.hedge_budget = hedge_budget
         self._groups: dict[int, ReplicaGroup] = {}
         self._fulltext: dict[int, FullTextSearch] = {}
         self._vector: dict[int, VectorSearch] = {}
@@ -270,6 +278,21 @@ class ClusterSearcher:
         """The replica group of *shard_id* (fault injection entry point)."""
         self._sync_topology()
         return list(self._groups[shard_id].replicas)
+
+    def add_replica(self, shard_id: int) -> str:
+        """Scale *shard_id* up by one healthy replica; returns its id."""
+        self._sync_topology()
+        return self._groups[shard_id].add_replica(self.cluster_config).replica_id
+
+    def remove_replica(self, shard_id: int) -> str:
+        """Scale *shard_id* down by one replica; returns the removed id.
+
+        Drains a dead replica when one exists, otherwise retires the
+        newest alive one; the group always keeps at least one alive
+        replica (the caller enforces any higher floor).
+        """
+        self._sync_topology()
+        return self._groups[shard_id].remove_replica().replica_id
 
     # -- serving -----------------------------------------------------------
 
@@ -358,6 +381,67 @@ class ClusterSearcher:
 
         rankings = self._merge(text_candidates, vector_candidates)
         return self._fuse_and_rerank(query, rankings, ctx)
+
+    def search_degraded(
+        self,
+        query: str,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
+    ) -> list[RetrievedChunk]:
+        """BM25-only scatter for admission-degraded requests.
+
+        The level-2 shedding path of a clustered deployment: probes every
+        shard exactly like :meth:`search` (replica health, hedging and
+        partial degradation all apply) but gathers only the full-text
+        legs — no query embedding, no vector legs, no reranker, no
+        retrieval-cache consult.
+        """
+        ctx = ctx or null_context()
+        self._sync_topology()
+        config = self.config
+        self._query_counter += 1
+        turn = self._query_counter - 1
+
+        text_candidates: list[RetrievedChunk] = []
+        probes: list[ShardProbe] = []
+        now = self._clock.now()
+        with ctx.trace.span(
+            spans.STAGE_SCATTER, shards=self._index.num_shards, degraded=True
+        ) as scatter:
+            for shard_id in self._index.shard_ids:
+                probe = self._probe_shard(shard_id, query, turn, now)
+                probes.append(probe)
+                with ctx.trace.span(spans.shard_stage(shard_id)) as span:
+                    gathered = 0
+                    if probe.ok:
+                        leg = self._fulltext[shard_id].search(
+                            query, n=config.text_n, filters=filters, ctx=None
+                        )
+                        text_candidates.extend(leg)
+                        gathered = len(leg)
+                    span.annotate(
+                        replica=probe.replica_id,
+                        ok=probe.ok,
+                        hedged=probe.hedged,
+                        attempts=probe.attempts,
+                        latency_ms=round(probe.latency * 1000.0, 3),
+                        results=gathered,
+                    )
+            scatter.set("failed", sum(1 for probe in probes if not probe.ok))
+        report = ScatterReport(probes=tuple(probes))
+        self._last_report = report
+        for probe in probes:
+            self._m_probes.labels(str(probe.shard_id), "ok" if probe.ok else "timeout").inc()
+            if probe.hedged:
+                self._m_hedges.inc()
+        if report.partial:
+            self._m_partial.inc()
+        with ctx.trace.span(spans.STAGE_SCATTER_WAIT, wait=report.max_latency):
+            pass
+
+        ordinal = self._index.ordinal
+        text_candidates.sort(key=lambda r: (-r.score, ordinal(r.record.chunk_id)))
+        return text_candidates[: config.final_n]
 
     def _shard_legs(
         self,
@@ -536,6 +620,10 @@ class ClusterSearcher:
             )
 
         sibling = candidates[1] if len(candidates) > 1 else None
+        if sibling is not None and self.hedge_budget is not None and not self.hedge_budget.allow():
+            # Budget exhausted: at high utilization a hedged retry is pure
+            # load amplification, so the probe proceeds unhedged.
+            sibling = None
         if sibling is None:
             # Nobody to hedge to: the primary either makes the deadline
             # alone or the shard degrades.

@@ -283,6 +283,48 @@ class ShardedSearchIndex:
         self._migrate(extra_sources={shard_id: doomed})
         self._generation += 1
 
+    def rebalance_shard(self, from_shard: int, to_shard: int, fraction: float = 0.25) -> int:
+        """Move a bounded slice of *from_shard*'s documents to *to_shard*.
+
+        The autoscaler's hot-shard relief valve: pins the lowest
+        ``fraction`` of *from_shard*'s documents (by doc id, so repeated
+        calls are deterministic) onto *to_shard* in the placement ring
+        and migrates exactly those — the planner's minimal-movement
+        property keeps every other document where it is.  Returns the
+        number of chunks moved; bumps the generation (a placement change
+        is a write, so caches re-epoch) only when something moved.
+        """
+        if from_shard not in self._shards:
+            raise KeyError(f"unknown shard {from_shard}")
+        if to_shard not in self._shards:
+            raise KeyError(f"unknown shard {to_shard}")
+        if from_shard == to_shard:
+            raise ValueError("from_shard and to_shard must differ")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        source = self._shards[from_shard]
+        doc_ids = sorted({source.record(i).doc_id for i in source.live_internals()})
+        if not doc_ids:
+            return 0
+        for doc_id in doc_ids[: max(1, int(len(doc_ids) * fraction))]:
+            self._planner.pin(doc_id, to_shard)
+        moved = self._migrate()
+        if moved:
+            self._generation += 1
+        return moved
+
+    def bump_generation(self) -> int:
+        """Force a cache-epoch flip without touching any content.
+
+        Chaos hook for thundering-herd drills: every answer-cache entry
+        stamped with the previous epoch becomes stale at once, so the
+        next wave of repeat questions re-runs the full pipeline — exactly
+        what a bulk corpus refresh does in production, without the cost
+        of actually rewriting documents in a load scenario.
+        """
+        self._generation += 1
+        return self._generation
+
     def _migrate(self, extra_sources: dict[int, SearchIndex] | None = None) -> int:
         """Re-place documents whose ring owner changed; returns chunks moved.
 

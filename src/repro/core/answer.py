@@ -17,6 +17,7 @@ OUTCOME_GUARDRAIL_CLARIFICATION = "guardrail_clarification"
 OUTCOME_CONTENT_FILTER = "content_filter"
 OUTCOME_NO_RESULTS = "no_results"
 OUTCOME_GENERATION_ERROR = "generation_error"
+OUTCOME_DEGRADED = "degraded"
 
 ALL_OUTCOMES = (
     OUTCOME_ANSWERED,
@@ -26,6 +27,7 @@ ALL_OUTCOMES = (
     OUTCOME_CONTENT_FILTER,
     OUTCOME_NO_RESULTS,
     OUTCOME_GENERATION_ERROR,
+    OUTCOME_DEGRADED,
 )
 
 
@@ -86,6 +88,11 @@ class UniAskAnswer:
             None unless the request asked for profiling — the pre-profiling
             pipeline never sets it, keeping serialized answers
             byte-identical.
+        degrade_level: the admission shedding-ladder level that served the
+            request — 0 full pipeline, 1 answer-cache only, 2 BM25-only
+            degraded answer (outcome :data:`OUTCOME_DEGRADED` unless the
+            content filter fired first).  Admission-off deployments never
+            set it, keeping serialized answers byte-identical.
     """
 
     question: str
@@ -105,6 +112,7 @@ class UniAskAnswer:
     route: str = ""
     generation_kind: str = ""
     work: dict[str, int] | None = None
+    degrade_level: int = 0
 
     @property
     def answered(self) -> bool:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.agents.config import AgentsConfig
+from repro.autoscale.config import AutoscaleConfig
 from repro.cache.config import CacheConfig
 from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
@@ -39,5 +40,6 @@ class UniAskConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
     agents: AgentsConfig = field(default_factory=AgentsConfig)
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

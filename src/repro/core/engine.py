@@ -28,11 +28,19 @@ import warnings
 from dataclasses import replace
 
 from repro.agents.routes import ROUTE_CONVERSATIONAL, ROUTE_FOLLOW_UP, ROUTE_LOOKUP
-from repro.api.types import CACHE_BYPASS, CACHE_REFRESH, AskOptions, AskRequest, AskResponse
+from repro.api.types import (
+    CACHE_BYPASS,
+    CACHE_DEFAULT,
+    CACHE_REFRESH,
+    AskOptions,
+    AskRequest,
+    AskResponse,
+)
 from repro.cache.answer_cache import AnswerCache
 from repro.core.answer import (
     OUTCOME_ANSWERED,
     OUTCOME_CONTENT_FILTER,
+    OUTCOME_DEGRADED,
     OUTCOME_GENERATION_ERROR,
     OUTCOME_GUARDRAIL_CITATION,
     OUTCOME_GUARDRAIL_CLARIFICATION,
@@ -64,6 +72,14 @@ CONTENT_BLOCKED_TEXT = (
 NO_RESULTS_TEXT = (
     "Nessun documento pertinente è stato trovato nella base di conoscenza "
     "per questa domanda."
+)
+
+#: Message shown on a BM25-only degraded answer (admission level 2): the
+#: document list is fresh, but no generated answer accompanies it.
+DEGRADED_SERVICE_TEXT = (
+    "Il servizio è al momento in modalità ridotta: ecco i documenti più "
+    "pertinenti trovati per la domanda. Riprova tra qualche istante per "
+    "una risposta completa."
 )
 
 #: Outcomes the answer cache may store.  Content-filter blocks and
@@ -136,6 +152,7 @@ class UniAskEngine:
         self,
         request: AskRequest | str,
         ctx: RequestContext | None = None,
+        degrade_level: int = 0,
     ) -> AskResponse:
         """Answer *request*; never raises on ordinary pipeline outcomes.
 
@@ -146,7 +163,17 @@ class UniAskEngine:
         one carrying its latency-model trace — takes precedence.
         ``options.cache`` selects the cache policy for this request; it is
         inert when the deployment has no answer cache.
+
+        *degrade_level* is the admission shedding-ladder level granted to
+        the request (see :mod:`repro.autoscale.admission`): 0 runs the
+        full pipeline, 1 serves from the answer cache only (falling
+        through to 2 on a miss), 2 returns a BM25-only degraded answer.
+        Level 3 (rejection) never reaches the engine — the backend
+        raises the typed :class:`~repro.core.errors.AdmissionError`
+        upstream.
         """
+        if not 0 <= degrade_level <= 2:
+            raise ValueError("degrade_level must be 0, 1 or 2")
         if isinstance(request, str):
             request = AskRequest(question=request)
         options = request.options
@@ -177,11 +204,19 @@ class UniAskEngine:
         try:
             with trace.span(spans.STAGE_ASK, question_chars=len(request.question)) as root:
                 route = ""
-                if self.orchestrator is not None:
-                    route = self.orchestrator.resolve_route(
-                        request.question, options, ctx
-                    ).route
-                answer = self._answer_cached(request.question, options, ctx, route)
+                if degrade_level > 0:
+                    # Shed requests never consult the orchestrator: agent
+                    # routing is part of the full pipeline being shed.
+                    answer = self._answer_degraded(
+                        request.question, options, ctx, degrade_level
+                    )
+                    root.set("degrade_level", answer.degrade_level)
+                else:
+                    if self.orchestrator is not None:
+                        route = self.orchestrator.resolve_route(
+                            request.question, options, ctx
+                        ).route
+                    answer = self._answer_cached(request.question, options, ctx, route)
                 if route:
                     answer = replace(answer, route=route)
                     root.set("route", route)
@@ -287,6 +322,89 @@ class UniAskEngine:
             with ctx.trace.span(spans.STAGE_CACHE_STORE):
                 cache.store(key, answer, epoch, embedding=embedding)
         return answer
+
+    def _answer_degraded(
+        self, question: str, options: AskOptions, ctx: RequestContext, level: int
+    ) -> UniAskAnswer:
+        """Serve under the admission shedding ladder (level 1 or 2).
+
+        Level 1 consults the answer cache only: a hit returns the cached
+        full-quality answer (stamped ``degrade_level=1``), a miss falls
+        through to the level-2 path.  Level 2 runs content screening plus
+        BM25-only retrieval and returns the fresh document list with the
+        degraded-service message — no embedding, no reranker, no LLM
+        call, no guardrails.  Degraded answers are never stored in the
+        answer cache (:data:`OUTCOME_DEGRADED` is not cacheable, and this
+        path never reaches the store).
+        """
+        cache = self.answer_cache
+        if (
+            level <= 1
+            and cache is not None
+            and cache.config.answer_tier_active
+            and options.cache == CACHE_DEFAULT
+            and not options.explain
+        ):
+            key = cache.key(question, options.filters)
+            epoch = getattr(self._searcher.index, "generation", 0)
+            embedder = self._searcher.index.embedder
+            work = ctx.work
+            with ctx.trace.span(spans.STAGE_CACHE_LOOKUP, entries=len(cache)) as span:
+                hit = cache.lookup(
+                    key, epoch, embed_fn=lambda: embedder.embed(question), work=work
+                )
+                span.set("hit", hit.kind if hit is not None else "")
+            if hit is not None:
+                return replace(
+                    hit.answer,
+                    cache_hit=hit.kind,
+                    cache_similarity=hit.similarity,
+                    degrade_level=1,
+                )
+
+        screening = self._screen(question, ctx)
+        if screening.blocked:
+            return UniAskAnswer(
+                question=question,
+                answer_text=CONTENT_BLOCKED_TEXT,
+                raw_answer="",
+                outcome=OUTCOME_CONTENT_FILTER,
+                degrade_level=2,
+            )
+        documents = self._retrieve_degraded(question, options.filters, ctx)
+        if not documents:
+            return UniAskAnswer(
+                question=question,
+                answer_text=NO_RESULTS_TEXT,
+                raw_answer="",
+                outcome=OUTCOME_NO_RESULTS,
+                degrade_level=2,
+            )
+        return UniAskAnswer(
+            question=question,
+            answer_text=DEGRADED_SERVICE_TEXT,
+            raw_answer="",
+            outcome=OUTCOME_DEGRADED,
+            documents=tuple(documents),
+            degrade_level=2,
+        )
+
+    def _retrieve_degraded(
+        self, question: str, filters: dict[str, str] | None, ctx: RequestContext
+    ) -> list[RetrievedChunk]:
+        """BM25-only retrieval (the level-2 shedding path)."""
+        with ctx.trace.span(spans.STAGE_RETRIEVAL, degraded=True) as span:
+            documents = self._searcher.search_degraded(question, filters=filters, ctx=ctx)
+            span.set("results", len(documents))
+            self._m_retrieved.observe(float(len(documents)))
+            take_report = getattr(self._searcher, "take_scatter_report", None)
+            if take_report is not None:
+                report = take_report()
+                self._last_scatter = report
+                if report is not None:
+                    span.set("partial", report.partial)
+                    span.set("shards", len(report.probes))
+        return documents
 
     def _ask_routed(
         self, question: str, options: AskOptions, ctx: RequestContext, route: str

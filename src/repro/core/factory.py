@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.agents.orchestrator import Orchestrator
+from repro.autoscale.autoscaler import Autoscaler
+from repro.autoscale.hedging import AdaptiveHedgeBudget
 from repro.cache.answer_cache import AnswerCache
 from repro.cluster.router import ClusterSearcher
 from repro.cluster.sharded_index import ShardedSearchIndex
@@ -67,6 +69,7 @@ class UniAskSystem:
     telemetry: Telemetry = field(default_factory=Telemetry)
     answer_cache: AnswerCache | None = None
     orchestrator: Orchestrator | None = None
+    autoscaler: Autoscaler | None = None
 
     def refresh(self) -> None:
         """One operational cycle: run due ingestion polls, drain the queue.
@@ -153,6 +156,14 @@ def build_uniask_system(
     indexing = IndexingService(store, queue, index, enricher=enricher, clock=clock)
 
     reranker = SemanticReranker(lexicon, analyzer=index_analyzer)
+    # The hedge budget exists only on autoscale-enabled clusters: off, the
+    # router keeps its unconditional hedging and byte-identical behaviour.
+    hedge_budget = None
+    if clustered and config.autoscale.enabled and config.autoscale.adaptive_hedging:
+        hedge_budget = AdaptiveHedgeBudget(
+            base_fraction=config.autoscale.hedge_base_fraction,
+            disable_above=config.autoscale.hedge_disable_above,
+        )
     if clustered:
         searcher = ClusterSearcher(
             index,
@@ -162,6 +173,7 @@ def build_uniask_system(
             clock=clock,
             registry=registry,
             cache_config=config.cache,
+            hedge_budget=hedge_budget,
         )
     else:
         searcher = HybridSemanticSearch(
@@ -191,6 +203,19 @@ def build_uniask_system(
             clock=clock,
             registry=registry,
         )
+    autoscaler = None
+    if clustered and config.autoscale.enabled:
+        # Constructed only when enabled, like the orchestrator: the
+        # Autoscaler registers its gauges and counters on construction,
+        # so an autoscale-off deployment's metrics exposition stays
+        # byte-identical.
+        autoscaler = Autoscaler(
+            searcher,
+            clock,
+            config=config.autoscale,
+            registry=registry,
+            hedge_budget=hedge_budget,
+        )
     engine = UniAskEngine(
         searcher=searcher,
         llm=llm,
@@ -219,6 +244,7 @@ def build_uniask_system(
         telemetry=telemetry,
         answer_cache=answer_cache,
         orchestrator=orchestrator,
+        autoscaler=autoscaler,
     )
     if ingest_now:
         system.refresh()

@@ -107,6 +107,27 @@ class HybridSemanticSearch:
 
         return self._retrieve(query, rankings, ctx)
 
+    def search_degraded(
+        self,
+        query: str,
+        filters: dict[str, str] | None = None,
+        ctx: RequestContext | None = None,
+    ) -> list[RetrievedChunk]:
+        """BM25-only retrieval for admission-degraded requests.
+
+        The level-2 shedding path: no query embedding, no vector legs,
+        no reranker — just the full-text ranking, truncated to
+        ``final_n``.  Exists separately from the ``text`` ablation mode
+        so a deployment configured for hybrid retrieval can serve
+        degraded answers per request without touching its config.
+        """
+        ctx = ctx or null_context()
+        self._m_searches.labels("degraded").inc()
+        ranking = self._fulltext.search(
+            query, n=self.config.text_n, filters=filters, ctx=ctx
+        )
+        return ranking[: self.config.final_n]
+
     def search_fused_vector(
         self,
         query_text: str,

@@ -46,6 +46,13 @@ from repro.obs.work import WORK_COALESCED_JOINS, WorkCounters
 from repro.pipeline.clock import SimulatedClock
 from repro.service.feedback import FeedbackStore, GranularFeedback
 from repro.service.monitoring import MetricsCollector
+from repro.service.ops import (
+    OpsRequest,
+    OpsResponse,
+    OpsRoute,
+    collect_ops_routes,
+    ops_route,
+)
 from repro.text.tokenizer import count_tokens
 
 
@@ -217,24 +224,28 @@ class BackendService:
             per-replica concurrency tracking on :attr:`capacity` (a
             :class:`~repro.obs.capacity.CapacityMonitor`) plus the
             ``uniask_saturation_*`` gauges.  Off by default.
+        admission: an
+            :class:`~repro.autoscale.admission.AdmissionController`;
+            when set, every :meth:`serve` call is admitted through the
+            staged shedding ladder — degraded requests run the engine at
+            the granted level, rejected ones raise the typed
+            :class:`~repro.core.errors.AdmissionError`.  The default
+            None serves every request at full quality, byte-identical to
+            the pre-admission service.
+        autoscaler: an :class:`~repro.autoscale.autoscaler.Autoscaler`;
+            when set, every served request feeds its saturation loop and
+            the control interval is evaluated on the service clock.  Off
+            (None) by default.
     """
 
-    #: route name → (handler attribute, requires the ops role).  All
-    #: authorization for operational endpoints happens in :meth:`ops`,
+    #: route name → :class:`~repro.service.ops.OpsRoute`, built from the
+    #: ``@ops_route`` decorations of the handler methods below (see the
+    #: module-level ``collect_ops_routes`` call after the class body).
+    #: All authorization for operational endpoints happens in :meth:`ops`,
     #: driven by this table — exactly one check, no per-endpoint copies.
     #: ``healthz``/``readyz`` are unauthenticated by design: liveness and
     #: readiness are probed by load balancers, which hold no session.
-    OPS_ROUTES: dict[str, tuple[str, bool]] = {
-        "dashboard": ("_ops_dashboard", True),
-        "cluster_status": ("_ops_cluster_status", True),
-        "metrics": ("_ops_metrics", True),
-        "slo": ("_ops_slo", True),
-        "explain": ("_ops_explain", True),
-        "quality": ("_ops_quality", True),
-        "profile": ("_ops_profile", True),
-        "healthz": ("_ops_healthz", False),
-        "readyz": ("_ops_readyz", False),
-    }
+    OPS_ROUTES: dict[str, OpsRoute] = {}
 
     def __init__(
         self,
@@ -254,6 +265,8 @@ class BackendService:
         record_capacity: int = 100_000,
         profiling: bool = False,
         capacity: bool = False,
+        admission=None,
+        autoscaler=None,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -316,6 +329,8 @@ class BackendService:
         self.capacity: CapacityMonitor | None = (
             CapacityMonitor(registry=telemetry.registry) if capacity else None
         )
+        self.admission = admission
+        self.autoscaler = autoscaler
 
     # -- endpoints ------------------------------------------------------------
 
@@ -342,12 +357,27 @@ class BackendService:
         routes run unauthenticated.  Unknown routes raise ``KeyError``.
         """
         try:
-            handler_name, requires_ops = self.OPS_ROUTES[route]
+            entry = self.OPS_ROUTES[route]
         except KeyError:
             raise KeyError(f"unknown ops route {route!r}") from None
-        if requires_ops:
+        if entry.privileged:
             self._authorize(token, ROLE_OPS)
-        return getattr(self, handler_name)(**params)
+        return getattr(self, entry.handler)(**params)
+
+    def ops_request(self, request: OpsRequest) -> OpsResponse:
+        """Typed ops dispatch: an :class:`OpsRequest` in, an
+        :class:`OpsResponse` envelope out.
+
+        Authorization still happens exactly once, inside :meth:`ops` —
+        this wrapper adds the typed envelope, never a second check, and
+        the payload is byte-identical to the bare ``ops()`` call.
+        """
+        payload = self.ops(request.route, request.token, **dict(request.params))
+        return OpsResponse(
+            route=request.route,
+            payload=payload,
+            privileged=self.OPS_ROUTES[request.route].privileged,
+        )
 
     def dashboard(self, token: str, bucket_seconds: float = 60.0):
         """The monitoring dashboard — operations role only (least privilege)."""
@@ -417,11 +447,37 @@ class BackendService:
 
         coalescing = self.single_flight is not None
         arrival = self._clock.now()
+
+        degrade_level = 0
+        if self.admission is not None:
+            decision = self.admission.admit(
+                options.priority, deadline_ms=options.deadline_ms
+            )
+            if decision.rejected:
+                self.telemetry.audit.warning(
+                    "admission_reject",
+                    request_id=query_id,
+                    user=user_id,
+                    priority=decision.priority,
+                    pressure=decision.pressure,
+                    reason=decision.reason,
+                    retry_after=decision.retry_after_seconds,
+                )
+                decision.raise_if_rejected()
+            degrade_level = decision.level
+
         flight_key = None
         # Explain requests never coalesce: their answers carry a provenance
         # report that must not be shared with plain joiners, and joining a
-        # plain leader would return an answer without one.
-        if coalescing and options.cache == CACHE_DEFAULT and not options.explain:
+        # plain leader would return an answer without one.  Degraded
+        # requests never coalesce either — a degraded answer must not be
+        # shared with full-service joiners (nor vice versa).
+        if (
+            coalescing
+            and options.cache == CACHE_DEFAULT
+            and not options.explain
+            and degrade_level == 0
+        ):
             flight_key = (question, filters_key(options.filters))
             flight = self.single_flight.join(flight_key, arrival)
             if flight is not None:
@@ -439,10 +495,10 @@ class BackendService:
                 explain=options.explain,
                 work=WorkCounters() if profiled else None,
             )
-            answer = self._engine.answer(request, ctx=ctx).answer
+            answer = self._engine.answer(request, ctx=ctx, degrade_level=degrade_level).answer
             response_time = trace.total_duration * self._jitter()
         else:
-            answer = self._engine.answer(request).answer
+            answer = self._engine.answer(request, degrade_level=degrade_level).answer
             if answer.cache_hit:
                 # The cached answer still carries the full context and raw
                 # answer of its original computation; charging the token
@@ -475,6 +531,11 @@ class BackendService:
                         else f"shard_{probe.shard_id}"
                     )
                     self.capacity.observe(resource, arrival, probe.latency, failed=not probe.ok)
+        if self.admission is not None:
+            self.admission.observe(arrival, response_time, level=degrade_level)
+        if self.autoscaler is not None:
+            self.autoscaler.note_request(arrival, response_time)
+            self.autoscaler.maybe_evaluate(self._clock.now())
         record = QueryRecord(
             query_id=query_id,
             user_id=user_id,
@@ -620,6 +681,10 @@ class BackendService:
         # actually carried counters.
         if answer.work:
             audit_fields["work"] = answer.work
+        # Shed requests record how far down the ladder they landed; full
+        # service (the only level when admission is off) never carries it.
+        if answer.degrade_level:
+            audit_fields["degrade_level"] = answer.degrade_level
         # Errored spans surface with the exception type the stage raised;
         # clean traces never carry the field.
         if trace is not None:
@@ -661,19 +726,23 @@ class BackendService:
 
     # -- ops handlers (dispatched through the route table) --------------------
 
+    @ops_route("dashboard", privileged=True, description="Monitoring dashboard snapshot (latency series, outcomes, saturation).")
     def _ops_dashboard(self, bucket_seconds: float = 60.0):
         snapshot = self.metrics.snapshot(bucket_seconds=bucket_seconds)
         if self.capacity is not None:
             snapshot = replace(snapshot, saturation=self.capacity.snapshot())
         return snapshot
 
+    @ops_route("cluster_status", privileged=True, description="Shard sizes and replica health of a clustered deployment.")
     def _ops_cluster_status(self):
         status = getattr(self._engine.searcher, "status", None)
         return status() if status is not None else None
 
+    @ops_route("metrics", privileged=True, description="Prometheus text exposition of every registered instrument.")
     def _ops_metrics(self) -> str:
         return self.telemetry.render_metrics()
 
+    @ops_route("slo", privileged=True, description="Multi-window burn-rate evaluation of the service SLOs.")
     def _ops_slo(self):
         from repro.service.alerting import evaluate_quality_alerts, evaluate_slo_alerts
 
@@ -681,6 +750,7 @@ class BackendService:
         alerts.extend(evaluate_quality_alerts(self._quality_monitor))
         return alerts
 
+    @ops_route("explain", privileged=True, description="Score provenance of a stored or fresh query.")
     def _ops_explain(self, query_id: str = "", question: str = ""):
         """Score provenance for one query — operations role only.
 
@@ -702,6 +772,7 @@ class BackendService:
             return self._engine.answer(request).answer.explain_report
         raise ValueError("explain route needs a query_id or a question")
 
+    @ops_route("quality", privileged=True, description="Current drift-detector verdicts of the quality monitor.")
     def _ops_quality(self) -> dict:
         """Current drift-detector verdicts — operations role only."""
         if self._quality_monitor is None:
@@ -723,6 +794,7 @@ class BackendService:
             ],
         }
 
+    @ops_route("profile", privileged=True, description="Aggregated call-tree profile of served requests.")
     def _ops_profile(self, format: str = "top", limit: int = 25):
         """Aggregated call-tree profile — operations role only.
 
@@ -743,6 +815,21 @@ class BackendService:
             return profiler.to_dict()
         raise ValueError(f"unknown profile format {format!r}")
 
+    @ops_route("autoscale", privileged=True, description="Autoscaler status: replica counts, utilization, decision log.")
+    def _ops_autoscale(self) -> dict:
+        """Autoscaler status — operations role only."""
+        if self.autoscaler is None:
+            return {"enabled": False, "decisions": []}
+        return self.autoscaler.status()
+
+    @ops_route("admission", privileged=True, description="Admission-control status: pressure, shed counts, ladder.")
+    def _ops_admission(self) -> dict:
+        """Admission-control status — operations role only."""
+        if self.admission is None:
+            return {"enabled": False}
+        return self.admission.status()
+
+    @ops_route("healthz", privileged=False, description="Liveness probe (unauthenticated).")
     def _ops_healthz(self) -> dict:
         return {
             "status": "ok",
@@ -750,6 +837,7 @@ class BackendService:
             "served_queries": self._query_counter,
         }
 
+    @ops_route("readyz", privileged=False, description="Readiness probe (unauthenticated).")
     def _ops_readyz(self) -> dict:
         status_fn = getattr(self._engine.searcher, "status", None)
         if status_fn is None:
@@ -792,3 +880,8 @@ class BackendService:
     @staticmethod
     def _with_response_time(answer: UniAskAnswer, response_time: float) -> UniAskAnswer:
         return replace(answer, response_time=response_time)
+
+
+# Build the route table once the class body exists: every decorated
+# handler above registers itself, in definition order.
+BackendService.OPS_ROUTES = collect_ops_routes(BackendService)

@@ -202,7 +202,11 @@ def run_cluster_load_test(
     same simulated clock the searcher reads (replica mark-down windows are
     evaluated against it).  Killed shards degrade queries to partial
     results — they never raise — and the report counts how many queries
-    were affected while the shard was down.
+    were affected while the shard was down.  The degradation counters are
+    **asserted**, not just collected: a full-shard kill that serves
+    queries while down yet records zero partial results raises
+    ``RuntimeError``, because an all-green report from a scenario whose
+    fault injection silently missed would prove nothing.
 
     When an enabled *audit* logger is supplied, the run writes one
     ``cluster_load_scenario`` header plus one ``cluster_query`` entry per
@@ -252,6 +256,7 @@ def run_cluster_load_test(
     total = 0
     partial = 0
     hedged = 0
+    queries_while_killed = 0
     shard_latencies: list[float] = []
     for i, t in enumerate(arrivals):
         clock.advance_to(t)
@@ -266,6 +271,8 @@ def run_cluster_load_test(
                 replica.revive()
             killed = []
 
+        if killed:
+            queries_while_killed += 1
         searcher.search(queries[i % len(queries)])
         report = searcher.take_scatter_report()
         total += 1
@@ -309,6 +316,18 @@ def run_cluster_load_test(
                 hedged=is_hedged,
                 probes=probes,
             )
+
+    # A replica-churn scenario must *measure* degradation, not merely
+    # survive it: if the whole shard was down while queries arrived and
+    # not one came back partial, the fault injection silently missed (a
+    # wrong shard id, a clock the searcher does not read) and an
+    # all-green report would be a lie.
+    if queries_while_killed > 0 and config.kill_all_replicas and partial == 0:
+        raise RuntimeError(
+            f"replica-churn scenario served {queries_while_killed} queries with "
+            f"every replica of shard {config.kill_shard} down, yet recorded zero "
+            "partial results — the fault injection did not degrade the cluster"
+        )
 
     result = ClusterLoadTestReport(
         total_queries=total,

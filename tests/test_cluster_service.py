@@ -148,6 +148,40 @@ class TestClusterLoadTest:
         with pytest.raises(ValueError):
             ClusterLoadTestConfig(kill_at=50.0, revive_at=10.0)
 
+    def test_kill_scenario_without_degradation_raises(self):
+        """A churn run must assert the degradation counters, not just survive.
+
+        A searcher that accepts the kill but never degrades (wrong shard,
+        clock it does not read, …) used to produce an all-green report;
+        now the run itself fails loudly.
+        """
+        from repro.pipeline.clock import SimulatedClock
+
+        class _Replica:
+            def kill(self):
+                pass
+
+            def revive(self):
+                pass
+
+        class _BrokenFaultInjection:
+            def replicas(self, shard_id):
+                return [_Replica()]
+
+            def search(self, query):
+                return []
+
+            def take_scatter_report(self):
+                return None
+
+        with pytest.raises(RuntimeError, match="zero\\s+partial"):
+            run_cluster_load_test(
+                _BrokenFaultInjection(),
+                SimulatedClock(),
+                ["carta di credito"],
+                ClusterLoadTestConfig(duration_seconds=60.0, kill_at=5.0),
+            )
+
 
 class TestClusterCli:
     def test_ask_with_shards_and_status(self, capsys):

@@ -18,6 +18,7 @@ from repro.service.backend import (
     BackendService,
     ROLE_OPS,
 )
+from repro.service.ops import OpsRequest, OpsRoute
 from repro.service.loadtest import (
     ClusterLoadTestConfig,
     replay_cluster_report,
@@ -67,11 +68,53 @@ class TestOpsRouteTable:
             "explain",
             "quality",
             "profile",
+            "autoscale",
+            "admission",
             "healthz",
             "readyz",
         }
-        for handler_name, _requires in backend.OPS_ROUTES.values():
-            assert callable(getattr(backend, handler_name))
+        for route in backend.OPS_ROUTES.values():
+            assert isinstance(route, OpsRoute)
+            assert route.name
+            assert callable(getattr(backend, route.handler))
+
+    def test_probe_routes_are_unprivileged_in_the_table(self, backend):
+        for name, route in backend.OPS_ROUTES.items():
+            expected = name not in ("healthz", "readyz")
+            assert route.privileged is expected
+
+    def test_typed_envelope_payload_matches_bare_dispatch(self, backend):
+        """OpsRequest/OpsResponse add provenance, never change the payload."""
+        ops = backend.login("sre", role=ROLE_OPS)
+        token = backend.login("mario")
+        backend.query(token, QUESTIONS[0])
+        bare = backend.ops("metrics", ops)
+        envelope = backend.ops_request(OpsRequest(route="metrics", token=ops))
+        assert envelope.payload == bare
+        assert envelope.route == "metrics"
+        assert envelope.privileged is True
+        probe = backend.ops_request(OpsRequest(route="healthz"))
+        assert probe.payload == backend.ops("healthz")
+        assert probe.privileged is False
+
+    def test_typed_envelope_forwards_params(self, backend):
+        ops = backend.login("sre", role=ROLE_OPS)
+        token = backend.login("mario")
+        backend.query(token, QUESTIONS[0])
+        bare = backend.ops("dashboard", ops, bucket_seconds=30.0)
+        envelope = backend.ops_request(
+            OpsRequest(route="dashboard", token=ops, params={"bucket_seconds": 30.0})
+        )
+        assert envelope.payload == bare
+
+    def test_typed_envelope_keeps_the_single_auth_check(self, backend):
+        with pytest.raises(AuthenticationError):
+            backend.ops_request(OpsRequest(route="metrics", token="not-a-token"))
+
+    def test_autoscale_and_admission_routes_report_disabled(self, backend):
+        ops = backend.login("sre", role=ROLE_OPS)
+        assert backend.ops("autoscale", ops) == {"enabled": False, "decisions": []}
+        assert backend.ops("admission", ops) == {"enabled": False}
 
     @pytest.mark.parametrize(
         "route",
