@@ -1,0 +1,270 @@
+"""Incident forensics benchmark: overhead, determinism, root cause.
+
+Standalone script (not pytest-collected).  Plays one compressed chaos
+day — sinusoidal arrivals, Zipf-skewed questions, a replica kill with no
+revive followed by a cache-epoch flip that sends the re-scattering herd
+into the dark shard — through clustered deployments with incident
+forensics OFF and ON (twice), and gates three claims of the layer:
+
+1. **Overhead** — the flight recorder plus the incident loop cost less
+   than ``--max-overhead`` (default 5%) of wall time against the bare
+   deployment, measured as min-of-two on each side to damp timer noise.
+2. **Determinism** — two identical ON runs produce bit-identical
+   incident logs: same fingerprints, open instants, dedup counts, cause
+   rankings and rendered timelines.
+3. **Root cause** — the chaos day opens at least one incident whose
+   frozen timeline orders the injected kill before the page and whose
+   top-ranked suspected cause is ``replica_kill``.
+
+Usage (CI smoke runs the short variant)::
+
+    PYTHONPATH=src python benchmarks/bench_incident.py \
+        --topics 16 --duration 600 --out BENCH_incident.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import create_backend, create_engine  # noqa: E402
+from repro.autoscale.loadgen import (  # noqa: E402
+    CHAOS_EPOCH_FLIP,
+    CHAOS_KILL,
+    ChaosEvent,
+    DiurnalLoadConfig,
+    DiurnalLoadReport,
+    run_diurnal_load,
+)
+from repro.cache.config import CacheConfig  # noqa: E402
+from repro.cluster.config import ClusterConfig  # noqa: E402
+from repro.core.config import UniAskConfig  # noqa: E402
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig  # noqa: E402
+from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset  # noqa: E402
+from repro.corpus.vocabulary import build_banking_lexicon  # noqa: E402
+from repro.obs.incident import IncidentConfig  # noqa: E402
+
+
+def _build(kb, lexicon, args, enabled: bool):
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=args.shards, replicas=args.replicas),
+        cache=CacheConfig(enabled=True),  # the loadgen drives the clock itself
+        incident=IncidentConfig(enabled=enabled),
+    )
+    system = create_engine(kb.store(), lexicon, config=config, seed=args.seed)
+    backend = create_backend(system, seed=args.seed)
+    return system, backend
+
+
+def _chaos(args) -> tuple[ChaosEvent, ...]:
+    """Kill one replica a third of the way in, flip the epoch 30 s later.
+
+    No revive and no autoscaler: the shard stays dark, the incident
+    stays open.  The flip matters — the answer cache otherwise absorbs
+    the herd and the completeness page never sees the partial results.
+    """
+    kill_at = args.duration / 3.0
+    return (
+        ChaosEvent(at=kill_at, kind=CHAOS_KILL, shard_id=0),
+        ChaosEvent(at=kill_at + 30.0, kind=CHAOS_EPOCH_FLIP),
+    )
+
+
+def _run_side(kb, lexicon, questions, args, enabled: bool):
+    label = "ON " if enabled else "OFF"
+    print(f"running {label} side ({args.duration:g}s simulated)...", file=sys.stderr)
+    system, backend = _build(kb, lexicon, args, enabled)
+    token = backend.login("bench")
+    started = time.perf_counter()
+    report = run_diurnal_load(
+        backend,
+        system.cluster,
+        system.clock,
+        token,
+        questions,
+        DiurnalLoadConfig(
+            duration_seconds=args.duration,
+            base_rate=args.base_rate,
+            amplitude=args.amplitude,
+            period_seconds=args.duration,
+            seed=args.seed,
+            chaos=_chaos(args),
+        ),
+    )
+    wall = time.perf_counter() - started
+    return report, backend, wall
+
+
+def _incident_log(backend) -> list[dict]:
+    """The deterministic projection of a run's incident state."""
+    manager = backend.incidents
+    log = []
+    for incident in manager.incidents:
+        log.append(
+            {
+                "fingerprint": incident.fingerprint,
+                "opened_at": incident.opened_at,
+                "recovered_at": incident.recovered_at,
+                "rules": list(incident.rules),
+                "count": incident.count,
+                "causes": [
+                    (cause["cause"], cause["score"], cause["last_at"])
+                    for cause in incident.suspected_causes
+                ],
+                "timeline": manager.format_timeline(incident),
+            }
+        )
+    return log
+
+
+def _report_dict(report: DiurnalLoadReport, wall: float) -> dict:
+    return {
+        "total_requests": report.total_requests,
+        "served": report.served,
+        "latency_p50": round(report.latency_p50, 3),
+        "latency_p99": round(report.latency_p99, 3),
+        "replica_kills": report.replica_kills,
+        "epoch_flips": report.epoch_flips,
+        "unhandled_errors": list(report.unhandled_errors),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=3, seed=args.seed)
+    ).generate()
+    lexicon = build_banking_lexicon()
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.queries, seed=args.seed)
+        )
+    ]
+
+    # One discarded warmup run pays the import/page-fault cost, then two
+    # timed runs per side: min-of-two damps timer noise for the overhead
+    # gate, and the ON pair doubles as the determinism check.
+    warmup = argparse.Namespace(**{**vars(args), "duration": args.duration / 4.0})
+    _run_side(kb, lexicon, questions, warmup, enabled=False)
+    off_a, _, off_wall_a = _run_side(kb, lexicon, questions, args, enabled=False)
+    on_a, backend_a, on_wall_a = _run_side(kb, lexicon, questions, args, enabled=True)
+    off_b, _, off_wall_b = _run_side(kb, lexicon, questions, args, enabled=False)
+    on_b, backend_b, on_wall_b = _run_side(kb, lexicon, questions, args, enabled=True)
+
+    off_wall = min(off_wall_a, off_wall_b)
+    on_wall = min(on_wall_a, on_wall_b)
+    overhead = on_wall / off_wall if off_wall > 0 else float("inf")
+    log_a = _incident_log(backend_a)
+    log_b = _incident_log(backend_b)
+    identical = log_a == log_b
+
+    result = {
+        "config": {
+            "topics": args.topics,
+            "queries": args.queries,
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "duration_seconds": args.duration,
+            "base_rate": args.base_rate,
+            "amplitude": args.amplitude,
+            "seed": args.seed,
+            "max_overhead": args.max_overhead,
+        },
+        "off": _report_dict(off_a, off_wall),
+        "on": _report_dict(on_a, on_wall),
+        "overhead_ratio": round(overhead, 4),
+        "identical_runs": identical,
+        "incidents": log_a,
+        "recorder_events": [e.to_dict() for e in backend_a.incidents.recorder.events],
+    }
+
+    print()
+    print("=" * 64)
+    print(
+        f"INCIDENT BENCH — {on_a.total_requests} requests over "
+        f"{args.duration:g}s simulated"
+    )
+    print("=" * 64)
+    print(
+        f"OFF: {off_wall:6.2f}s wall   ON: {on_wall:6.2f}s wall   "
+        f"overhead {overhead - 1.0:+.1%} (gate < {args.max_overhead - 1.0:+.1%})"
+    )
+    print(f"incidents opened: {len(log_a)}   bit-identical across runs: {identical}")
+    for entry in log_a:
+        status = "open" if entry["recovered_at"] is None else "recovered"
+        top = entry["causes"][0][0] if entry["causes"] else "-"
+        print(
+            f"  {entry['fingerprint']}  [{status}]  rules={','.join(entry['rules'])}  "
+            f"cause={top}  seen={entry['count']}x"
+        )
+
+    if on_a.unhandled_errors or off_a.unhandled_errors:
+        raise SystemExit(
+            "unhandled exceptions during the chaos day: "
+            f"ON={list(on_a.unhandled_errors)[:3]} OFF={list(off_a.unhandled_errors)[:3]}"
+        )
+    if on_a.served != off_a.served:
+        raise SystemExit(
+            f"the recorder changed the workload: ON served {on_a.served}, "
+            f"OFF served {off_a.served} — the overlay is not passive"
+        )
+    if overhead >= args.max_overhead:
+        raise SystemExit(
+            f"incident forensics cost {overhead - 1.0:+.1%} of wall time "
+            f"(gate < {args.max_overhead - 1.0:+.1%}) — the recorder is too hot"
+        )
+    if not identical:
+        raise SystemExit(
+            "two identical chaos days produced different incident logs — "
+            "something read a wall clock or a shared RNG"
+        )
+    if not log_a:
+        raise SystemExit("the chaos day opened no incident — the page never fired")
+    first = log_a[0]
+    if not first["causes"] or first["causes"][0][0] != "replica_kill":
+        raise SystemExit(
+            f"top suspected cause is {first['causes'][:1]!r}, expected the "
+            "injected replica_kill"
+        )
+    timeline = first["timeline"]
+    if timeline.index("replica_kill") > timeline.index("** page"):
+        raise SystemExit("the timeline does not order the injected fault before the page")
+    print("verdict: PASS")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topics", type=int, default=24, help="corpus size (topics)")
+    parser.add_argument("--queries", type=int, default=40, help="distinct questions")
+    parser.add_argument("--shards", type=int, default=2, help="cluster shards")
+    parser.add_argument("--replicas", type=int, default=1, help="replicas per shard")
+    parser.add_argument(
+        "--duration", type=float, default=900.0, help="simulated seconds (one diurnal cycle)"
+    )
+    parser.add_argument("--base-rate", type=float, default=1.2, help="mean arrivals/s")
+    parser.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.05,
+        help="wall-time ratio gate (ON/OFF must stay below this)",
+    )
+    parser.add_argument("--seed", type=int, default=23, help="master seed")
+    parser.add_argument("--out", default="BENCH_incident.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,12 @@ Commands:
 * ``canary`` — run the canary probe suite once through a demo deployment
   and report quality metrics against the (freshly frozen) baseline;
   exits non-zero when a quality alert fires;
+* ``incident`` — run a compressed chaos day (replica kill + cache-epoch
+  flip, no revive) through an incident-enabled sharded deployment and
+  print the incident list; ``--timeline`` renders each incident's
+  causally ordered flight-recorder timeline, ``--show ID`` one specific
+  incident, ``--diagnose`` the root-cause verdict of the last served
+  request; exits non-zero while an incident is open and unrecovered;
 * ``index`` — build the demo corpus index and persist it to a directory,
   optionally sharded (``--shards N``).
 
@@ -315,6 +321,112 @@ def _cmd_canary(args: argparse.Namespace) -> int:
     return 1 if alerts else 0
 
 
+def _cmd_incident(args: argparse.Namespace) -> int:
+    from repro.api import create_backend
+    from repro.autoscale.loadgen import (
+        CHAOS_EPOCH_FLIP,
+        CHAOS_KILL,
+        ChaosEvent,
+        DiurnalLoadConfig,
+        run_diurnal_load,
+    )
+    from repro.cache import CacheConfig
+    from repro.cluster import ClusterConfig
+    from repro.core.config import UniAskConfig
+    from repro.corpus.queries import HumanDatasetConfig, generate_human_dataset
+    from repro.obs.incident import IncidentConfig
+
+    print(
+        f"building incident-enabled deployment ({args.topics} topics, "
+        f"{args.shards} shards, seed {args.seed})...",
+        file=sys.stderr,
+    )
+    kb = KbGenerator(
+        KbGeneratorConfig(num_topics=args.topics, error_families=6, seed=args.seed)
+    ).generate()
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=args.shards, replicas=args.replicas),
+        cache=CacheConfig(enabled=True),
+        incident=IncidentConfig(enabled=True),
+    )
+    system = build_uniask_system(kb.store(), build_banking_lexicon(), config=config, seed=args.seed)
+    backend = create_backend(system)
+    token = backend.login("cli-incident")
+    questions = [
+        q.text
+        for q in generate_human_dataset(
+            kb, HumanDatasetConfig(num_questions=args.questions, seed=args.seed)
+        )
+    ]
+    # The canonical pageable fault: kill one replica a third of the way in,
+    # then flip the cache epoch shortly after so the re-scattering herd
+    # actually sees the dark shard (cache hits never go partial).  No
+    # revive and no autoscaler — the incident stays open.
+    chaos: tuple[ChaosEvent, ...] = ()
+    if args.chaos:
+        kill_at = args.duration / 3.0
+        chaos = (
+            ChaosEvent(at=kill_at, kind=CHAOS_KILL, shard_id=0),
+            ChaosEvent(at=kill_at + 30.0, kind=CHAOS_EPOCH_FLIP),
+        )
+    load = DiurnalLoadConfig(
+        duration_seconds=args.duration,
+        base_rate=args.rate,
+        period_seconds=args.duration,
+        chaos=chaos,
+    )
+    report = run_diurnal_load(backend, system.cluster, system.clock, token, questions, load)
+    manager = backend.incidents
+    print(
+        f"# chaos day: served {report.served} requests over {args.duration:.0f}s "
+        f"({'with' if args.chaos else 'without'} injected faults)\n",
+        file=sys.stderr,
+    )
+
+    status = manager.status()
+    print(
+        f"incidents: {status['open']} open / {status['total']} total  "
+        f"(flight recorder: {status['recorder_events']} events retained, "
+        f"{status['recorder_total']} recorded)"
+    )
+    for summary in status["incidents"]:
+        rules = ",".join(summary["rules"])
+        print(
+            f"  {summary['incident_id']}  [{summary['status']:<9}]  "
+            f"opened=t={summary['opened_at']:.0f}s  rules={rules}  "
+            f"cause={summary['top_cause'] or '-'}  seen={summary['count']}x"
+        )
+    if not status["incidents"]:
+        print("  (none — no page-severity alert fired)")
+
+    shown = []
+    if args.show:
+        try:
+            shown = [manager.get(args.show)]
+        except KeyError:
+            print(f"error: unknown incident id {args.show!r}", file=sys.stderr)
+            return 2
+    elif args.timeline:
+        shown = list(manager.incidents)
+    for incident in shown:
+        print()
+        print(manager.format_timeline(incident))
+
+    if args.diagnose:
+        query_id = f"q-{backend.served_queries:07d}"
+        diagnosis = manager.diagnose(query_id)
+        print()
+        print(f"diagnosis of {query_id} (route {diagnosis['route']}): {diagnosis['verdict']}")
+        for finding in diagnosis["findings"]:
+            print(f"  - {finding}")
+
+    open_count = len(manager.open_incidents)
+    if open_count:
+        print(f"exit: {open_count} incident(s) still open", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -442,6 +554,35 @@ def main(argv: list[str] | None = None) -> int:
         help="enable agent routing and add per-route canary probes",
     )
     canary.set_defaults(func=_cmd_canary)
+
+    incident = commands.add_parser(
+        "incident", help="chaos day through an incident-enabled deployment"
+    )
+    incident.add_argument("--shards", type=int, default=2, help="serve from N index shards")
+    incident.add_argument("--replicas", type=int, default=1, help="replicas per shard")
+    incident.add_argument("--questions", type=int, default=40, help="distinct questions")
+    incident.add_argument(
+        "--duration", type=float, default=900.0, help="simulated chaos-day length (seconds)"
+    )
+    incident.add_argument("--rate", type=float, default=1.2, help="base request rate (req/s)")
+    incident.add_argument(
+        "--chaos",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="inject the replica kill + cache-epoch flip (--no-chaos for a clean day)",
+    )
+    incident.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print every incident's causally ordered flight-recorder timeline",
+    )
+    incident.add_argument("--show", default="", help="print one incident by id (e.g. inc-0001)")
+    incident.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="print the root-cause diagnosis of the last served request",
+    )
+    incident.set_defaults(func=_cmd_incident)
 
     index = commands.add_parser("index", help="build and persist the demo index")
     index.add_argument("--shards", type=int, default=1, help="partition into N shards")

@@ -46,9 +46,12 @@ def create_backend(system: "UniAskSystem", tracing: bool = False, **kwargs):
     deployment gets an
     :class:`~repro.autoscale.admission.AdmissionController`, an
     autoscale-enabled cluster threads ``system.autoscaler`` into the
-    serve loop.  Both stay None — and the service byte-identical — when
-    the config leaves them off.  Explicit ``admission=`` / ``autoscaler=``
-    keyword arguments win over the config-driven wiring.
+    serve loop, and an incident-enabled deployment gets an
+    :class:`~repro.obs.incident.IncidentManager` over the system's
+    flight recorder.  All stay None — and the service byte-identical —
+    when the config leaves them off.  Explicit ``admission=`` /
+    ``autoscaler=`` / ``incidents=`` keyword arguments win over the
+    config-driven wiring.
     """
     from repro.service.backend import BackendService
 
@@ -58,9 +61,20 @@ def create_backend(system: "UniAskSystem", tracing: bool = False, **kwargs):
         kwargs["admission"] = AdmissionController(
             config=system.config.autoscale.admission,
             registry=system.telemetry.registry,
+            recorder=system.recorder,
         )
     if "autoscaler" not in kwargs and system.autoscaler is not None:
         kwargs["autoscaler"] = system.autoscaler
+    if "incidents" not in kwargs and system.config.incident.enabled:
+        from repro.obs.incident import IncidentManager
+
+        kwargs["incidents"] = IncidentManager(
+            config=system.config.incident,
+            clock=system.clock,
+            recorder=system.recorder,
+            audit=system.telemetry.audit,
+            registry=system.telemetry.registry,
+        )
 
     return BackendService(
         system.engine,

@@ -106,10 +106,14 @@ class AdmissionController:
 
     *registry* is optional; when set, a per-priority decision counter is
     registered at construction — enabling admission opts the deployment
-    into the new exposition.
+    into the new exposition.  *recorder* is the optional incident flight
+    recorder; per-priority ladder-level *transitions* (not every
+    decision) land on it as ``admission_transition`` events.
     """
 
-    def __init__(self, config: AdmissionConfig | None = None, registry=None) -> None:
+    def __init__(
+        self, config: AdmissionConfig | None = None, registry=None, recorder=None
+    ) -> None:
         self.config = config or AdmissionConfig()
         self._capacity = CapacityMonitor(window_seconds=self.config.window_seconds)
         self._full_latency = self.config.full_latency_estimate
@@ -121,6 +125,8 @@ class AdmissionController:
         self._decisions = {name: 0 for name in DECISION_NAMES.values()}
         self._shed_total = 0
         self._rejected_total = 0
+        self.recorder = recorder
+        self._last_levels: dict[str, int] = {name: LEVEL_FULL for name in PRIORITIES}
         if registry is not None:
             self._m_decisions = registry.counter(
                 "uniask_admission_decisions_total",
@@ -210,6 +216,17 @@ class AdmissionController:
             reason=reason,
         )
         name = DECISION_NAMES[level]
+        if self.recorder is not None and level != self._last_levels[priority]:
+            self.recorder.record(
+                "admission_transition",
+                "admission",
+                priority=priority,
+                from_level=DECISION_NAMES[self._last_levels[priority]],
+                to_level=name,
+                pressure=round(pressure, 4),
+                reason=reason,
+            )
+            self._last_levels[priority] = level
         self._decisions[name] += 1
         if level > LEVEL_FULL:
             self._shed_total += 1

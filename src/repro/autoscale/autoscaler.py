@@ -87,6 +87,9 @@ class Autoscaler:
             at construction, so only autoscaling deployments gain the
             new exposition.
         hedge_budget: the router's adaptive hedge budget, when installed.
+        recorder: optional incident flight recorder; every
+            :class:`ScaleDecision` and every hedge-budget on/off
+            transition lands on it as a control-plane event.
     """
 
     def __init__(
@@ -96,6 +99,7 @@ class Autoscaler:
         config: AutoscaleConfig | None = None,
         registry=None,
         hedge_budget: AdaptiveHedgeBudget | None = None,
+        recorder=None,
     ) -> None:
         self.config = config or AutoscaleConfig()
         self._cluster = cluster
@@ -124,6 +128,8 @@ class Autoscaler:
         self._last_rebalance = float("-inf")
         self._utilization = 0.0
         self.hedge_budget = hedge_budget
+        self.recorder = recorder
+        self._hedges_disabled = False
         if registry is not None:
             self._g_replicas = registry.gauge(
                 "uniask_autoscale_replicas",
@@ -179,6 +185,15 @@ class Autoscaler:
         self._utilization = load / total_alive
         if self.hedge_budget is not None:
             self.hedge_budget.update_utilization(self._utilization)
+            if self.recorder is not None:
+                disabled = self._utilization >= self.hedge_budget.disable_above
+                if disabled != self._hedges_disabled:
+                    self.recorder.record(
+                        "hedges_disabled" if disabled else "hedges_restored",
+                        "autoscaler",
+                        utilization=round(self._utilization, 4),
+                    )
+                    self._hedges_disabled = disabled
         if self._g_replicas is not None:
             for shard_id, alive in shard_alive.items():
                 self._g_replicas.labels(str(shard_id)).set(float(alive))
@@ -308,6 +323,16 @@ class Autoscaler:
         self._decisions.append(decision)
         if self._m_actions is not None:
             self._m_actions.labels(action).inc()
+        if self.recorder is not None:
+            self.recorder.record(
+                "scale_decision",
+                "autoscaler",
+                action=action,
+                shard_id=shard_id,
+                detail=detail,
+                reason=reason,
+                total_replicas=total,
+            )
         return decision
 
     # -- observability -----------------------------------------------------

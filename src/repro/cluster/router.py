@@ -204,6 +204,10 @@ class ClusterSearcher:
         cache_config: enables the per-shard retrieval-result cache when
             its retrieval tier is active (None or inactive tiers leave the
             scatter path untouched).
+        recorder: optional incident flight recorder; replica-liveness and
+            cache-generation *changes* the router observes (kills, heals,
+            epoch flips — including faults injected behind its back) land
+            on it as control-plane events.
     """
 
     def __init__(
@@ -217,6 +221,7 @@ class ClusterSearcher:
         registry: MetricsRegistry | None = None,
         cache_config: CacheConfig | None = None,
         hedge_budget=None,
+        recorder=None,
     ) -> None:
         self.config = config or HybridSearchConfig()
         if self.config.use_reranker and reranker is None:
@@ -248,6 +253,14 @@ class ClusterSearcher:
         self.retrieval_cache: ShardRetrievalCache | None = None
         if cache_config is not None and cache_config.retrieval_tier_active:
             self.retrieval_cache = ShardRetrievalCache(cache_config, registry=registry)
+        self.recorder = recorder
+        # Liveness/generation baselines seed lazily at the first
+        # observation, not here: initial ingestion (which legitimately
+        # bumps the generation) runs after construction, and recording it
+        # as an epoch flip would charge every deployment a phantom
+        # control-plane event at startup.
+        self._last_alive: dict[str, bool] = {}
+        self._last_generation: int | None = None
         self._sync_topology()
 
     # -- topology ----------------------------------------------------------
@@ -274,6 +287,37 @@ class ClusterSearcher:
                 self._fulltext[shard_id] = FullTextSearch(view, profile=self._profile)
                 self._vector[shard_id] = VectorSearch(self._index.shard_index(shard_id))
 
+    def _observe_control_state(self) -> None:
+        """Diff replica liveness and cache generation onto the recorder.
+
+        The chaos tooling kills replicas and flips epochs *behind* the
+        router (direct ``Replica.kill()`` / ``bump_generation()`` calls),
+        so the only reliable observation point is a state diff at the
+        router's own touch points.  First sight of a key seeds the
+        baseline silently; disappeared keys (topology shrink) are
+        dropped.  No-op without a recorder.
+        """
+        if self.recorder is None:
+            return
+        current: dict[str, bool] = {}
+        for shard_id in self._index.shard_ids:
+            for replica in self._groups[shard_id].replicas:
+                key = f"s{shard_id}/{replica.replica_id}"
+                current[key] = replica.alive
+                previous = self._last_alive.get(key)
+                if previous is not None and previous != replica.alive:
+                    self.recorder.record(
+                        "replica_kill" if previous else "replica_heal",
+                        "router",
+                        shard_id=shard_id,
+                        replica_id=replica.replica_id,
+                    )
+        self._last_alive = current
+        generation = self._index.generation
+        if self._last_generation is not None and generation != self._last_generation:
+            self.recorder.record("cache_epoch_flip", "router", generation=generation)
+        self._last_generation = generation
+
     def replicas(self, shard_id: int) -> list[Replica]:
         """The replica group of *shard_id* (fault injection entry point)."""
         self._sync_topology()
@@ -282,7 +326,17 @@ class ClusterSearcher:
     def add_replica(self, shard_id: int) -> str:
         """Scale *shard_id* up by one healthy replica; returns its id."""
         self._sync_topology()
-        return self._groups[shard_id].add_replica(self.cluster_config).replica_id
+        replica_id = self._groups[shard_id].add_replica(self.cluster_config).replica_id
+        if self.recorder is not None:
+            self.recorder.record(
+                "topology_change",
+                "router",
+                action="add_replica",
+                shard_id=shard_id,
+                replica_id=replica_id,
+            )
+            self._last_alive[f"s{shard_id}/{replica_id}"] = True
+        return replica_id
 
     def remove_replica(self, shard_id: int) -> str:
         """Scale *shard_id* down by one replica; returns the removed id.
@@ -292,7 +346,17 @@ class ClusterSearcher:
         replica (the caller enforces any higher floor).
         """
         self._sync_topology()
-        return self._groups[shard_id].remove_replica().replica_id
+        replica_id = self._groups[shard_id].remove_replica().replica_id
+        if self.recorder is not None:
+            self.recorder.record(
+                "topology_change",
+                "router",
+                action="remove_replica",
+                shard_id=shard_id,
+                replica_id=replica_id,
+            )
+            self._last_alive.pop(f"s{shard_id}/{replica_id}", None)
+        return replica_id
 
     # -- serving -----------------------------------------------------------
 
@@ -310,6 +374,7 @@ class ClusterSearcher:
         """
         ctx = ctx or null_context()
         self._sync_topology()
+        self._observe_control_state()
         config = self.config
         self._query_counter += 1
         turn = self._query_counter - 1
@@ -398,6 +463,7 @@ class ClusterSearcher:
         """
         ctx = ctx or null_context()
         self._sync_topology()
+        self._observe_control_state()
         config = self.config
         self._query_counter += 1
         turn = self._query_counter - 1
@@ -681,6 +747,7 @@ class ClusterSearcher:
     def status(self) -> ClusterStatus:
         """A point-in-time snapshot of shard sizes and replica health."""
         self._sync_topology()
+        self._observe_control_state()
         now = self._clock.now()
         shards = []
         for shard_id in self._index.shard_ids:

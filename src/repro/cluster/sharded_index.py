@@ -178,6 +178,10 @@ class ShardedSearchIndex:
         every shard (existing and future).
     """
 
+    #: Optional incident flight recorder; set by the factory (per-shard
+    #: members keep None — merges are recorded once, at the cluster).
+    recorder = None
+
     def __init__(
         self,
         embedder: EmbeddingModel,
@@ -418,6 +422,8 @@ class ShardedSearchIndex:
         for shard in self._shards.values():
             for op, count in shard.run_maintenance(now, ctx=ctx).items():
                 totals[op] = totals.get(op, 0) + count
+        if self.recorder is not None and any(totals.values()):
+            self.recorder.record("segment_merge", "index", ops=dict(totals))
         return totals
 
     # -- global ordering ---------------------------------------------------

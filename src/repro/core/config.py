@@ -9,6 +9,7 @@ from repro.autoscale.config import AutoscaleConfig
 from repro.cache.config import CacheConfig
 from repro.cluster.config import ClusterConfig
 from repro.guardrails.rouge import DEFAULT_ROUGE_THRESHOLD
+from repro.obs.incident import IncidentConfig
 from repro.obs.telemetry import TelemetryConfig
 from repro.search.hybrid import HybridSearchConfig
 from repro.search.segment import IndexConfig
@@ -41,5 +42,6 @@ class UniAskConfig:
     index: IndexConfig = field(default_factory=IndexConfig)
     agents: AgentsConfig = field(default_factory=AgentsConfig)
     autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
+    incident: IncidentConfig = field(default_factory=IncidentConfig)
     rouge_threshold: float = DEFAULT_ROUGE_THRESHOLD
     language: str = "it"

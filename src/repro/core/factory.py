@@ -29,6 +29,7 @@ from repro.guardrails.citation import CitationGuardrail
 from repro.guardrails.clarification import ClarificationGuardrail
 from repro.llm.content_filter import ContentFilter
 from repro.llm.simulated import SimulatedChatLLM
+from repro.obs.incident import BlackBoxRecorder
 from repro.obs.telemetry import Telemetry
 from repro.pipeline.clock import SimulatedClock
 from repro.pipeline.enrichment import MetadataEnricher
@@ -70,6 +71,7 @@ class UniAskSystem:
     answer_cache: AnswerCache | None = None
     orchestrator: Orchestrator | None = None
     autoscaler: Autoscaler | None = None
+    recorder: BlackBoxRecorder | None = None
 
     def refresh(self) -> None:
         """One operational cycle: run due ingestion polls, drain the queue.
@@ -118,6 +120,18 @@ def build_uniask_system(
     queue = MessageQueue()
     telemetry = Telemetry(config.telemetry, clock=clock)
     registry = telemetry.registry
+
+    # Constructed only when enabled, like the orchestrator and autoscaler:
+    # the recorder registers its event counter on construction, and every
+    # feed site below no-ops on a None recorder, so an incident-off
+    # deployment stays byte-identical on every surface.
+    recorder = None
+    if config.incident.enabled:
+        recorder = BlackBoxRecorder(
+            clock=clock,
+            capacity=config.incident.recorder_capacity,
+            registry=registry,
+        )
 
     from repro.text.analyzer import ItalianAnalyzer
 
@@ -174,11 +188,17 @@ def build_uniask_system(
             registry=registry,
             cache_config=config.cache,
             hedge_budget=hedge_budget,
+            recorder=recorder,
         )
     else:
         searcher = HybridSemanticSearch(
             index, reranker=reranker, config=config.retrieval, registry=registry
         )
+    if recorder is not None:
+        # Instance attribute on the deployment's top-level index only;
+        # per-shard members keep the class default None, so a clustered
+        # maintenance pass records its merged totals exactly once.
+        index.recorder = recorder
 
     answer_cache = None
     if config.cache.answer_tier_active:
@@ -215,6 +235,7 @@ def build_uniask_system(
             config=config.autoscale,
             registry=registry,
             hedge_budget=hedge_budget,
+            recorder=recorder,
         )
     engine = UniAskEngine(
         searcher=searcher,
@@ -245,6 +266,7 @@ def build_uniask_system(
         answer_cache=answer_cache,
         orchestrator=orchestrator,
         autoscaler=autoscaler,
+        recorder=recorder,
     )
     if ingest_now:
         system.refresh()

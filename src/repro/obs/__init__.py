@@ -21,6 +21,7 @@ clock or a shared RNG, so outputs stay byte-identical either way.
 """
 
 from repro.obs.audit import NULL_AUDIT, AuditLogger, read_audit_log
+from repro.obs.incident import BlackBoxRecorder, Incident, IncidentConfig, IncidentManager
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -49,11 +50,15 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
     "AuditLogger",
+    "BlackBoxRecorder",
     "BurnRateAlert",
     "BurnWindow",
     "Counter",
     "Gauge",
     "Histogram",
+    "Incident",
+    "IncidentConfig",
+    "IncidentManager",
     "MetricsRegistry",
     "NullTrace",
     "RequestContext",

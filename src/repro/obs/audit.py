@@ -20,6 +20,7 @@ the sampler.
 from __future__ import annotations
 
 import json
+from collections import deque
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -53,13 +54,26 @@ class AuditLogger:
             stamped with ``ts`` (simulated seconds).
         path: when set, every entry is appended to this JSONL file as it
             is logged (the file is truncated at construction).
+        retention: when set, only the most recent *retention* entries are
+            kept **in memory** (a ring, oldest evicted first).  The
+            on-disk sink stays complete and append-only regardless — the
+            file, not the ring, is the evidence; replay tooling reads the
+            file.
     """
 
     enabled = True
 
-    def __init__(self, clock=None, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        clock=None,
+        path: str | Path | None = None,
+        retention: int | None = None,
+    ) -> None:
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be positive when set")
         self._clock = clock
-        self._entries: list[dict] = []
+        self._entries: deque[dict] = deque(maxlen=retention)
+        self._total_logged = 0
         self._path = Path(path) if path is not None else None
         if self._path is not None:
             self._path.write_text("", encoding="utf-8")
@@ -73,6 +87,7 @@ class AuditLogger:
             entry["ts"] = self._clock.now()
         entry.update(fields)
         self._entries.append(entry)
+        self._total_logged += 1
         if self._path is not None:
             with self._path.open("a", encoding="utf-8") as sink:
                 sink.write(serialize_entry(entry) + "\n")
@@ -88,8 +103,13 @@ class AuditLogger:
 
     @property
     def entries(self) -> list[dict]:
-        """All entries, in log order."""
+        """All retained entries, in log order."""
         return list(self._entries)
+
+    @property
+    def total_logged(self) -> int:
+        """Entries ever logged, including any evicted from the ring."""
+        return self._total_logged
 
     def lines(self) -> list[str]:
         """Every entry canonically serialised, in log order."""
@@ -100,7 +120,7 @@ class AuditLogger:
         return [entry for entry in self._entries if entry.get("event") == event]
 
     def dump(self, path: str | Path) -> Path:
-        """Write the whole log to *path* as JSONL; returns the path."""
+        """Write the retained log to *path* as JSONL; returns the path."""
         target = Path(path)
         target.write_text("".join(line + "\n" for line in self.lines()), encoding="utf-8")
         return target

@@ -41,6 +41,9 @@ class TelemetryConfig:
         retained_traces: sampler retention capacity.
         sampler_seed: seed of the sampler's private RNG stream.
         audit_path: when set, the audit log is mirrored to this JSONL file.
+        audit_retention: in-memory audit ring size; the on-disk JSONL sink
+            stays complete regardless.  None keeps everything in memory
+            (unbounded — only sensible for short-lived test deployments).
     """
 
     enabled: bool = True
@@ -49,12 +52,15 @@ class TelemetryConfig:
     retained_traces: int = 256
     sampler_seed: int = 1729
     audit_path: str | None = None
+    audit_retention: int | None = 10_000
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.trace_sample_rate <= 1.0):
             raise ValueError("trace_sample_rate must be in [0, 1]")
         if self.retained_traces < 1:
             raise ValueError("retained_traces must be positive")
+        if self.audit_retention is not None and self.audit_retention < 1:
+            raise ValueError("audit_retention must be positive when set")
 
 
 class Telemetry:
@@ -71,7 +77,11 @@ class Telemetry:
                 capacity=self.config.retained_traces,
                 on_evict=self.registry.drop_exemplars,
             )
-            self.audit: AuditLogger = AuditLogger(clock=clock, path=self.config.audit_path)
+            self.audit: AuditLogger = AuditLogger(
+                clock=clock,
+                path=self.config.audit_path,
+                retention=self.config.audit_retention,
+            )
         else:
             self.registry = NULL_REGISTRY
             self.sampler = TraceSampler(rate=0.0, seed=self.config.sampler_seed)

@@ -59,6 +59,11 @@ class SearchIndex:
         registry: metrics registry for the maintenance counters (optional).
     """
 
+    #: Optional incident flight recorder; set by the factory on the
+    #: deployment's top-level index only, so per-shard members of a
+    #: cluster never double-record.
+    recorder = None
+
     def __init__(
         self,
         embedder: EmbeddingModel,
@@ -254,6 +259,8 @@ class SearchIndex:
         else:
             ops = self._store.run_maintenance(now)
         self._drain_maintenance_ops()
+        if self.recorder is not None and any(ops.values()):
+            self.recorder.record("segment_merge", "index", ops=dict(ops))
         return ops
 
     def vacuum(

@@ -135,7 +135,7 @@ class ServiceSlo:
 
 
 def default_slos(latency_threshold: float = 5.0) -> list[ServiceSlo]:
-    """The three service objectives and their event classifiers.
+    """The four service objectives and their event classifiers.
 
     * **availability** (99%): the request did not fail outright.
     * **latency** (95% under *latency_threshold* seconds): served fast
@@ -143,6 +143,9 @@ def default_slos(latency_threshold: float = 5.0) -> list[ServiceSlo]:
     * **guardrail pass rate** (85%): the answer was not invalidated by a
       guardrail; calibrated from Table 5, where a healthy system blocks
       well under 15% of answers.
+    * **completeness** (95%): the answer covered every shard — a dark
+      shard turns the whole fleet's responses partial at once, which is
+      exactly the signal an incident page should ride on.
     """
     return [
         ServiceSlo(
@@ -167,6 +170,14 @@ def default_slos(latency_threshold: float = 5.0) -> list[ServiceSlo]:
                 "85% of generated answers survive the guardrail pipeline",
             ),
             good=lambda event: not event.outcome.startswith("guardrail_"),
+        ),
+        ServiceSlo(
+            slo=SLO(
+                "completeness",
+                0.95,
+                "95% of answers cover every shard (no partial results)",
+            ),
+            good=lambda event: not event.partial,
         ),
     ]
 

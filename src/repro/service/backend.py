@@ -236,6 +236,13 @@ class BackendService:
             when set, every served request feeds its saturation loop and
             the control interval is evaluated on the service clock.  Off
             (None) by default.
+        incidents: an :class:`~repro.obs.incident.IncidentManager`; when
+            set, every served request feeds the per-route diagnosis
+            baselines, the page-severity alert check runs on the service
+            clock, and a firing page freezes a capture bundle assembled
+            by this service (dashboard, saturation, profile window,
+            slowest retained traces).  Off (None) by default — the
+            disabled service serves byte-identical output.
     """
 
     #: route name → :class:`~repro.service.ops.OpsRoute`, built from the
@@ -267,6 +274,7 @@ class BackendService:
         capacity: bool = False,
         admission=None,
         autoscaler=None,
+        incidents=None,
     ) -> None:
         self._engine = engine
         self._clock = clock
@@ -331,6 +339,12 @@ class BackendService:
         )
         self.admission = admission
         self.autoscaler = autoscaler
+        self.incidents = incidents
+        if incidents is not None:
+            # The manager lives below the service layer; it freezes this
+            # service's surfaces through the attached callback instead of
+            # importing them.
+            incidents.attach(self._incident_capture)
 
     # -- endpoints ------------------------------------------------------------
 
@@ -545,6 +559,8 @@ class BackendService:
             trace=trace,
         )
         self._finalize_record(record, trace, self._engine.last_scatter_report)
+        if self.incidents is not None:
+            self._incident_observe(record)
         return record
 
     def query(self, token: str, question: str, filters: dict[str, str] | None = None) -> QueryRecord:
@@ -597,6 +613,8 @@ class BackendService:
         self._finalize_record(
             record, None, None, extra_audit={"coalesced_with": flight.request_id}
         )
+        if self.incidents is not None:
+            self._incident_observe(record)
         return record
 
     def _finalize_record(
@@ -701,6 +719,76 @@ class BackendService:
         if extra_audit:
             audit_fields.update(extra_audit)
         self.telemetry.audit.info("request", **audit_fields)
+
+    # -- incident forensics ----------------------------------------------------
+
+    def _incident_observe(self, record: QueryRecord) -> None:
+        """Feed one served request into the incident loop.
+
+        Baselines first (so a page's diagnosis sees the request that
+        tripped it), then the page check — rate-limited by the manager's
+        own ``check_interval``, so the alert evaluation cost stays off
+        the per-request path.
+        """
+        self.incidents.observe_request(
+            record,
+            pressure=self.admission.pressure() if self.admission is not None else None,
+            utilization=self.autoscaler.utilization if self.autoscaler is not None else None,
+        )
+        now = self._clock.now()
+        if self.incidents.due(now):
+            self.incidents.check(now, self._incident_alerts(now))
+
+    def _incident_alerts(self, now: float):
+        """The page-severity alert evaluation of the incident loop.
+
+        Runs the service SLO burn rates over the incident config's own
+        compressed windows (the workbook defaults are hour-scale — they
+        could never page inside a compressed chaos day) plus the quality
+        monitor's alerts.  Events older than the long window cannot move
+        either burn rate, so they are filtered before evaluation.
+        """
+        from repro.service.alerting import evaluate_quality_alerts, evaluate_slo_alerts
+
+        horizon = now - self.incidents.config.page_long_seconds
+        events = [e for e in self.metrics.events if e.timestamp >= horizon]
+        alerts = evaluate_slo_alerts(
+            events, now=now, windows=self.incidents.config.burn_windows()
+        )
+        alerts.extend(evaluate_quality_alerts(self._quality_monitor))
+        return alerts
+
+    def _incident_capture(self, now: float) -> dict:
+        """Freeze the service surfaces an operator would want at page time."""
+        from repro.service.monitoring import format_dashboard
+
+        bundle: dict = {
+            "captured_at": now,
+            "dashboard": format_dashboard(self.metrics.snapshot()),
+        }
+        if self.capacity is not None:
+            bundle["saturation"] = [s.to_dict() for s in self.capacity.snapshot()]
+        if self.profiler is not None:
+            bundle["profile_top"] = self.profiler.format_top(limit=10)
+        sampler = self.telemetry.sampler
+        slow = sorted(
+            (
+                (trace.total_duration, trace_id)
+                for trace_id in sampler.retained_ids
+                for trace in (sampler.get(trace_id),)
+                if trace is not None
+            ),
+            reverse=True,
+        )[:5]
+        bundle["slow_traces"] = [
+            {"trace_id": trace_id, "duration": round(duration, 4)}
+            for duration, trace_id in slow
+        ]
+        if self.admission is not None:
+            bundle["admission"] = self.admission.status()
+        if self.autoscaler is not None:
+            bundle["autoscale"] = self.autoscaler.status()
+        return bundle
 
     def feedback(self, token: str, feedback: GranularFeedback) -> None:
         """Store one feedback form for a previously served query."""
@@ -828,6 +916,30 @@ class BackendService:
         if self.admission is None:
             return {"enabled": False}
         return self.admission.status()
+
+    @ops_route("incidents", privileged=True, description="Incident log: open/recovered incidents, capture bundles, timelines.")
+    def _ops_incidents(self, incident_id: str = "", timeline: bool = False):
+        """Incident forensics — operations role only.
+
+        Without *incident_id*, the incident summary list.  With one, the
+        incident's full capture bundle — or, with ``timeline=True``, its
+        causally ordered operator timeline as text.
+        """
+        if self.incidents is None:
+            return {"enabled": False, "incidents": []}
+        if incident_id:
+            incident = self.incidents.get(incident_id)
+            if timeline:
+                return self.incidents.format_timeline(incident)
+            return incident.to_dict()
+        return self.incidents.status()
+
+    @ops_route("diagnose", privileged=True, description="Per-request root-cause diagnosis against rolling route baselines.")
+    def _ops_diagnose(self, query_id: str):
+        """Why was this request slow/shed/degraded — operations role only."""
+        if self.incidents is None:
+            raise ValueError("incident forensics is disabled for this deployment")
+        return self.incidents.diagnose(query_id)
 
     @ops_route("healthz", privileged=False, description="Liveness probe (unauthenticated).")
     def _ops_healthz(self) -> dict:

@@ -101,11 +101,25 @@ def collect_ops_routes(cls: type) -> dict[str, OpsRoute]:
 
     Routes keep the order of their definition in the class body (subclass
     handlers override and re-position base routes of the same name).
+
+    Two *different* handlers registering the same route name in the same
+    class body raise ``ValueError`` — silent last-write-wins here means a
+    production endpoint quietly serving the wrong handler.  A subclass
+    overriding a base-class route stays legal (that is the override
+    mechanism), as does re-decorating the same method.
     """
     routes: dict[str, OpsRoute] = {}
     for klass in reversed(cls.__mro__):
+        seen: dict[str, str] = {}
         for attr in vars(klass).values():
             route = getattr(attr, _MARKER, None)
             if isinstance(route, OpsRoute):
+                previous = seen.get(route.name)
+                if previous is not None and previous != route.handler:
+                    raise ValueError(
+                        f"ops route {route.name!r} registered by two handlers "
+                        f"in {klass.__name__}: {previous} and {route.handler}"
+                    )
+                seen[route.name] = route.handler
                 routes[route.name] = route
     return routes

@@ -139,6 +139,49 @@ class TestCli:
         out = capsys.readouterr().out
         assert "total requests" in out
 
+    def test_incident_command_chaos_day(self, capsys):
+        code = main(
+            [
+                "--topics", "16", "--seed", "23",
+                "incident", "--duration", "600", "--questions", "30",
+                "--timeline", "--diagnose",
+            ]
+        )
+        # The injected kill has no revive and no autoscaler heals it, so
+        # the incident stays open and the command must exit non-zero.
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "incidents: 1 open / 1 total" in out
+        assert "rules=slo_completeness" in out
+        assert "cause=replica_kill" in out
+        # The timeline orders the injected fault before the page.
+        assert out.index("replica_kill") < out.index("** page")
+        assert "cache_epoch_flip" in out
+        assert "suspected causes:" in out
+        assert "diagnosis of q-" in out
+        assert "partial results" in out
+
+    def test_incident_command_show_unknown_id(self, capsys):
+        code = main(
+            [
+                "--topics", "16", "--seed", "23",
+                "incident", "--duration", "120", "--no-chaos", "--show", "inc-9999",
+            ]
+        )
+        assert code == 2
+
+    def test_incident_command_clean_day_exits_zero(self, capsys):
+        code = main(
+            [
+                "--topics", "16", "--seed", "23",
+                "incident", "--duration", "120", "--no-chaos",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incidents: 0 open / 0 total" in out
+        assert "(none — no page-severity alert fired)" in out
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])

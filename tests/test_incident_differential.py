@@ -1,0 +1,315 @@
+"""Differential guarantees of the incident-forensics layer.
+
+Mirrors the cache, explain, profiling and autoscale differential suites:
+incident forensics is a strictly additive overlay.
+
+1. **Incidents off ⇒ byte-identical behaviour.**  A deployment that never
+   enables incident forensics produces exactly the surfaces it produced
+   before the layer existed, and a default ``UniAskConfig()`` equals an
+   explicit ``IncidentConfig(enabled=False)`` — plain and sharded alike.
+2. **Injected faults rank as the cause.**  A replica kill (or a cache
+   epoch flip) captured by the flight recorder becomes the top-ranked
+   suspected cause of the incident a page opens, and the frozen timeline
+   orders the fault before the page.
+3. **Incidents dedup, recover and reopen** instead of paging once per
+   check interval, and the satellite hardening (audit retention ring,
+   duplicate ops-route rejection) holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import create_backend, create_engine
+from repro.cluster.config import ClusterConfig
+from repro.core.config import UniAskConfig
+from repro.corpus.generator import KbGenerator, KbGeneratorConfig
+from repro.corpus.vocabulary import build_banking_lexicon
+from repro.obs.audit import AuditLogger
+from repro.obs.incident import IncidentConfig
+from repro.service.alerting import Alert
+from repro.service.backend import ROLE_OPS
+from repro.service.frontend import render_answer_page
+from repro.service.monitoring import format_dashboard
+from repro.service.ops import collect_ops_routes, ops_route
+
+QUESTIONS = (
+    "come sbloccare la carta di credito",
+    "bonifico estero commissioni",
+    "limiti prelievo bancomat",
+    "Qual e la ricetta della carbonara?",
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_kb():
+    return KbGenerator(KbGeneratorConfig(num_topics=12, error_families=2, seed=23)).generate()
+
+
+@pytest.fixture(scope="module")
+def banking_lexicon():
+    return build_banking_lexicon()
+
+
+def build(tiny_kb, banking_lexicon, shards: int = 1, incident=None, **backend_kwargs):
+    config = UniAskConfig(
+        cluster=ClusterConfig(shards=shards),
+        incident=incident or IncidentConfig(),
+    )
+    system = create_engine(tiny_kb.store(), banking_lexicon, config=config, seed=23)
+    backend = create_backend(system, tracing=True, **backend_kwargs)
+    return system, backend
+
+
+def serve_surface(system, backend) -> str:
+    """Every plain output surface of a fixed workload, as one blob."""
+    token = backend.login("diff-user")
+    lines = []
+    for question in QUESTIONS:
+        record = backend.serve(token, question)
+        lines.append(render_answer_page(record.answer))
+        lines.append(f"response_time={record.answer.response_time!r}")
+        lines.append(f"served_at={record.served_at!r}")
+        lines.append(f"degrade_level={record.answer.degrade_level!r}")
+    lines.append(format_dashboard(backend.metrics.snapshot()))
+    lines.append(system.telemetry.render_metrics())
+    lines.extend(backend.telemetry.audit.lines())
+    return "\n".join(lines)
+
+
+class TestIncidentOffByteIdentity:
+    def test_default_config_matches_explicit_off(self, tiny_kb, banking_lexicon):
+        default = serve_surface(*build(tiny_kb, banking_lexicon))
+        explicit = serve_surface(
+            *build(tiny_kb, banking_lexicon, incident=IncidentConfig(enabled=False))
+        )
+        assert default == explicit
+
+    def test_sharded_default_matches_explicit_off(self, tiny_kb, banking_lexicon):
+        default = serve_surface(*build(tiny_kb, banking_lexicon, shards=3))
+        explicit = serve_surface(
+            *build(tiny_kb, banking_lexicon, shards=3, incident=IncidentConfig(enabled=False))
+        )
+        assert default == explicit
+
+    def test_off_deployment_has_no_forensics_wiring(self, tiny_kb, banking_lexicon):
+        system, backend = build(tiny_kb, banking_lexicon, shards=3)
+        serve_surface(system, backend)
+        assert system.recorder is None
+        assert backend.incidents is None
+        exposition = system.telemetry.render_metrics()
+        assert "uniask_incident" not in exposition
+
+    def test_off_ops_routes_degrade_gracefully(self, tiny_kb, banking_lexicon):
+        system, backend = build(tiny_kb, banking_lexicon)
+        ops_token = backend.login("ops", role=ROLE_OPS)
+        payload = backend.ops("incidents", ops_token)
+        assert payload == {"enabled": False, "incidents": []}
+        with pytest.raises(ValueError):
+            backend.ops("diagnose", ops_token, query_id="q-0000001")
+
+
+def _forensics_backend(tiny_kb, banking_lexicon, shards: int = 2):
+    return build(tiny_kb, banking_lexicon, shards=shards, incident=IncidentConfig(enabled=True))
+
+
+def _page(manager, now: float, rule: str = "slo_latency"):
+    """Deliver one synthetic page-severity alert straight to the manager."""
+    alert = Alert(rule=rule, severity="critical", message="budget burning")
+    return manager.check(now, [alert])
+
+
+class TestInjectedFaultCauses:
+    def test_replica_kill_is_the_top_cause(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        backend.serve(token, QUESTIONS[0])  # router observes the healthy baseline
+        alive = [replica for replica in system.cluster.replicas(0) if replica.alive]
+        alive[-1].kill()
+        system.cluster.status()  # the router's control-state diff records the kill
+        incident = _page(backend.incidents, system.clock.now())
+        assert incident is not None
+        assert incident.top_cause == "replica_kill"
+        kinds = [event.kind for event in system.recorder.events]
+        assert "replica_kill" in kinds
+        timeline = backend.incidents.format_timeline(incident)
+        assert timeline.index("replica_kill") < timeline.index("** page")
+
+    def test_epoch_flip_is_the_top_cause(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        backend.serve(token, QUESTIONS[0])
+        system.index.bump_generation()
+        system.cluster.status()
+        incident = _page(backend.incidents, system.clock.now())
+        assert incident is not None
+        assert incident.top_cause == "cache_epoch_flip"
+        timeline = backend.incidents.format_timeline(incident)
+        assert timeline.index("cache_epoch_flip") < timeline.index("** page")
+
+    def test_kill_outranks_older_flip(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        backend.serve(token, QUESTIONS[0])
+        system.index.bump_generation()
+        system.cluster.status()
+        system.clock.advance(5.0)
+        alive = [replica for replica in system.cluster.replicas(0) if replica.alive]
+        alive[-1].kill()
+        system.cluster.status()
+        incident = _page(backend.incidents, system.clock.now())
+        causes = [cause["cause"] for cause in incident.suspected_causes]
+        assert causes[0] == "replica_kill"
+        assert "cache_epoch_flip" in causes
+
+    def test_page_dedups_into_one_incident(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        manager = backend.incidents
+        first = _page(manager, 100.0)
+        again = _page(manager, 130.0)
+        assert again is first
+        assert first.count == 2
+        assert len(manager.incidents) == 1
+
+    def test_recovery_and_reopen_within_dedup_window(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        manager = backend.incidents
+        incident = _page(manager, 100.0)
+        manager.check(130.0, [])  # page stopped firing
+        assert not incident.open
+        assert incident.recovered_at == 130.0
+        reopened = _page(manager, 150.0)  # flap inside the dedup window
+        assert reopened is incident
+        assert incident.open
+        assert incident.count == 2
+
+    def test_distinct_rules_open_distinct_incidents(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        manager = backend.incidents
+        first = _page(manager, 100.0, rule="slo_latency")
+        second = _page(manager, 200.0, rule="slo_completeness")
+        assert first.fingerprint != second.fingerprint
+        assert len(manager.incidents) == 2
+
+    def test_incident_lands_in_audit_and_metrics(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        manager = backend.incidents
+        _page(manager, 100.0)
+        manager.check(130.0, [])
+        events = [entry["event"] for entry in backend.telemetry.audit.entries]
+        assert "incident_open" in events
+        assert "incident_recovered" in events
+        exposition = system.telemetry.render_metrics()
+        assert "uniask_incidents_total" in exposition
+        assert "uniask_incidents_open" in exposition
+
+    def test_capture_bundle_freezes_service_surfaces(self, tiny_kb, banking_lexicon):
+        from repro.api import AskOptions, AskRequest
+
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        for question in QUESTIONS:
+            # Profiled requests carry the deterministic work counters the
+            # capture bundle snapshots.
+            backend.serve(
+                token, AskRequest(question, AskOptions(profile=True, request_id="diff"))
+            )
+        incident = _page(backend.incidents, system.clock.now())
+        assert "dashboard" in incident.capture
+        assert "work_totals" in incident.capture and incident.capture["work_totals"]
+        assert incident.capture["work_delta"] == incident.capture["work_totals"]
+
+
+class TestDiagnose:
+    def test_unknown_query_id_raises(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        with pytest.raises(KeyError):
+            backend.incidents.diagnose("q-9999999")
+
+    def test_served_request_gets_a_verdict(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        record = backend.serve(token, QUESTIONS[0])
+        diagnosis = backend.incidents.diagnose(record.query_id)
+        assert diagnosis["query_id"] == record.query_id
+        assert diagnosis["verdict"] == "normal"
+        assert diagnosis["findings"]  # at least the small-baseline note
+
+    def test_partial_request_is_called_degraded(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        for replica in system.cluster.replicas(0):
+            replica.kill()
+        record = backend.serve(token, QUESTIONS[0])
+        assert record.answer.partial_results
+        diagnosis = backend.incidents.diagnose(record.query_id)
+        assert diagnosis["verdict"] == "degraded"
+        assert any("partial results" in finding for finding in diagnosis["findings"])
+
+    def test_ops_routes_serve_forensics(self, tiny_kb, banking_lexicon):
+        system, backend = _forensics_backend(tiny_kb, banking_lexicon)
+        token = backend.login("u")
+        record = backend.serve(token, QUESTIONS[0])
+        ops_token = backend.login("ops", role=ROLE_OPS)
+        status = backend.ops("incidents", ops_token)
+        assert status["enabled"] is True
+        diagnosis = backend.ops("diagnose", ops_token, query_id=record.query_id)
+        assert diagnosis["verdict"] == "normal"
+
+
+class TestAuditRetentionRing:
+    def test_ring_keeps_only_the_most_recent(self):
+        audit = AuditLogger(retention=3)
+        for i in range(5):
+            audit.info("request", request_id=f"q-{i}")
+        assert len(audit) == 3
+        assert audit.total_logged == 5
+        assert [entry["request_id"] for entry in audit.entries] == ["q-2", "q-3", "q-4"]
+
+    def test_file_sink_stays_complete(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        audit = AuditLogger(path=path, retention=2)
+        for i in range(5):
+            audit.info("request", request_id=f"q-{i}")
+        assert len(audit) == 2
+        assert path.read_text().count('"request"') == 5
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError):
+            AuditLogger(retention=0)
+
+    def test_telemetry_config_validates_retention(self):
+        from repro.obs.telemetry import TelemetryConfig
+
+        with pytest.raises(ValueError):
+            TelemetryConfig(audit_retention=0)
+
+
+class TestOpsRouteCollision:
+    def test_two_handlers_for_one_route_rejected(self):
+        class Broken:
+            @ops_route("dup", description="first")
+            def first(self):
+                return 1
+
+            @ops_route("dup", description="second")
+            def second(self):
+                return 2
+
+        with pytest.raises(ValueError, match="dup"):
+            collect_ops_routes(Broken)
+
+    def test_subclass_override_stays_legal(self):
+        class Base:
+            @ops_route("probe", description="base")
+            def probe(self):
+                return "base"
+
+        class Child(Base):
+            @ops_route("probe", description="child")
+            def probe(self):  # noqa: F811 — deliberate override
+                return "child"
+
+        routes = collect_ops_routes(Child)
+        assert routes["probe"].handler == "probe"
+        assert routes["probe"].description == "child"

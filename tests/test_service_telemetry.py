@@ -70,6 +70,8 @@ class TestOpsRouteTable:
             "profile",
             "autoscale",
             "admission",
+            "incidents",
+            "diagnose",
             "healthz",
             "readyz",
         }
